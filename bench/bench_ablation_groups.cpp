@@ -1,0 +1,66 @@
+// E10 — Ablation: the isolated-group size in the Theorem 2 attack.
+//
+// The paper fixes |B| = |C| = t/4 (it makes the pigeonhole in Lemma 2 work
+// out to t^2/32). This ablation varies the group size g and asks whether the
+// engine still lands a verified violation against the sub-quadratic
+// candidates, and how the implied message threshold g * (t/2) * 2 moves.
+//
+// Expected shape: the attack succeeds across a wide range of g (the broken
+// candidates are far below every threshold); tiny g still works because the
+// candidates' decisions are already wrong for a single isolated process.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void run_ablation(benchmark::State& state, const ProtocolFactory& protocol,
+                  const char* /*label*/) {
+  const SystemParams params{24, 16};
+  const auto g = static_cast<std::uint32_t>(state.range(0));
+
+  lowerbound::AttackOptions opts;
+  opts.group_b = ProcessSet::range(params.n - 2 * g, params.n - g);
+  opts.group_c = ProcessSet::range(params.n - g, params.n);
+
+  lowerbound::AttackReport report;
+  for (auto _ : state) {
+    report = lowerbound::attack_weak_consensus(params, protocol, opts);
+  }
+  int cert_ok = -1;
+  if (report.certificate) {
+    cert_ok =
+        lowerbound::verify_certificate(*report.certificate, protocol).ok ? 1
+                                                                         : 0;
+  }
+  state.counters["group_size"] = g;
+  state.counters["violation"] = report.violation_found ? 1 : 0;
+  state.counters["cert_ok"] = cert_ok;
+  state.counters["msgs"] = static_cast<double>(report.max_message_complexity);
+  // The Lemma 2 pigeonhole threshold for this group size: more than half of
+  // the group must have < t/2 omitted messages, i.e. the adversary's lever
+  // scales as g/2 * t/2.
+  state.counters["pigeonhole_threshold"] =
+      static_cast<double>(g) / 2.0 * (params.t / 2.0);
+}
+
+void AblationGossip(benchmark::State& state) {
+  run_ablation(state, protocols::wc_candidate_gossip_ring(2, 3), "gossip");
+}
+
+void AblationLeaderBeacon(benchmark::State& state) {
+  run_ablation(state, protocols::wc_candidate_leader_beacon(), "beacon");
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+// t = 16: group sizes 1, 2, 4 (= t/4), 8 (= t/2).
+BENCHMARK(ba::bench::AblationGossip)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::AblationLeaderBeacon)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

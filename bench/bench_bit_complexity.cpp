@@ -1,0 +1,88 @@
+// E13 — Bit complexity of the protocol suite (related-work metric
+// [12, 20, 34, 41]): payload bytes sent by correct processes, fault-free,
+// alongside the message counts of E5.
+//
+// Expected shape: the ordering of protocols by bytes matches the related
+// work's story — Dolev-Strong's signature chains make its per-message cost
+// grow with the relay depth (bytes/message ~ chain length), EIG's messages
+// grow exponentially with t, while phase king moves constant-size bits.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void measure(benchmark::State& state, const ProtocolFactory& protocol,
+             const SystemParams& params, const Value& proposal) {
+  std::uint64_t msgs = 0, bytes = 0;
+  for (auto _ : state) {
+    RunResult res = run_all_correct(params, protocol, proposal);
+    msgs = res.trace.message_complexity();
+    bytes = res.trace.payload_bytes_sent_by_correct();
+  }
+  state.counters["n"] = params.n;
+  state.counters["t"] = params.t;
+  state.counters["msgs"] = static_cast<double>(msgs);
+  state.counters["payload_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_msg"] =
+      msgs == 0 ? 0 : static_cast<double>(bytes) / static_cast<double>(msgs);
+}
+
+void BitsDolevStrong(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{n, n / 2};
+  auto auth = make_auth(n);
+  measure(state, protocols::dolev_strong_broadcast(auth, 0), params,
+          Value::bit(1));
+}
+
+void BitsPhaseKing(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{3 * t + 1, t};
+  measure(state, protocols::phase_king_consensus(), params, Value::bit(1));
+}
+
+void BitsEigIC(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{3 * t + 1, t};
+  measure(state, protocols::eig_interactive_consistency(), params,
+          Value::bit(1));
+}
+
+void BitsAuthIC(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{n, n / 3};
+  auto auth = make_auth(n);
+  measure(state, protocols::auth_interactive_consistency(auth), params,
+          Value::bit(1));
+}
+
+void BitsTurpinCoanLongValues(benchmark::State& state) {
+  // Long proposals: Turpin-Coan moves the long value only in its two extra
+  // rounds; the binary phase moves bits — the "extension protocol" saving.
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{7, 2};
+  measure(state, protocols::turpin_coan_multivalued(), params,
+          Value{std::string(len, 'x')});
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::BitsDolevStrong)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BitsPhaseKing)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BitsEigIC)
+    ->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BitsAuthIC)
+    ->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BitsTurpinCoanLongValues)
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

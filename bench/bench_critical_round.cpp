@@ -1,0 +1,92 @@
+// E3 — Table 1 executions + Lemma 4: the decision of group A in E_a^B(k) as
+// a function of the isolation round k, locating the critical round R where
+// the decision flips from the "default" bit to the proposal bit.
+//
+// Expected shape: for a protocol that decides a default when it detects
+// faults early (e.g. the gossip candidate, whose members decide 1 when a
+// predecessor goes quiet), the series starts at the default bit for k = 1
+// and switches to the unanimous proposal once k exceeds the protocol's
+// communication horizon. Lemma 4 says the switch happens between two
+// *adjacent* rounds R and R + 1.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void run_sweep(benchmark::State& state, const ProtocolFactory& protocol,
+               const SystemParams& params, int family_bit) {
+  const std::uint32_t gsz = std::max(1u, params.t / 4);
+  const ProcessSet b = ProcessSet::range(params.n - 2 * gsz, params.n - gsz);
+
+  std::vector<int> decisions;
+  for (auto _ : state) {
+    decisions.clear();
+    // R_max: one past the last decision round of the fault-free execution.
+    RunResult base =
+        run_all_correct(params, protocol, Value::bit(family_bit));
+    Round r_max = 1;
+    for (const auto& pt : base.trace.procs) {
+      r_max = std::max(r_max, pt.decision_round + 1);
+    }
+    for (Round k = 1; k <= r_max; ++k) {
+      std::vector<Value> proposals(params.n, Value::bit(family_bit));
+      RunResult res = run_execution(params, protocol, proposals,
+                                    isolate_group(b, k));
+      // Decision of A = unanimous decision of the correct processes.
+      auto d = res.unanimous_correct_decision();
+      decisions.push_back(d ? d->try_bit().value_or(-1) : -1);
+    }
+  }
+
+  // Report the whole series as counters dec_k1, dec_k2, ... plus the
+  // located critical round.
+  Round critical = 0;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    state.counters["dec_k" + std::to_string(i + 1)] = decisions[i];
+    if (critical == 0 && i > 0 && decisions[i] != decisions[i - 1]) {
+      critical = static_cast<Round>(i);  // flips between k = i and k = i+1
+    }
+  }
+  state.counters["critical_R"] = critical;
+  state.counters["R_max"] = static_cast<double>(decisions.size());
+}
+
+void CriticalRoundGossip(benchmark::State& state) {
+  // Gossip forwards the accumulated AND, so an early-isolated group poisons
+  // its successors: for small k the correct processes SPLIT (dec = -1 marks
+  // "no unanimous decision" — an Agreement violation visible already in
+  // E_0^B(k) itself), and only once k exceeds the 3-round horizon does the
+  // series settle at the proposal bit 0. The flip from -1 to 0 is this
+  // protocol's critical round.
+  run_sweep(state, protocols::wc_candidate_gossip_ring(2, 3),
+            SystemParams{12, 8}, 0);
+}
+
+void CriticalRoundLeaderBeacon(benchmark::State& state) {
+  run_sweep(state, protocols::wc_candidate_leader_beacon(),
+            SystemParams{12, 8}, 0);
+}
+
+void CriticalRoundDolevStrongWeak(benchmark::State& state) {
+  SystemParams params{12, 8};
+  auto auth = make_auth(params.n);
+  run_sweep(state, protocols::weak_consensus_auth(auth), params, 0);
+}
+
+void CriticalRoundPhaseKing(benchmark::State& state) {
+  SystemParams params{25, 8};
+  run_sweep(state, protocols::weak_consensus_unauth(), params, 0);
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::CriticalRoundGossip)->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::CriticalRoundLeaderBeacon)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::CriticalRoundDolevStrongWeak)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::CriticalRoundPhaseKing)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

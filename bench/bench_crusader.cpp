@@ -1,0 +1,72 @@
+// E12 — Crusader broadcast [13] (related work §6): even the relaxation that
+// permits bottom() decisions costs Theta(n^2) messages — the Abraham-Stern
+// result the paper cites as a sibling of its own bound.
+//
+// Expected shape: the 2-round echo protocol scales quadratically in n and
+// clears t^2/32 comfortably; under an equivocating sender the correct
+// processes split only between {bit, bottom}, never between the two bits
+// (split_bits = 0 in every row).
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void CrusaderCost(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const SystemParams params{n, (n - 1) / 3};
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    msgs = fault_free_messages(params, protocols::crusader_broadcast_bit(0),
+                               Value::bit(1));
+  }
+  state.counters["n"] = n;
+  state.counters["t"] = params.t;
+  state.counters["msgs"] = static_cast<double>(msgs);
+  state.counters["bound_t2_32"] =
+      static_cast<double>(lowerbound::lemma1_bound(params.t));
+}
+
+void CrusaderUnderEquivocation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const SystemParams params{n, (n - 1) / 3};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(2);
+
+  int bits0 = 0, bits1 = 0, bottoms = 0;
+  for (auto _ : state) {
+    std::vector<Value> proposals(n, Value::bit(0));
+    RunResult res = run_execution(params, protocols::crusader_broadcast_bit(0),
+                                  proposals, adv);
+    bits0 = bits1 = bottoms = 0;
+    for (ProcessId p = 1; p < n; ++p) {
+      const Value& d = *res.decisions[p];
+      if (d == Value::bit(0)) {
+        ++bits0;
+      } else if (d == Value::bit(1)) {
+        ++bits1;
+      } else {
+        ++bottoms;
+      }
+    }
+  }
+  state.counters["n"] = n;
+  state.counters["decided_0"] = bits0;
+  state.counters["decided_1"] = bits1;
+  state.counters["decided_bottom"] = bottoms;
+  state.counters["split_bits"] = (bits0 > 0 && bits1 > 0) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::CrusaderCost)
+    ->Arg(7)->Arg(13)->Arg(25)->Arg(49)->Arg(97)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::CrusaderUnderEquivocation)
+    ->Arg(7)->Arg(13)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

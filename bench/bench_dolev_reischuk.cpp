@@ -1,0 +1,74 @@
+// E14 — The Dolev-Reischuk bound for Byzantine broadcast [51] (§1, §6),
+// executably: cut-based attacks on sub-quadratic broadcast candidates vs the
+// uncuttable Dolev-Strong.
+//
+// Expected shape: candidates whose receivers hear from <= t processes fall
+// at every size with verified certificates (the cut_size column shows how
+// thin their information flow is); Dolev-Strong's min in-neighbourhood is
+// n - 1, far above any t < n - 1 fault budget, and its message count is
+// comfortably quadratic.
+
+#include "bench_util.h"
+
+#include "lowerbound/dolev_reischuk.h"
+#include "protocols/broadcast.h"
+
+namespace ba::bench {
+namespace {
+
+void run_dr(benchmark::State& state, const ProtocolFactory& protocol,
+            const SystemParams& params) {
+  lowerbound::BroadcastAttackReport report;
+  for (auto _ : state) {
+    report = lowerbound::attack_broadcast(params, protocol, 0, Value::bit(0),
+                                          Value::bit(1));
+  }
+  int cert_ok = -1;
+  if (report.certificate) {
+    cert_ok = lowerbound::verify_certificate(*report.certificate, protocol)
+                      .ok
+                  ? 1
+                  : 0;
+  }
+  state.counters["n"] = params.n;
+  state.counters["t"] = params.t;
+  state.counters["violation"] = report.violation_found ? 1 : 0;
+  state.counters["cert_ok"] = cert_ok;
+  state.counters["cut_size"] = static_cast<double>(report.cut_size);
+  state.counters["min_in_nbh"] =
+      static_cast<double>(report.min_in_neighbourhood);
+  state.counters["msgs"] = static_cast<double>(report.fault_free_messages);
+}
+
+void DrDirectBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  run_dr(state, protocols::bb_candidate_direct(0), SystemParams{n, n / 2});
+}
+
+void DrRelayRing(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  run_dr(state, protocols::bb_candidate_relay_ring(0, 2),
+         SystemParams{n, n / 2});
+}
+
+void DrDolevStrong(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{n, n / 2};
+  auto auth = make_auth(n);
+  run_dr(state, protocols::dolev_strong_broadcast(auth, 0), params);
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::DrDirectBroadcast)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::DrRelayRing)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::DrDolevStrong)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

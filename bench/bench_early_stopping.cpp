@@ -1,0 +1,67 @@
+// E11 — "Early-deciding consensus is expensive" [50] (related work §6):
+// with f actual crashes, the early-deciding FloodSet decides by round f + 2
+// — but its MESSAGE complexity does not drop, because flooding must continue
+// to round t + 1 for the laggards' benefit.
+//
+// Expected shape: decision_round grows with f (capped at t + 1) while
+// msgs stays flat and equal to the non-early baseline; the plain FloodSet
+// always decides at exactly t + 1.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void run_case(benchmark::State& state, const ProtocolFactory& protocol,
+              std::uint32_t t, std::uint32_t f) {
+  const SystemParams params{2 * t, t};
+  std::vector<std::pair<ProcessId, Round>> crashes;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    crashes.emplace_back(static_cast<ProcessId>(params.n - 1 - i),
+                         static_cast<Round>(i + 1));
+  }
+  Adversary adv = crash_schedule(crashes);
+
+  Round last_decision = 0;
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    std::vector<Value> proposals(params.n, Value::bit(0));
+    RunResult res = run_execution(params, protocol, proposals, adv);
+    msgs = res.messages_sent_by_correct;
+    last_decision = 0;
+    for (ProcessId p = 0; p < params.n; ++p) {
+      if (adv.faulty.contains(p)) continue;
+      last_decision =
+          std::max(last_decision, res.trace.procs[p].decision_round);
+    }
+  }
+  state.counters["t"] = t;
+  state.counters["f"] = f;
+  state.counters["decision_round"] = last_decision;
+  state.counters["msgs"] = static_cast<double>(msgs);
+}
+
+void EarlyDecidingFloodSet(benchmark::State& state) {
+  run_case(state, protocols::early_deciding_floodset(),
+           static_cast<std::uint32_t>(state.range(0)),
+           static_cast<std::uint32_t>(state.range(1)));
+}
+
+void PlainFloodSet(benchmark::State& state) {
+  run_case(state, protocols::floodset_consensus(),
+           static_cast<std::uint32_t>(state.range(0)),
+           static_cast<std::uint32_t>(state.range(1)));
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::EarlyDecidingFloodSet)
+    ->Args({6, 0})->Args({6, 1})->Args({6, 2})->Args({6, 4})->Args({6, 6})
+    ->Args({10, 0})->Args({10, 5})->Args({10, 10})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::PlainFloodSet)
+    ->Args({6, 0})->Args({6, 3})->Args({6, 6})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

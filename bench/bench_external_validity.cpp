@@ -1,0 +1,129 @@
+// E8 — §4.3 / Corollary 1: the blockchain-style agreement problem with
+// External Validity.
+//
+// Workload: clients issue MAC-signed transactions; validators run the
+// rotating-leader External-Validity agreement to commit a chain of blocks.
+// Reported: messages per committed block versus the t^2/32 bound, with the
+// leader healthy and with crash-faulty leaders forcing view rotations.
+//
+// Expected shape: cost is Theta(n^2) per view; every row clears the bound;
+// faulty leaders multiply the cost by the number of burned views.
+
+#include <string>
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+/// "Client signatures": a transaction is valid iff it carries the MAC of the
+/// client key over its body — the globally verifiable predicate of §4.3.
+struct ClientWallet {
+  crypto::SipKey key = crypto::derive_key(0xc11e47, 0);
+
+  [[nodiscard]] Value sign_tx(const std::string& body) const {
+    Bytes bytes(body.begin(), body.end());
+    const std::uint64_t mac = crypto::siphash24(key, bytes);
+    return Value::vec({Value{"tx"}, Value{body},
+                       Value{static_cast<std::int64_t>(mac)}});
+  }
+
+  [[nodiscard]] bool verify_tx(const Value& v) const {
+    if (!v.is_vec() || v.as_vec().size() != 3) return false;
+    const ValueVec& f = v.as_vec();
+    if (!f[0].is_str() || f[0].as_str() != "tx" || !f[1].is_str() ||
+        !f[2].is_int()) {
+      return false;
+    }
+    Bytes bytes(f[1].as_str().begin(), f[1].as_str().end());
+    return crypto::siphash24(key, bytes) ==
+           static_cast<std::uint64_t>(f[2].as_int());
+  }
+};
+
+void CommitBlocks(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto crashed_leaders = static_cast<std::uint32_t>(state.range(1));
+  const SystemParams params{n, n / 2};
+  auto auth = make_auth(n);
+  ClientWallet wallet;
+  auto ev = protocols::external_validity_agreement(
+      auth, [wallet](const Value& v) { return wallet.verify_tx(v); });
+
+  constexpr int kBlocks = 3;
+  std::uint64_t total_msgs = 0;
+  bool all_valid = true;
+  RunOptions opts;
+  opts.record_trace = false;
+
+  for (auto _ : state) {
+    total_msgs = 0;
+    all_valid = true;
+    for (int blk = 0; blk < kBlocks; ++blk) {
+      std::vector<Value> proposals(n);
+      for (ProcessId p = 0; p < n; ++p) {
+        proposals[p] =
+            wallet.sign_tx("blk" + std::to_string(blk) + "-from-p" +
+                           std::to_string(p));
+      }
+      Adversary adv;
+      if (crashed_leaders > 0) {
+        adv.faulty = ProcessSet::range(0, crashed_leaders);
+        adv.byzantine = adv.faulty;
+        adv.byzantine_factory = byz_silent();
+      }
+      RunResult res = run_execution(params, ev, proposals, adv, opts);
+      total_msgs += res.messages_sent_by_correct;
+      auto d = res.unanimous_correct_decision();
+      if (!d || !wallet.verify_tx(*d)) all_valid = false;
+    }
+  }
+
+  state.counters["n"] = n;
+  state.counters["crashed_leaders"] = crashed_leaders;
+  state.counters["msgs_per_block"] =
+      static_cast<double>(total_msgs) / kBlocks;
+  state.counters["bound_t2_32"] =
+      static_cast<double>(lowerbound::lemma1_bound(params.t));
+  state.counters["all_decisions_valid"] = all_valid ? 1 : 0;
+}
+
+void ForgedTransactionNeverCommitted(benchmark::State& state) {
+  // A Byzantine leader proposing an incorrectly signed transaction burns its
+  // view; the decided value is still client-signed.
+  const SystemParams params{8, 3};
+  auto auth = make_auth(8);
+  ClientWallet wallet;
+  auto ev = protocols::external_validity_agreement(
+      auth, [wallet](const Value& v) { return wallet.verify_tx(v); });
+
+  std::vector<Value> proposals(8, wallet.sign_tx("honest"));
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_lie_proposal(
+      ev, Value::vec({Value{"tx"}, Value{"forged"}, Value{12345}}));
+
+  bool valid = true;
+  RunOptions opts;
+  opts.record_trace = false;
+  for (auto _ : state) {
+    RunResult res = run_execution(params, ev, proposals, adv, opts);
+    auto d = res.unanimous_correct_decision();
+    valid = d.has_value() && wallet.verify_tx(*d) &&
+            d->as_vec()[1] == Value{"honest"};
+  }
+  state.counters["decided_client_signed"] = valid ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::CommitBlocks)
+    ->Args({8, 0})->Args({16, 0})->Args({32, 0})
+    ->Args({8, 2})->Args({16, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ForgedTransactionNeverCommitted)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

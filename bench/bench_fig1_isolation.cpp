@@ -1,0 +1,115 @@
+// E1 — Figure 1: isolation propagation.
+//
+// The figure illustrates that when group G is isolated at round R, G's own
+// sending behaviour can change from round R+1 onward, and the rest of the
+// system (G-bar), reacting to G's changed messages, deviates from the
+// fault-free execution from round R+2 onward.
+//
+// This bench measures, for each (n, R), the first round in which G (resp.
+// G-bar) sends a different message set than in the fault-free execution E_0.
+// Expected shape: divergence_G = R+1, divergence_Gbar = R+2 (or 0 = never,
+// when the protocol has already gone quiet).
+
+#include "bench_util.h"
+
+#include "protocols/common.h"
+
+namespace ba::bench {
+namespace {
+
+/// A flooding protocol whose sends depend on everything received so far:
+/// every process multicasts the running sum of all payloads it has seen,
+/// for t + 1 rounds, then decides it. Any change in a process's inbox
+/// changes its next-round messages, which makes the Figure 1 propagation
+/// (G deviates at R+1, G-bar at R+2) directly observable.
+class FloodSum final : public protocols::DecidingProcess {
+ public:
+  explicit FloodSum(const ProcessContext& ctx)
+      : ctx_(ctx), sum_(ctx.proposal.try_bit().value_or(0)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r <= ctx_.params.t + 1) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != ctx_.self) out.push_back(Outgoing{p, Value{sum_}});
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    for (const Message& m : inbox) {
+      sum_ += m.payload.is_int() ? m.payload.as_int() : 0;
+    }
+    sum_ += 1;  // round salt: consecutive rounds always differ
+    if (r == ctx_.params.t + 1) decide(Value{sum_});
+  }
+
+ private:
+  ProcessContext ctx_;
+  std::int64_t sum_;
+};
+
+ProtocolFactory flood_sum() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<FloodSum>(ctx);
+  };
+}
+
+/// First round where `p`'s sent set differs between the two traces
+/// (0 if never).
+Round first_send_divergence(const ExecutionTrace& a, const ExecutionTrace& b,
+                            ProcessId p) {
+  const std::size_t rounds =
+      std::max(a.procs[p].rounds.size(), b.procs[p].rounds.size());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    static const std::vector<Message> kEmpty;
+    const auto& sa = r < a.procs[p].rounds.size() ? a.procs[p].rounds[r].sent
+                                                  : kEmpty;
+    const auto& sb = r < b.procs[p].rounds.size() ? b.procs[p].rounds[r].sent
+                                                  : kEmpty;
+    if (sa != sb) return static_cast<Round>(r + 1);
+  }
+  return 0;
+}
+
+void Fig1Isolation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto isolate_at = static_cast<Round>(state.range(1));
+  const SystemParams params{n, n / 2};
+  // The paper's Figure 1 is protocol-agnostic; the flooding protocol makes
+  // every inbox change visible in the next round's sends.
+  ProtocolFactory wc = flood_sum();
+  const ProcessSet g = ProcessSet::range(n - std::max(1u, params.t / 4), n);
+
+  ExecutionTrace e0;
+  ExecutionTrace eg;
+  for (auto _ : state) {
+    e0 = run_all_correct(params, wc, Value::bit(1)).trace;
+    std::vector<Value> proposals(n, Value::bit(1));
+    eg = run_execution(params, wc, proposals, isolate_group(g, isolate_at))
+             .trace;
+  }
+
+  Round div_g = 0;
+  Round div_gbar = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    Round d = first_send_divergence(e0, eg, p);
+    if (d == 0) continue;
+    Round& slot = g.contains(p) ? div_g : div_gbar;
+    if (slot == 0 || d < slot) slot = d;
+  }
+  state.counters["isolate_at_R"] = isolate_at;
+  state.counters["diverge_G"] = div_g;          // expected R + 1 (or 0)
+  state.counters["diverge_Gbar"] = div_gbar;    // expected R + 2 (or 0)
+  state.counters["msgs_E0"] = static_cast<double>(e0.message_complexity());
+  state.counters["msgs_EG"] = static_cast<double>(eg.message_complexity());
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::Fig1Isolation)
+    ->ArgsProduct({{8, 16, 32}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

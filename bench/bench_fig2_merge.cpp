@@ -1,0 +1,94 @@
+// E2 — Figure 2 / Lemma 5: the merged execution E^{B(R+1), C(R)}.
+//
+// For a sub-quadratic candidate (the gossip ring), this reconstructs the
+// five rows of Figure 2 around the critical round R:
+//   row1: decision of A in E^B(R+1)
+//   row2: decision of B's majority inside the merged execution
+//   row3: decision of A inside the merged execution
+//   row4: decision of C's majority inside the merged execution
+//   row5: decision of A in E^C(R)
+// Expected shape: row1 != row5, row2 == row1, row4 == row5, so row3 must
+// clash with row2 or row4 — the Lemma 2 contradiction. A correct protocol
+// (Dolev-Strong weak consensus) shows row1 == row5 instead: no contradiction
+// materializes.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+int bit_of(const std::optional<Value>& v) {
+  return v ? v->try_bit().value_or(-1) : -1;
+}
+
+/// Majority decision bit of a group inside a trace (-1 if none).
+int group_majority(const ExecutionTrace& e, const ProcessSet& g) {
+  int count[2] = {0, 0};
+  for (ProcessId p : g) {
+    int b = bit_of(e.procs[p].decision);
+    if (b >= 0) ++count[b];
+  }
+  if (2 * count[0] > static_cast<int>(g.size())) return 0;
+  if (2 * count[1] > static_cast<int>(g.size())) return 1;
+  return -1;
+}
+
+void run_fig2(benchmark::State& state, const ProtocolFactory& protocol,
+              const SystemParams& params) {
+  const std::uint32_t gsz = std::max(1u, params.t / 4);
+  const ProcessSet b = ProcessSet::range(params.n - 2 * gsz, params.n - gsz);
+  const ProcessSet c = ProcessSet::range(params.n - gsz, params.n);
+
+  // Locate the critical round by the same scan the attack engine performs.
+  lowerbound::AttackReport probe =
+      lowerbound::attack_weak_consensus(params, protocol);
+  const Round r = probe.critical_round.value_or(1);
+  const int family = probe.family_bit.value_or(0);
+
+  calculus::IsolatedExecution eb, ec;
+  ExecutionTrace merged;
+  for (auto _ : state) {
+    std::vector<Value> proposals(params.n, Value::bit(family));
+    eb = {run_execution(params, protocol, proposals,
+                        isolate_group(b, r + 1))
+              .trace,
+          b, r + 1};
+    ec = {run_execution(params, protocol, proposals, isolate_group(c, r))
+              .trace,
+          c, r};
+    merged = calculus::merge(params, protocol, eb, ec);
+  }
+
+  const ProcessSet a_grp = b.set_union(c).complement(params.n);
+  state.counters["R"] = r;
+  state.counters["row1_A_in_EB"] = bit_of(
+      eb.trace.procs[*a_grp.begin()].decision);
+  state.counters["row2_B_in_merge"] = group_majority(merged, b);
+  state.counters["row3_A_in_merge"] = bit_of(
+      merged.procs[*a_grp.begin()].decision);
+  state.counters["row4_C_in_merge"] = group_majority(merged, c);
+  state.counters["row5_A_in_EC"] = bit_of(
+      ec.trace.procs[*a_grp.begin()].decision);
+  state.counters["merged_valid"] =
+      merged.validate() == std::nullopt ? 1 : 0;
+}
+
+void Fig2MergeBrokenGossip(benchmark::State& state) {
+  run_fig2(state, protocols::wc_candidate_gossip_ring(2, 3),
+           SystemParams{12, 8});
+}
+
+void Fig2MergeCorrectDolevStrong(benchmark::State& state) {
+  SystemParams params{12, 8};
+  auto auth = make_auth(params.n);
+  run_fig2(state, protocols::weak_consensus_auth(auth), params);
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::Fig2MergeBrokenGossip)->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::Fig2MergeCorrectDolevStrong)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

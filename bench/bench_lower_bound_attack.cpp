@@ -1,0 +1,86 @@
+// E4 — Theorem 2 / Lemma 1: the attack engine against sub-quadratic
+// weak-consensus candidates, across system sizes.
+//
+// Expected shape: every candidate whose message complexity is o(t^2) yields
+// a *verified* violation certificate (violation = 1, cert_ok = 1) at every
+// size, while the correct protocols never do (violation = 0) and their
+// observed message complexity clears t^2/32 (msgs >= bound).
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void run_attack(benchmark::State& state, const ProtocolFactory& protocol,
+                const SystemParams& params) {
+  lowerbound::AttackReport report;
+  for (auto _ : state) {
+    report = lowerbound::attack_weak_consensus(params, protocol);
+  }
+  int cert_ok = -1;
+  if (report.certificate) {
+    cert_ok = lowerbound::verify_certificate(*report.certificate, protocol)
+                      .ok
+                  ? 1
+                  : 0;
+  }
+  state.counters["n"] = params.n;
+  state.counters["t"] = params.t;
+  state.counters["violation"] = report.violation_found ? 1 : 0;
+  state.counters["cert_ok"] = cert_ok;
+  state.counters["msgs"] =
+      static_cast<double>(report.max_message_complexity);
+  state.counters["bound_t2_32"] = static_cast<double>(report.bound);
+}
+
+void AttackSilent(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  run_attack(state, protocols::wc_candidate_silent(1),
+             SystemParams{n, n - 1});
+}
+
+void AttackLeaderBeacon(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  run_attack(state, protocols::wc_candidate_leader_beacon(),
+             SystemParams{n, n - 1});
+}
+
+void AttackGossipRing(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  run_attack(state, protocols::wc_candidate_gossip_ring(2, 3),
+             SystemParams{n, n - 1});
+}
+
+void AttackCorrectDolevStrong(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{n, n - 1};
+  auto auth = make_auth(n);
+  run_attack(state, protocols::weak_consensus_auth(auth), params);
+}
+
+void AttackCorrectPhaseKing(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{3 * t + 1, t};
+  run_attack(state, protocols::weak_consensus_unauth(), params);
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::AttackSilent)
+    ->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::AttackLeaderBeacon)
+    ->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::AttackGossipRing)
+    ->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::AttackCorrectDolevStrong)
+    ->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::AttackCorrectPhaseKing)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

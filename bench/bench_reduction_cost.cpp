@@ -1,0 +1,109 @@
+// E6 — Algorithm 1 / Lemma 18: the weak-consensus reduction adds ZERO
+// messages on top of the underlying solver, for every solver.
+//
+// Expected shape: extra_messages = 0 in every row; the reduced weak
+// consensus inherits exactly the solver's cost.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+void measure(benchmark::State& state,
+             const validity::ValidityProperty& problem,
+             const SystemParams& params, const ProtocolFactory& solver) {
+  auto rp = reductions::derive_reduction_params(problem, params, solver);
+  if (!rp) {
+    state.SkipWithError("reduction parameters underivable");
+    return;
+  }
+  auto wc = reductions::weak_consensus_from_any(solver, *rp);
+
+  std::uint64_t reduced = 0, direct = 0;
+  RunOptions opts;
+  opts.record_trace = false;
+  for (auto _ : state) {
+    for (int b : {0, 1}) {
+      const validity::InputConfig& c = b == 0 ? rp->c0 : rp->c1;
+      std::vector<Value> direct_proposals(params.n);
+      for (ProcessId p = 0; p < params.n; ++p) direct_proposals[p] = *c[p];
+      direct = run_execution(params, solver, direct_proposals,
+                             Adversary::none(), opts)
+                   .messages_sent_by_correct;
+      reduced = run_all_correct(params, wc, Value::bit(b), opts)
+                    .messages_sent_by_correct;
+    }
+  }
+  state.counters["solver_msgs"] = static_cast<double>(direct);
+  state.counters["reduced_msgs"] = static_cast<double>(reduced);
+  state.counters["extra_messages"] =
+      static_cast<double>(reduced) - static_cast<double>(direct);
+}
+
+void ReduceFromStrongConsensus(benchmark::State& state) {
+  SystemParams params{7, 2};
+  measure(state, validity::strong_validity(7, 2), params,
+          protocols::phase_king_consensus());
+}
+
+void ReduceFromByzantineBroadcast(benchmark::State& state) {
+  SystemParams params{7, 3};
+  auto auth = make_auth(7);
+  measure(state, validity::sender_validity(7, 3, 0), params,
+          protocols::dolev_strong_broadcast(auth, 0));
+}
+
+void ReduceFromInteractiveConsistency(benchmark::State& state) {
+  SystemParams params{4, 1};
+  measure(state, validity::ic_validity(4, 1), params,
+          protocols::eig_interactive_consistency());
+}
+
+void ReduceFromAuthIC(benchmark::State& state) {
+  SystemParams params{6, 2};
+  auto auth = make_auth(6);
+  measure(state, validity::ic_validity(6, 2), params,
+          protocols::auth_interactive_consistency(auth));
+}
+
+void ReduceFromExternalValidityCorollary1(benchmark::State& state) {
+  // Corollary 1: weak consensus from an External-Validity algorithm with
+  // two differing fault-free executions, again at zero extra cost.
+  SystemParams params{7, 2};
+  auto auth = make_auth(7);
+  auto ev = protocols::external_validity_agreement(
+      auth, [](const Value& v) { return v.is_str(); });
+  RunOptions opts;
+  opts.record_trace = false;
+  RunResult r0 = run_all_correct(params, ev, Value{"tx:0"}, opts);
+  auto wc = reductions::weak_from_external_validity(
+      ev, Value{"tx:0"}, Value{"tx:1"}, *r0.unanimous_correct_decision());
+
+  std::uint64_t reduced = 0;
+  for (auto _ : state) {
+    reduced = run_all_correct(params, wc, Value::bit(1), opts)
+                  .messages_sent_by_correct;
+  }
+  std::uint64_t direct =
+      run_all_correct(params, ev, Value{"tx:1"}, opts)
+          .messages_sent_by_correct;
+  state.counters["solver_msgs"] = static_cast<double>(direct);
+  state.counters["reduced_msgs"] = static_cast<double>(reduced);
+  state.counters["extra_messages"] =
+      static_cast<double>(reduced) - static_cast<double>(direct);
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::ReduceFromStrongConsensus)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ReduceFromByzantineBroadcast)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ReduceFromInteractiveConsistency)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ReduceFromAuthIC)->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ReduceFromExternalValidityCorollary1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

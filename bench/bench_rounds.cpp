@@ -1,0 +1,110 @@
+// E9 — Round complexity (Dolev-Strong bound [52], §6): rounds to decision
+// as a function of the resilience t and of the ACTUAL number of failures f.
+//
+// Expected shape: Dolev-Strong and EIG always run t + 1 rounds regardless of
+// f (they are worst-case protocols — the t+1 lower bound of [52] is about
+// the worst case); phase king runs 3(t + 1); external validity pays
+// (v + 1)(t + 1) where v is the number of burned views.
+
+#include "bench_util.h"
+
+namespace ba::bench {
+namespace {
+
+Round decision_rounds(const SystemParams& params,
+                      const ProtocolFactory& protocol,
+                      const Adversary& adv, const Value& v) {
+  std::vector<Value> proposals(params.n, v);
+  RunResult res = run_execution(params, protocol, proposals, adv);
+  Round last = 0;
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (adv.faulty.contains(p)) continue;
+    last = std::max(last, res.trace.procs[p].decision_round);
+  }
+  return last;
+}
+
+void RoundsDolevStrong(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  const auto f = static_cast<std::uint32_t>(state.range(1));
+  SystemParams params{t + 2, t};
+  auto auth = make_auth(params.n);
+  auto bb = protocols::dolev_strong_broadcast(auth, 0);
+  Adversary adv;
+  if (f > 0) {
+    adv.faulty = ProcessSet::range(1, 1 + f);
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_silent();
+  }
+  Round rounds = 0;
+  for (auto _ : state) {
+    rounds = decision_rounds(params, bb, adv, Value{"v"});
+  }
+  state.counters["t"] = t;
+  state.counters["f"] = f;
+  state.counters["rounds"] = rounds;  // expected t + 1, independent of f
+}
+
+void RoundsPhaseKing(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{3 * t + 1, t};
+  Round rounds = 0;
+  for (auto _ : state) {
+    rounds = decision_rounds(params, protocols::phase_king_consensus(),
+                             Adversary::none(), Value::bit(0));
+  }
+  state.counters["t"] = t;
+  state.counters["rounds"] = rounds;  // expected 3(t + 1)
+}
+
+void RoundsEig(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{3 * t + 1, t};
+  Round rounds = 0;
+  for (auto _ : state) {
+    rounds = decision_rounds(params, protocols::eig_interactive_consistency(),
+                             Adversary::none(), Value::bit(0));
+  }
+  state.counters["t"] = t;
+  state.counters["rounds"] = rounds;  // expected t + 1
+}
+
+void RoundsExternalValidityWithBurnedViews(benchmark::State& state) {
+  const auto burned = static_cast<std::uint32_t>(state.range(0));
+  SystemParams params{8, 3};
+  auto auth = make_auth(8);
+  auto ev = protocols::external_validity_agreement(
+      auth, [](const Value& v) { return v.is_str(); });
+  Adversary adv;
+  if (burned > 0) {
+    adv.faulty = ProcessSet::range(0, burned);
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_silent();
+  }
+  Round rounds = 0;
+  for (auto _ : state) {
+    rounds = decision_rounds(params, ev, adv, Value{"tx"});
+  }
+  state.counters["burned_views"] = burned;
+  state.counters["rounds"] = rounds;  // expected (burned + 1)(t + 1)
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::RoundsDolevStrong)
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2})
+    ->Args({4, 0})->Args({4, 2})->Args({4, 4})
+    ->Args({8, 0})->Args({8, 4})->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::RoundsPhaseKing)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::RoundsEig)
+    ->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::RoundsExternalValidityWithBurnedViews)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

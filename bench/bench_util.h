@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one experiment from DESIGN.md §4 (a figure, lemma or theorem of the
+// paper), reporting the measured quantities as benchmark counters so the
+// series can be read straight off the bench output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba::bench {
+
+inline std::shared_ptr<crypto::Authenticator> make_auth(std::uint32_t n,
+                                                        std::uint64_t seed =
+                                                            0xba5eba11) {
+  return std::make_shared<crypto::Authenticator>(seed, n);
+}
+
+/// Fault-free message complexity of a protocol with unanimous proposal.
+inline std::uint64_t fault_free_messages(const SystemParams& params,
+                                         const ProtocolFactory& protocol,
+                                         const Value& v) {
+  RunOptions opts;
+  opts.record_trace = false;
+  return run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
+}
+
+/// Worst message complexity over a small schedule of isolation adversaries
+/// (the paper counts messages *sent*, so isolation cannot reduce the count
+/// of other executions it reveals — this is a probe, not an exact max).
+inline std::uint64_t worst_observed_messages(const SystemParams& params,
+                                             const ProtocolFactory& protocol,
+                                             const Value& v) {
+  RunOptions opts;
+  opts.record_trace = false;
+  std::uint64_t worst =
+      run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
+  const std::uint32_t g = std::max<std::uint32_t>(1, params.t / 4);
+  for (Round k : {1u, 2u, 3u}) {
+    Adversary adv = isolate_group(
+        ProcessSet::range(params.n - g, params.n), k);
+    std::vector<Value> proposals(params.n, v);
+    worst = std::max(worst, run_execution(params, protocol, proposals, adv,
+                                          opts)
+                                .messages_sent_by_correct);
+  }
+  return worst;
+}
+
+}  // namespace ba::bench

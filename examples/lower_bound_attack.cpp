@@ -1,0 +1,87 @@
+// Example: running the Theorem 2 attack engine against weak-consensus
+// protocols.
+//
+// Usage: lower_bound_attack [n] [t]
+//
+// The engine rebuilds the executions of the paper's §3 (Table 1), finds the
+// Lemma 4 critical round, merges per Lemma 5 / Figure 2, and — for any
+// protocol cheaper than t^2/32 — produces a violation certificate: a
+// concrete <= t-fault omission execution in which correct processes disagree
+// (or a correct process never decides). The certificate is then re-verified
+// by replaying every process's deterministic state machine.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ba.h"
+
+namespace {
+
+void run_attack(const char* name, const ba::SystemParams& params,
+                const ba::ProtocolFactory& protocol) {
+  using namespace ba::lowerbound;
+  std::printf("==== %s (n=%u, t=%u, bound t^2/32 = %llu) ====\n", name,
+              params.n, params.t,
+              static_cast<unsigned long long>(lemma1_bound(params.t)));
+  AttackReport report = attack_weak_consensus(params, protocol);
+  std::printf("%s", report.narrative.c_str());
+  std::printf("max message complexity observed: %llu\n",
+              static_cast<unsigned long long>(report.max_message_complexity));
+  if (!report.violation_found) {
+    std::printf("=> no violation: this protocol survives the attack "
+                "(its cost clears the bound)\n\n");
+    return;
+  }
+  const ViolationCertificate& cert = *report.certificate;
+  std::printf("=> VIOLATION of %s\n", to_string(cert.kind).c_str());
+  std::printf("   %s\n", cert.narrative.c_str());
+  std::printf("   counterexample execution: %u rounds, %zu faulty\n",
+              cert.execution.rounds, cert.execution.faulty.size());
+
+  CertificateCheck check = verify_certificate(cert, protocol);
+  std::printf("   certificate verification (full state-machine replay): %s\n",
+              check.ok ? "OK" : check.error.c_str());
+
+  // Show the concrete disagreement.
+  if (cert.kind == ViolationKind::kAgreement) {
+    const auto& a = cert.execution.procs[cert.witness_a];
+    const auto& b = cert.execution.procs[cert.witness_b];
+    std::printf("   correct p%u (proposal %s) decided %s\n", cert.witness_a,
+                a.proposal.to_string().c_str(),
+                a.decision->to_string().c_str());
+    std::printf("   correct p%u (proposal %s) decided %s\n\n", cert.witness_b,
+                b.proposal.to_string().c_str(),
+                b.decision->to_string().c_str());
+  } else {
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1])
+                                                     : 12);
+  const auto t = static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2])
+                                                     : n - 4);
+  ba::SystemParams params{n, t};
+  if (!params.valid() || t < 2) {
+    std::fprintf(stderr, "need n > t >= 2\n");
+    return 1;
+  }
+
+  run_attack("silent-default (0 messages)", params,
+             ba::protocols::wc_candidate_silent(1));
+  run_attack("leader-beacon (n-1 messages)", params,
+             ba::protocols::wc_candidate_leader_beacon());
+  run_attack("gossip-ring k=2 (O(n) messages)", params,
+             ba::protocols::wc_candidate_gossip_ring(2, 3));
+
+  auto auth = std::make_shared<ba::crypto::Authenticator>(2024, params.n);
+  run_attack("Dolev-Strong weak consensus (CORRECT, Theta(n^2 t))", params,
+             ba::protocols::weak_consensus_auth(auth));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Example: regenerate a compact "paper report" — the Theorem 2 sweep as a
+// markdown table plus the Theorem 4 solvability landscape — suitable for
+// pasting into an evaluation document.
+//
+// Usage: paper_report [n1 n2 ...]   (defaults: 12 24 48; t = n - 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ba.h"
+#include "lowerbound/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace ba;
+
+  std::vector<SystemParams> grid;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const auto n = static_cast<std::uint32_t>(std::atoi(argv[i]));
+      if (n >= 3) grid.push_back(SystemParams{n, n - 1});
+    }
+  } else {
+    grid = {{12, 11}, {24, 23}, {48, 47}};
+  }
+
+  std::printf("## Theorem 2 attack sweep\n\n");
+  auto sweep = lowerbound::run_attack_sweep(
+      lowerbound::standard_sweep_entries(), grid);
+  lowerbound::write_markdown(std::cout, sweep);
+  std::printf("\nTheorem 2 consistency (broken => verified certificate, "
+              "surviving => messages >= bound): %s\n\n",
+              sweep.theorem2_consistent() ? "HOLDS" : "VIOLATED");
+
+  std::printf("## Theorem 4 solvability landscape\n\n");
+  std::printf("| problem | n | t | verdict |\n|---|---|---|---|\n");
+  struct Point {
+    std::uint32_t n, t;
+  };
+  for (const Point pt : {Point{7, 2}, Point{5, 2}, Point{4, 2}}) {
+    struct Named {
+      const char* label;
+      validity::ValidityProperty prop;
+    };
+    const Named props[] = {
+        {"weak consensus", validity::weak_validity(pt.n, pt.t)},
+        {"strong consensus", validity::strong_validity(pt.n, pt.t)},
+        {"Byzantine broadcast", validity::sender_validity(pt.n, pt.t, 0)},
+        {"any-proposed", validity::any_proposed_validity(pt.n, pt.t)},
+    };
+    for (const Named& named : props) {
+      auto verdict = validity::solvability(named.prop, pt.n, pt.t);
+      std::printf("| %s | %u | %u | %s |\n", named.label, pt.n, pt.t,
+                  verdict.summary().c_str());
+    }
+  }
+  return 0;
+}

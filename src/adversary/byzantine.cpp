@@ -1,0 +1,167 @@
+#include "adversary/byzantine.h"
+
+#include <memory>
+#include <utility>
+
+#include "crypto/siphash.h"
+
+namespace ba {
+namespace {
+
+class SilentProcess final : public Process {
+ public:
+  Outbox outbox_for_round(Round) override { return {}; }
+  void deliver(Round, const Inbox&) override {}
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool quiescent() const override { return true; }
+};
+
+class CrashAtProcess final : public Process {
+ public:
+  CrashAtProcess(std::unique_ptr<Process> inner, Round crash_round)
+      : inner_(std::move(inner)), crash_round_(crash_round) {}
+
+  Outbox outbox_for_round(Round r) override {
+    if (r >= crash_round_) return {};
+    return inner_->outbox_for_round(r);
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r < crash_round_) inner_->deliver(r, inbox);
+  }
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool quiescent() const override { return true; }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  Round crash_round_;
+};
+
+class EquivocateBitsProcess final : public Process {
+ public:
+  EquivocateBitsProcess(const ProcessContext& ctx, Round rounds)
+      : n_(ctx.params.n), rounds_(rounds) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > rounds_) return out;
+    for (ProcessId p = 0; p < n_; ++p) {
+      out.push_back(Outgoing{p, Value::bit(p < n_ / 2 ? 0 : 1)});
+    }
+    return out;
+  }
+  void deliver(Round, const Inbox&) override {}
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool quiescent() const override { return true; }
+
+ private:
+  std::uint32_t n_;
+  Round rounds_;
+};
+
+class FlipBitsProcess final : public Process {
+ public:
+  FlipBitsProcess(std::unique_ptr<Process> inner, ProcessId pivot)
+      : inner_(std::move(inner)), pivot_(pivot) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out = inner_->outbox_for_round(r);
+    for (Outgoing& o : out) {
+      if (o.to >= pivot_) {
+        if (auto b = o.payload.try_bit()) o.payload = Value::bit(1 - *b);
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    inner_->deliver(r, inbox);
+  }
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool quiescent() const override { return inner_->quiescent(); }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  ProcessId pivot_;
+};
+
+class NoiseProcess final : public Process {
+ public:
+  NoiseProcess(const ProcessContext& ctx, std::uint64_t seed, Round rounds)
+      : n_(ctx.params.n), self_(ctx.self), seed_(seed), rounds_(rounds) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > rounds_) return out;
+    for (ProcessId p = 0; p < n_; ++p) {
+      const std::uint64_t h = crypto::siphash24(
+          crypto::derive_key(seed_, self_),
+          std::array<std::uint8_t, 8>{
+              static_cast<std::uint8_t>(r), static_cast<std::uint8_t>(r >> 8),
+              static_cast<std::uint8_t>(p), static_cast<std::uint8_t>(p >> 8),
+              0, 0, 0, 0});
+      if (h % 3 == 0) continue;  // sometimes stay silent
+      out.push_back(Outgoing{p, Value::bit(static_cast<int>(h & 1))});
+    }
+    return out;
+  }
+  void deliver(Round, const Inbox&) override {}
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool quiescent() const override { return true; }
+
+ private:
+  std::uint32_t n_;
+  ProcessId self_;
+  std::uint64_t seed_;
+  Round rounds_;
+};
+
+}  // namespace
+
+ProtocolFactory byz_silent() {
+  return [](const ProcessContext&) { return std::make_unique<SilentProcess>(); };
+}
+
+ProtocolFactory byz_crash_at(ProtocolFactory honest, Round crash_round) {
+  return [honest = std::move(honest), crash_round](const ProcessContext& ctx) {
+    return std::make_unique<CrashAtProcess>(honest(ctx), crash_round);
+  };
+}
+
+ProtocolFactory byz_equivocate_bits(Round rounds) {
+  return [rounds](const ProcessContext& ctx) {
+    return std::make_unique<EquivocateBitsProcess>(ctx, rounds);
+  };
+}
+
+ProtocolFactory byz_flip_bits_to_upper(ProtocolFactory honest,
+                                       ProcessId pivot) {
+  return [honest = std::move(honest), pivot](const ProcessContext& ctx) {
+    return std::make_unique<FlipBitsProcess>(honest(ctx), pivot);
+  };
+}
+
+ProtocolFactory byz_noise(std::uint64_t seed, Round rounds) {
+  return [seed, rounds](const ProcessContext& ctx) {
+    return std::make_unique<NoiseProcess>(ctx, seed, rounds);
+  };
+}
+
+ProtocolFactory byz_lie_proposal(ProtocolFactory honest, Value fake) {
+  return [honest = std::move(honest), fake = std::move(fake)](
+             const ProcessContext& ctx) {
+    ProcessContext lied = ctx;
+    lied.proposal = fake;
+    return honest(lied);
+  };
+}
+
+}  // namespace ba

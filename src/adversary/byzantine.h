@@ -1,0 +1,41 @@
+#pragma once
+
+// Byzantine strategies: arbitrary-behaviour replicas substituted for
+// corrupted processes. Each strategy is a `ProtocolFactory` so the runtime
+// treats it exactly like a protocol. Strategies may wrap the honest protocol
+// (to deviate selectively) — the wrapped replica is constructed through the
+// same factory, so the strategy stays deterministic and replayable.
+
+#include <cstdint>
+
+#include "runtime/fault.h"
+#include "runtime/process.h"
+
+namespace ba {
+
+/// Never sends anything; never decides. (Fail-stop from round 1.)
+ProtocolFactory byz_silent();
+
+/// Follows the honest protocol until (and excluding) round `crash_round`,
+/// then goes permanently silent.
+ProtocolFactory byz_crash_at(ProtocolFactory honest, Round crash_round);
+
+/// Sends proposal bit 0 to the lower half of the process space and bit 1 to
+/// the upper half, every round up to `rounds`. A canonical equivocator for
+/// broadcast tests.
+ProtocolFactory byz_equivocate_bits(Round rounds);
+
+/// Runs the honest protocol but flips every payload that parses as a bit on
+/// outgoing messages addressed to processes with id >= `pivot`.
+ProtocolFactory byz_flip_bits_to_upper(ProtocolFactory honest,
+                                       ProcessId pivot);
+
+/// Deterministic noise: sends pseudo-random bits to pseudo-randomly chosen
+/// receivers each round (seeded by self id and round). Stress-tests parsers.
+ProtocolFactory byz_noise(std::uint64_t seed, Round rounds);
+
+/// Follows the honest protocol, but lies about its proposal: replaces it
+/// with `fake` when constructing the inner replica.
+ProtocolFactory byz_lie_proposal(ProtocolFactory honest, Value fake);
+
+}  // namespace ba

@@ -1,0 +1,129 @@
+#include "adversary/omission.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/siphash.h"
+
+namespace ba {
+namespace {
+
+bool coin(std::uint64_t seed, const MsgKey& k, std::uint32_t permille,
+          std::uint8_t salt) {
+  const std::array<std::uint8_t, 13> buf{
+      static_cast<std::uint8_t>(k.sender),
+      static_cast<std::uint8_t>(k.sender >> 8),
+      static_cast<std::uint8_t>(k.sender >> 16),
+      static_cast<std::uint8_t>(k.sender >> 24),
+      static_cast<std::uint8_t>(k.receiver),
+      static_cast<std::uint8_t>(k.receiver >> 8),
+      static_cast<std::uint8_t>(k.receiver >> 16),
+      static_cast<std::uint8_t>(k.receiver >> 24),
+      static_cast<std::uint8_t>(k.round),
+      static_cast<std::uint8_t>(k.round >> 8),
+      static_cast<std::uint8_t>(k.round >> 16),
+      static_cast<std::uint8_t>(k.round >> 24),
+      salt,
+  };
+  return crypto::siphash24(crypto::derive_key(seed, 0x0b5e551015), buf) %
+             1000 <
+         permille;
+}
+
+}  // namespace
+
+Adversary isolate_group(const ProcessSet& g, Round from_round) {
+  Adversary adv;
+  adv.faulty = g;
+  adv.receive_omit = [g, from_round](const MsgKey& k) {
+    return k.round >= from_round && g.contains(k.receiver) &&
+           !g.contains(k.sender);
+  };
+  return adv;
+}
+
+Adversary isolate_two_groups(const ProcessSet& b, Round kb,
+                             const ProcessSet& c, Round kc) {
+  if (!b.set_intersection(c).empty()) {
+    throw std::invalid_argument("isolated groups must be disjoint");
+  }
+  Adversary adv;
+  adv.faulty = b.set_union(c);
+  adv.receive_omit = [b, kb, c, kc](const MsgKey& k) {
+    if (b.contains(k.receiver)) {
+      return k.round >= kb && !b.contains(k.sender);
+    }
+    if (c.contains(k.receiver)) {
+      return k.round >= kc && !c.contains(k.sender);
+    }
+    return false;
+  };
+  return adv;
+}
+
+Adversary send_omit_messages(const ProcessSet& faulty,
+                             std::vector<MsgKey> dropped) {
+  std::sort(dropped.begin(), dropped.end());
+  Adversary adv;
+  adv.faulty = faulty;
+  adv.send_omit = [dropped = std::move(dropped)](const MsgKey& k) {
+    return std::binary_search(dropped.begin(), dropped.end(), k);
+  };
+  return adv;
+}
+
+Adversary mute_group(const ProcessSet& g, Round from_round) {
+  Adversary adv;
+  adv.faulty = g;
+  adv.send_omit = [g, from_round](const MsgKey& k) {
+    return k.round >= from_round && g.contains(k.sender);
+  };
+  return adv;
+}
+
+Adversary partition_from(const ProcessSet& faulty_side, Round from_round) {
+  Adversary adv;
+  adv.faulty = faulty_side;
+  adv.send_omit = [faulty_side, from_round](const MsgKey& k) {
+    return k.round >= from_round && faulty_side.contains(k.sender) &&
+           !faulty_side.contains(k.receiver);
+  };
+  adv.receive_omit = [faulty_side, from_round](const MsgKey& k) {
+    return k.round >= from_round && faulty_side.contains(k.receiver) &&
+           !faulty_side.contains(k.sender);
+  };
+  return adv;
+}
+
+Adversary random_omissions(const ProcessSet& faulty, std::uint64_t seed,
+                           std::uint32_t drop_permille) {
+  Adversary adv;
+  adv.faulty = faulty;
+  adv.send_omit = [faulty, seed, drop_permille](const MsgKey& k) {
+    return faulty.contains(k.sender) && coin(seed, k, drop_permille, 0);
+  };
+  adv.receive_omit = [faulty, seed, drop_permille](const MsgKey& k) {
+    // When the sender is also faulty and already send-omitted this message,
+    // the runtime never consults the receive predicate (the message was not
+    // sent), so no double-omission can occur.
+    return faulty.contains(k.receiver) && coin(seed, k, drop_permille, 1);
+  };
+  return adv;
+}
+
+Adversary crash_schedule(std::vector<std::pair<ProcessId, Round>> crashes) {
+  Adversary adv;
+  for (const auto& [p, r] : crashes) adv.faulty.insert(p);
+  std::sort(crashes.begin(), crashes.end());
+  adv.send_omit = [crashes = std::move(crashes)](const MsgKey& k) {
+    for (const auto& [p, r] : crashes) {
+      if (p == k.sender) return k.round >= r;
+    }
+    return false;
+  };
+  return adv;
+}
+
+}  // namespace ba

@@ -1,0 +1,56 @@
+#pragma once
+
+// Omission-fault schedules (§3). Builders return `Adversary` values for the
+// runtime. The central one is *isolation* (Definition 1): a group G of at
+// most t processes receive-omits, from round k onward, every message sent to
+// it from outside G — and commits no other fault.
+
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/message.h"
+#include "runtime/types.h"
+
+namespace ba {
+
+/// Definition 1: group `g` isolated from round `from_round` (inclusive).
+/// Every p in g receive-omits m iff m.sender is outside g and
+/// m.round >= from_round; nothing is ever send-omitted.
+Adversary isolate_group(const ProcessSet& g, Round from_round);
+
+/// Two groups isolated independently (used by merged executions, Fig. 2):
+/// b isolated from round kb, c isolated from round kc. b and c must be
+/// disjoint.
+Adversary isolate_two_groups(const ProcessSet& b, Round kb,
+                             const ProcessSet& c, Round kc);
+
+/// Send-omission of an explicit set of message identities (the result of
+/// swap_omission constructions: senders take the blame for drops).
+Adversary send_omit_messages(const ProcessSet& faulty,
+                             std::vector<MsgKey> dropped);
+
+/// Crash-like omission: members of `g` send-omit everything from
+/// `from_round` on (still receive). Models fail-silent processes inside the
+/// omission model.
+Adversary mute_group(const ProcessSet& g, Round from_round);
+
+/// Drops each direction of communication between the two halves of a
+/// partition from `from_round` on, blamed on `faulty_side` (receive-omission
+/// by that side plus send-omission by that side). Used in partition tests.
+Adversary partition_from(const ProcessSet& faulty_side, Round from_round);
+
+/// Pseudo-random omission schedule for property tests: every message whose
+/// faulty endpoint is in `faulty` is independently send-omitted (when the
+/// sender is faulty) or receive-omitted (when the receiver is faulty) with
+/// probability `drop_permille`/1000, deterministically derived from `seed`
+/// and the message identity via SipHash. A message with both endpoints
+/// faulty can only be send-omitted (never both, preserving trace validity).
+Adversary random_omissions(const ProcessSet& faulty, std::uint64_t seed,
+                           std::uint32_t drop_permille);
+
+/// Crash schedule: each listed process stops sending from its round onward
+/// (send-omission of everything). The classic crash-failure adversary used
+/// by the FloodSet / early-deciding experiments.
+Adversary crash_schedule(std::vector<std::pair<ProcessId, Round>> crashes);
+
+}  // namespace ba

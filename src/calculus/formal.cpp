@@ -1,0 +1,269 @@
+#include "calculus/formal.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "runtime/sync_system.h"
+
+namespace ba::calculus {
+namespace {
+
+void append(std::vector<Message>& out, const std::vector<Message>& in) {
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+}  // namespace
+
+std::vector<Message> Behavior::all_sent() const {
+  std::vector<Message> out;
+  for (const Fragment& f : fragments) append(out, f.sent);
+  return out;
+}
+
+std::vector<Message> Behavior::all_send_omitted() const {
+  std::vector<Message> out;
+  for (const Fragment& f : fragments) append(out, f.send_omitted);
+  return out;
+}
+
+std::vector<Message> Behavior::all_receive_omitted() const {
+  std::vector<Message> out;
+  for (const Fragment& f : fragments) append(out, f.receive_omitted);
+  return out;
+}
+
+std::optional<int> check_fragment(const Fragment& f, ProcessId p, Round k) {
+  // (1) s.process = p_i
+  if (f.state.process != p) return 1;
+  // (2) s.round = k
+  if (f.state.round != k) return 2;
+  // (3) every message has round k
+  for (const auto* bucket :
+       {&f.sent, &f.send_omitted, &f.received, &f.receive_omitted}) {
+    for (const Message& m : *bucket) {
+      if (m.round != k) return 3;
+    }
+  }
+  auto keys = [](const std::vector<Message>& ms) {
+    std::set<MsgKey> out;
+    for (const Message& m : ms) out.insert(m.key());
+    return out;
+  };
+  // (4) M^S and M^SO disjoint
+  {
+    std::set<MsgKey> s = keys(f.sent);
+    for (const Message& m : f.send_omitted) {
+      if (s.contains(m.key())) return 4;
+    }
+  }
+  // (5) M^R and M^RO disjoint
+  {
+    std::set<MsgKey> r = keys(f.received);
+    for (const Message& m : f.receive_omitted) {
+      if (r.contains(m.key())) return 5;
+    }
+  }
+  // (6) outbound messages have sender p
+  for (const auto* bucket : {&f.sent, &f.send_omitted}) {
+    for (const Message& m : *bucket) {
+      if (m.sender != p) return 6;
+    }
+  }
+  // (7) inbound messages have receiver p
+  for (const auto* bucket : {&f.received, &f.receive_omitted}) {
+    for (const Message& m : *bucket) {
+      if (m.receiver != p) return 7;
+    }
+  }
+  // (8) no self-messages anywhere
+  for (const auto* bucket :
+       {&f.sent, &f.send_omitted, &f.received, &f.receive_omitted}) {
+    for (const Message& m : *bucket) {
+      if (m.sender == m.receiver) return 8;
+    }
+  }
+  // (9) at most one outbound message per receiver
+  {
+    std::set<ProcessId> receivers;
+    for (const auto* bucket : {&f.sent, &f.send_omitted}) {
+      for (const Message& m : *bucket) {
+        if (!receivers.insert(m.receiver).second) return 9;
+      }
+    }
+  }
+  // (10) at most one inbound message per sender
+  {
+    std::set<ProcessId> senders;
+    for (const auto* bucket : {&f.received, &f.receive_omitted}) {
+      for (const Message& m : *bucket) {
+        if (!senders.insert(m.sender).second) return 10;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> check_behavior_static(const Behavior& b) {
+  // (1) each FR^j is a j-round fragment of p_i.
+  for (std::size_t j = 0; j < b.fragments.size(); ++j) {
+    if (check_fragment(b.fragments[j], b.process,
+                       static_cast<Round>(j + 1))) {
+      return 1;
+    }
+  }
+  if (b.fragments.empty()) return std::nullopt;
+  // (2) the initial state is an initial state: round 1, no decision yet.
+  // (Generalized from the paper's binary 0_i/1_i to arbitrary proposals.)
+  if (b.fragments[0].state.decision.has_value()) return 2;
+  // (3)/(4) round-1 sends are a function of the initial state alone — this
+  // is part of the transition check; statically we require nothing more.
+  // (5) the proposal never changes.
+  for (const Fragment& f : b.fragments) {
+    if (f.state.proposal != b.fragments[0].state.proposal) return 5;
+  }
+  // (6) decisions are sticky: once set, identical forever after.
+  std::optional<Value> decided;
+  for (const Fragment& f : b.fragments) {
+    if (decided.has_value()) {
+      if (f.state.decision != decided) return 6;
+    } else if (f.state.decision.has_value()) {
+      decided = f.state.decision;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_behavior_transitions(
+    const Behavior& b, const SystemParams& params,
+    const ProtocolFactory& protocol) {
+  std::vector<Inbox> inboxes;
+  inboxes.reserve(b.fragments.size());
+  for (const Fragment& f : b.fragments) inboxes.push_back(f.received);
+
+  ProcessContext ctx{params, b.process, b.fragments.at(0).state.proposal};
+  std::unique_ptr<Process> replica = protocol(ctx);
+
+  for (std::size_t j = 0; j < b.fragments.size(); ++j) {
+    const Round round = static_cast<Round>(j + 1);
+    // Sends of round j+1 must equal M^S u M^SO recorded there.
+    std::vector<Message> produced = normalize_outbox(
+        replica->outbox_for_round(round), b.process, round, params.n);
+    std::vector<Message> recorded = b.fragments[j].sent;
+    append(recorded, b.fragments[j].send_omitted);
+    std::sort(produced.begin(), produced.end());
+    std::sort(recorded.begin(), recorded.end());
+    if (produced != recorded) {
+      std::ostringstream os;
+      os << "transition mismatch at p" << b.process << " round " << round
+         << ": recorded sends differ from A(s, M^R)";
+      return os.str();
+    }
+    // Decision recorded at the START of round j+1 must match the replica's
+    // decision before delivering round j+1 messages.
+    if (replica->decision() != b.fragments[j].state.decision) {
+      std::ostringstream os;
+      os << "decision mismatch at p" << b.process << " start of round "
+         << round;
+      return os.str();
+    }
+    Inbox inbox = inboxes[j];
+    sort_inbox(inbox);
+    replica->deliver(round, inbox);
+  }
+  return std::nullopt;
+}
+
+std::vector<Behavior> to_behaviors(const ExecutionTrace& trace) {
+  std::vector<Behavior> out;
+  out.reserve(trace.procs.size());
+  for (ProcessId p = 0; p < trace.params.n; ++p) {
+    const ProcessTrace& pt = trace.procs[p];
+    Behavior b;
+    b.process = p;
+    std::optional<Value> decision;
+    for (std::size_t j = 0; j < pt.rounds.size(); ++j) {
+      // The state at the START of round j+1: decision is whatever was
+      // decided strictly before round j+1.
+      if (pt.decision.has_value() && pt.decision_round < j + 1) {
+        decision = pt.decision;
+      }
+      Fragment f;
+      f.state = FormalState{p, static_cast<Round>(j + 1), pt.proposal,
+                            decision};
+      f.sent = pt.rounds[j].sent;
+      f.send_omitted = pt.rounds[j].send_omitted;
+      f.received = pt.rounds[j].received;
+      f.receive_omitted = pt.rounds[j].receive_omitted;
+      b.fragments.push_back(std::move(f));
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::optional<std::string> check_execution_conditions(
+    const SystemParams& params, const ProcessSet& faulty,
+    const std::vector<Behavior>& behaviors) {
+  auto fail = [](const std::string& s) {
+    return std::optional<std::string>{s};
+  };
+  // Faulty processes.
+  if (faulty.size() > params.t) return fail("faulty-processes: |F| > t");
+  // Composition (static part).
+  if (behaviors.size() != params.n) {
+    return fail("composition: wrong number of behaviors");
+  }
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (behaviors[p].process != p) return fail("composition: wrong process");
+    if (check_behavior_static(behaviors[p])) {
+      std::ostringstream os;
+      os << "composition: behavior of p" << p << " malformed";
+      return fail(os.str());
+    }
+  }
+  // Index sends.
+  std::map<MsgKey, Value> sent_index;
+  for (const Behavior& b : behaviors) {
+    for (const Message& m : b.all_sent()) sent_index.emplace(m.key(), m.payload);
+  }
+  // Send-validity: every sent message is received or receive-omitted by its
+  // target in the same round.
+  for (const auto& [key, payload] : sent_index) {
+    const Behavior& r = behaviors[key.receiver];
+    if (key.round > r.rounds()) continue;  // beyond horizon
+    bool found = false;
+    for (const auto* bucket :
+         {&r.received(key.round), &r.receive_omitted(key.round)}) {
+      for (const Message& m : *bucket) {
+        if (m.key() == key) found = true;
+      }
+    }
+    if (!found) return fail("send-validity violated");
+  }
+  // Receive-validity: everything received / receive-omitted was sent.
+  for (const Behavior& b : behaviors) {
+    for (std::size_t j = 1; j <= b.rounds(); ++j) {
+      for (const auto* bucket : {&b.received(static_cast<Round>(j)),
+                                 &b.receive_omitted(static_cast<Round>(j))}) {
+        for (const Message& m : *bucket) {
+          auto it = sent_index.find(m.key());
+          if (it == sent_index.end() || it->second != m.payload) {
+            return fail("receive-validity violated");
+          }
+        }
+      }
+    }
+  }
+  // Omission-validity: omissions only at faulty processes.
+  for (const Behavior& b : behaviors) {
+    if ((!b.all_send_omitted().empty() || !b.all_receive_omitted().empty()) &&
+        !faulty.contains(b.process)) {
+      return fail("omission-validity violated");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ba::calculus

@@ -1,0 +1,112 @@
+#pragma once
+
+// The Appendix-A objects as explicit, checkable data: states (A.1.2),
+// fragments (A.1.4) with their ten well-formedness conditions, behaviors
+// (A.1.5) with their seven conditions, and executions-as-behavior-tuples
+// (A.1.6) with the four validity guarantees.
+//
+// The runtime's `ExecutionTrace` is the operational representation; this
+// module is the *formal* one: `to_behaviors` lifts a trace into behaviors,
+// `check_fragment` / `check_behavior` / `check_execution_conditions` verify
+// the exact numbered conditions from the paper, and the determinism
+// condition (7) — s^{j+1}, M^{S(j+1)} = A(s^j, M^{R(j)}) — is discharged by
+// replaying the protocol's state machine.
+//
+// This layer exists so the proof-level statements ("FR' is a k-round
+// fragment of p_i", Lemmas 11-14) have direct, testable counterparts.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/message.h"
+#include "runtime/process.h"
+#include "runtime/trace.h"
+#include "runtime/types.h"
+
+namespace ba::calculus {
+
+/// A.1.2: the externally visible part of a process state at the start of a
+/// round. (The internal protocol state is carried by determinism: proposal +
+/// receive history determine it.)
+struct FormalState {
+  ProcessId process{kNoProcess};
+  Round round{kNoRound};
+  Value proposal;                  // s.proposal (generalized beyond bits)
+  std::optional<Value> decision;   // s.decision (nullopt = bottom)
+
+  friend bool operator==(const FormalState&, const FormalState&) = default;
+};
+
+/// A.1.4: a k-round fragment (s, M^S, M^SO, M^R, M^RO) of a process.
+struct Fragment {
+  FormalState state;
+  std::vector<Message> sent;             // M^S
+  std::vector<Message> send_omitted;     // M^SO
+  std::vector<Message> received;         // M^R
+  std::vector<Message> receive_omitted;  // M^RO
+
+  friend bool operator==(const Fragment&, const Fragment&) = default;
+};
+
+/// A.1.5: a k-round behavior of a process = its fragments for rounds 1..k.
+struct Behavior {
+  ProcessId process{kNoProcess};
+  std::vector<Fragment> fragments;
+
+  [[nodiscard]] std::size_t rounds() const { return fragments.size(); }
+
+  // The paper's accessor functions (Functions table, Appendix A).
+  [[nodiscard]] const FormalState& state(Round j) const {
+    return fragments.at(j - 1).state;
+  }
+  [[nodiscard]] const std::vector<Message>& sent(Round j) const {
+    return fragments.at(j - 1).sent;
+  }
+  [[nodiscard]] const std::vector<Message>& send_omitted(Round j) const {
+    return fragments.at(j - 1).send_omitted;
+  }
+  [[nodiscard]] const std::vector<Message>& received(Round j) const {
+    return fragments.at(j - 1).received;
+  }
+  [[nodiscard]] const std::vector<Message>& receive_omitted(Round j) const {
+    return fragments.at(j - 1).receive_omitted;
+  }
+  [[nodiscard]] std::vector<Message> all_sent() const;
+  [[nodiscard]] std::vector<Message> all_send_omitted() const;
+  [[nodiscard]] std::vector<Message> all_receive_omitted() const;
+
+  friend bool operator==(const Behavior&, const Behavior&) = default;
+};
+
+/// Checks the ten conditions of A.1.4 for `f` as a `k`-round fragment of
+/// process `p`. Returns the number (1-10) of the first violated condition,
+/// or nullopt if all hold.
+std::optional<int> check_fragment(const Fragment& f, ProcessId p, Round k);
+
+/// Checks the non-transition conditions of A.1.5 ((1)-(6)): fragments are
+/// per-round well-formed, the proposal is constant, decisions are sticky
+/// once made. Condition (7) — the A(s, M^R) transitions — is checked
+/// separately because it needs the protocol. Returns the first violated
+/// condition number or nullopt.
+std::optional<int> check_behavior_static(const Behavior& b);
+
+/// Condition (7) of A.1.5: replays `protocol` over the behavior's receive
+/// history and verifies that the recorded sends (M^S u M^SO per round) and
+/// decision evolution match the state machine exactly.
+std::optional<std::string> check_behavior_transitions(
+    const Behavior& b, const SystemParams& params,
+    const ProtocolFactory& protocol);
+
+/// Lifts a recorded trace into the formal representation.
+std::vector<Behavior> to_behaviors(const ExecutionTrace& trace);
+
+/// A.1.6: the four execution guarantees over a tuple of behaviors —
+/// Faulty processes (|F| <= t), Composition (each B_j a behavior of p_j,
+/// static part), Send-validity, Receive-validity, Omission-validity.
+/// Returns a description of the first violated guarantee or nullopt.
+std::optional<std::string> check_execution_conditions(
+    const SystemParams& params, const ProcessSet& faulty,
+    const std::vector<Behavior>& behaviors);
+
+}  // namespace ba::calculus

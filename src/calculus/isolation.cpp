@@ -1,0 +1,72 @@
+#include "calculus/isolation.h"
+
+#include <sstream>
+
+namespace ba::calculus {
+
+std::optional<std::string> check_isolated(const ExecutionTrace& trace,
+                                          const ProcessSet& g,
+                                          Round from_round) {
+  auto fail = [](const std::string& why) {
+    return std::optional<std::string>{why};
+  };
+  for (ProcessId p : g) {
+    if (!trace.faulty.contains(p)) {
+      std::ostringstream os;
+      os << "p" << p << " in isolated group but not faulty";
+      return fail(os.str());
+    }
+    const ProcessTrace& pt = trace.procs.at(p);
+    for (std::size_t r = 0; r < pt.rounds.size(); ++r) {
+      const Round round = static_cast<Round>(r + 1);
+      const RoundEvents& re = pt.rounds[r];
+      if (!re.send_omitted.empty()) {
+        std::ostringstream os;
+        os << "p" << p << " send-omits in round " << round;
+        return fail(os.str());
+      }
+      for (const Message& m : re.receive_omitted) {
+        if (g.contains(m.sender) || round < from_round) {
+          std::ostringstream os;
+          os << "p" << p << " receive-omits " << m
+             << " which isolation does not prescribe";
+          return fail(os.str());
+        }
+      }
+      for (const Message& m : re.received) {
+        if (!g.contains(m.sender) && round >= from_round) {
+          std::ostringstream os;
+          os << "p" << p << " received " << m
+             << " which isolation requires it to omit";
+          return fail(os.str());
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Round> isolation_round(const ExecutionTrace& trace,
+                                     const ProcessSet& g) {
+  // Isolation from round k requires: no member receives an outside message in
+  // any round >= k, every outside message in rounds >= k is receive-omitted,
+  // no other omissions. Find the latest outside message received, then check.
+  Round earliest_valid = 1;
+  for (ProcessId p : g) {
+    const ProcessTrace& pt = trace.procs.at(p);
+    for (std::size_t r = 0; r < pt.rounds.size(); ++r) {
+      const Round round = static_cast<Round>(r + 1);
+      for (const Message& m : pt.rounds[r].received) {
+        if (!g.contains(m.sender)) {
+          earliest_valid = std::max(earliest_valid, round + 1);
+        }
+      }
+    }
+  }
+  if (check_isolated(trace, g, earliest_valid) == std::nullopt) {
+    return earliest_valid;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ba::calculus

@@ -1,0 +1,29 @@
+#pragma once
+
+// Definition 1 (isolation) as a *predicate on traces*: the adversary module
+// constructs isolated executions; this module verifies, after the fact, that
+// a recorded execution really isolates a group — the checks the Appendix-A
+// proofs rely on.
+
+#include <optional>
+#include <string>
+
+#include "runtime/trace.h"
+#include "runtime/types.h"
+
+namespace ba::calculus {
+
+/// Checks Definition 1 for group `g` from round `from_round` in `trace`:
+/// every member of g is faulty, send-omits nothing, and receive-omits a
+/// message m iff m.sender is outside g and m.round >= from_round.
+/// Returns an explanation if the property fails, nullopt if it holds.
+std::optional<std::string> check_isolated(const ExecutionTrace& trace,
+                                          const ProcessSet& g,
+                                          Round from_round);
+
+/// The earliest round from which `g` is isolated in `trace`, or nullopt if g
+/// is not isolated from any round (up to the trace horizon).
+std::optional<Round> isolation_round(const ExecutionTrace& trace,
+                                     const ProcessSet& g);
+
+}  // namespace ba::calculus

@@ -1,0 +1,146 @@
+#include "calculus/merge.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/sync_system.h"
+
+namespace ba::calculus {
+namespace {
+
+bool same_proposals(const ExecutionTrace& a, const ExecutionTrace& b) {
+  if (a.procs.size() != b.procs.size()) return false;
+  for (std::size_t i = 0; i < a.procs.size(); ++i) {
+    if (a.procs[i].proposal != b.procs[i].proposal) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool are_mergeable(const IsolatedExecution& eb, const IsolatedExecution& ec) {
+  if (!eb.group.set_intersection(ec.group).empty()) return false;
+  if (eb.from_round == 1 && ec.from_round == 1) return true;
+  const auto k1 = static_cast<std::int64_t>(eb.from_round);
+  const auto k2 = static_cast<std::int64_t>(ec.from_round);
+  return std::abs(k1 - k2) <= 1 && same_proposals(eb.trace, ec.trace);
+}
+
+ExecutionTrace merge(const SystemParams& params,
+                     const ProtocolFactory& protocol,
+                     const IsolatedExecution& eb, const IsolatedExecution& ec,
+                     Round max_rounds) {
+  if (!are_mergeable(eb, ec)) {
+    throw std::invalid_argument("executions are not mergeable");
+  }
+  const std::uint32_t n = params.n;
+  const ProcessSet& b = eb.group;
+  const ProcessSet& c = ec.group;
+  if (b.size() + c.size() > params.t) {
+    throw std::invalid_argument("|B| + |C| > t");
+  }
+
+  // Proposals: C takes its proposal from the C-execution, everyone else from
+  // the B-execution (lines 4-7 of Algorithm 5).
+  std::vector<Value> proposals(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    proposals[p] =
+        c.contains(p) ? ec.trace.procs[p].proposal : eb.trace.procs[p].proposal;
+  }
+
+  std::vector<std::unique_ptr<Process>> replicas(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    replicas[p] = protocol(ProcessContext{params, p, proposals[p]});
+  }
+
+  ExecutionTrace out;
+  out.params = params;
+  out.faulty = b.set_union(c);
+  out.procs.resize(n);
+  for (ProcessId p = 0; p < n; ++p) out.procs[p].proposal = proposals[p];
+
+  auto recorded_received = [&](const ExecutionTrace& src, ProcessId p,
+                               Round r) -> Inbox {
+    if (r > src.procs[p].rounds.size()) return {};
+    return src.procs[p].round(r).received;
+  };
+
+  for (Round r = 1; r <= max_rounds; ++r) {
+    // Everyone's sends this round (line 19 computes them from live state
+    // machines; round-1 sends are the M_i^0 / M_i^b of the construction).
+    std::vector<std::vector<Message>> outs(n);
+    std::size_t sent_count = 0;
+    for (ProcessId p = 0; p < n; ++p) {
+      outs[p] = normalize_outbox(replicas[p]->outbox_for_round(r), p, r, n);
+      sent_count += outs[p].size();
+    }
+
+    // Route: to_i = messages addressed to p_i this round (line 10).
+    std::vector<Inbox> to(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      for (const Message& m : outs[p]) to[m.receiver].push_back(m);
+    }
+
+    for (ProcessId p = 0; p < n; ++p) {
+      Inbox received;
+      if (b.contains(p)) {
+        received = recorded_received(eb.trace, p, r);  // line 15
+      } else if (c.contains(p)) {
+        received = recorded_received(ec.trace, p, r);  // line 16
+      } else {
+        received = to[p];  // line 13-14: A receives everything
+      }
+      sort_inbox(received);
+
+      RoundEvents ev;
+      ev.sent = outs[p];
+      ev.received = received;
+      if (b.contains(p) || c.contains(p)) {
+        // receive-omitted = to_i \ received (line 17).
+        for (const Message& m : to[p]) {
+          bool found = false;
+          for (const Message& g : received) {
+            if (g.key() == m.key()) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) ev.receive_omitted.push_back(m);
+        }
+      }
+      out.procs[p].rounds.push_back(std::move(ev));
+
+      replicas[p]->deliver(r, received);  // line 18
+      if (!out.procs[p].decision.has_value()) {
+        if (auto d = replicas[p]->decision()) {
+          out.procs[p].decision = d;
+          out.procs[p].decision_round = r;
+        }
+      }
+    }
+    out.rounds = r;
+
+    if (sent_count == 0) {
+      bool all_quiescent = true;
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!replicas[p]->quiescent()) {
+          all_quiescent = false;
+          break;
+        }
+      }
+      // Run at least as far as both source traces so replayed receive sets
+      // are exhausted before declaring quiescence.
+      const Round horizon = std::max(eb.trace.rounds, ec.trace.rounds);
+      if (all_quiescent && r >= horizon) {
+        out.quiesced = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ba::calculus

@@ -1,0 +1,46 @@
+#pragma once
+
+// Definition 2 (mergeable executions) and Algorithm 5 (procedure merge).
+//
+// merge() takes two isolated executions — group B isolated from round k1 and
+// group C isolated from round k2 — and builds the execution E* in which both
+// are isolated simultaneously:
+//   * every process in B (resp. C) receives exactly what it received in the
+//     B-execution (resp. C-execution), so by determinism it behaves
+//     identically and cannot distinguish E* from its original execution;
+//   * every process in A = Pi \ (B u C) is correct and receives everything
+//     addressed to it.
+// This is the construction behind Lemma 3 and Figure 2.
+
+#include <optional>
+#include <string>
+
+#include "runtime/process.h"
+#include "runtime/trace.h"
+#include "runtime/types.h"
+
+namespace ba::calculus {
+
+/// An execution in which one group is isolated from one round onward.
+struct IsolatedExecution {
+  ExecutionTrace trace;
+  ProcessSet group;  // the isolated group (B or C)
+  Round from_round{1};
+};
+
+/// Definition 2, stated over proposal vectors rather than a single bit so the
+/// 0/1-relabelled symmetric case works too: executions are mergeable iff
+/// both isolation rounds are 1, or |k1 - k2| <= 1 and both executions assign
+/// every process the same proposal.
+bool are_mergeable(const IsolatedExecution& eb, const IsolatedExecution& ec);
+
+/// Algorithm 5. `protocol` must be the factory both input executions were
+/// produced with. The merged execution assigns each process in C its
+/// proposal from `ec` and every other process its proposal from `eb`.
+/// Runs to quiescence or `max_rounds`.
+ExecutionTrace merge(const SystemParams& params,
+                     const ProtocolFactory& protocol,
+                     const IsolatedExecution& eb, const IsolatedExecution& ec,
+                     Round max_rounds = 1000);
+
+}  // namespace ba::calculus

@@ -1,0 +1,117 @@
+#include "crypto/signature.h"
+
+#include <set>
+
+namespace ba::crypto {
+
+Value Signature::to_value() const {
+  return Value{ValueVec{Value{"sig"}, Value{static_cast<std::int64_t>(signer)},
+                        Value{static_cast<std::int64_t>(mac)}}};
+}
+
+std::optional<Signature> Signature::from_value(const Value& v) {
+  if (!v.is_vec()) return std::nullopt;
+  const ValueVec& vec = v.as_vec();
+  if (vec.size() != 3 || !vec[0].is_str() || vec[0].as_str() != "sig" ||
+      !vec[1].is_int() || !vec[2].is_int()) {
+    return std::nullopt;
+  }
+  // Reject non-canonical signer encodings: the signer is a 32-bit process
+  // id, so out-of-range values (which a cast would silently truncate) are
+  // malformed.
+  const std::int64_t signer = vec[1].as_int();
+  if (signer < 0 || signer > 0xffffffffLL) return std::nullopt;
+  return Signature{static_cast<ProcessId>(signer),
+                   static_cast<std::uint64_t>(vec[2].as_int())};
+}
+
+Authenticator::Authenticator(std::uint64_t seed, std::uint32_t n) : n_(n) {
+  keys_.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    keys_.push_back(derive_key(seed, p));
+  }
+}
+
+std::uint64_t Authenticator::mac(ProcessId signer, const Bytes& msg) const {
+  return siphash24(keys_.at(signer), msg);
+}
+
+bool Authenticator::verify(const Signature& sig, const Bytes& message) const {
+  if (sig.signer >= n_) return false;
+  return mac(sig.signer, message) == sig.mac;
+}
+
+bool Authenticator::verify_value(const Signature& sig,
+                                 const Value& message) const {
+  return verify(sig, encode_value(message));
+}
+
+Signature Signer::sign(const Bytes& message) const {
+  return Signature{self_, auth_->mac(self_, message)};
+}
+
+Signature Signer::sign_value(const Value& message) const {
+  return sign(encode_value(message));
+}
+
+Bytes SigChain::prefix_bytes(std::size_t upto) const {
+  BytesWriter w;
+  w.value(value_);
+  for (std::size_t i = 0; i < upto; ++i) {
+    w.u32(sigs_[i].signer);
+    w.u64(sigs_[i].mac);
+  }
+  return w.take();
+}
+
+void SigChain::extend(const Signer& signer) {
+  Bytes bytes = prefix_bytes(sigs_.size());
+  sigs_.push_back(signer.sign(bytes));
+}
+
+bool SigChain::verify(const Authenticator& auth, std::size_t min_len,
+                      std::optional<ProcessId> expected_first) const {
+  if (sigs_.size() < min_len) return false;
+  if (expected_first && (sigs_.empty() || sigs_[0].signer != *expected_first)) {
+    return false;
+  }
+  std::set<ProcessId> signers;
+  for (std::size_t i = 0; i < sigs_.size(); ++i) {
+    if (!signers.insert(sigs_[i].signer).second) return false;  // distinct
+    if (!auth.verify(sigs_[i], prefix_bytes(i))) return false;
+  }
+  return true;
+}
+
+bool SigChain::contains_signer(ProcessId p) const {
+  for (const Signature& s : sigs_) {
+    if (s.signer == p) return true;
+  }
+  return false;
+}
+
+Value SigChain::to_value() const {
+  ValueVec out;
+  out.reserve(sigs_.size() + 2);
+  out.emplace_back("chain");
+  out.push_back(value_);
+  for (const Signature& s : sigs_) out.push_back(s.to_value());
+  return Value{std::move(out)};
+}
+
+std::optional<SigChain> SigChain::from_value(const Value& v) {
+  if (!v.is_vec()) return std::nullopt;
+  const ValueVec& vec = v.as_vec();
+  if (vec.size() < 2 || !vec[0].is_str() || vec[0].as_str() != "chain") {
+    return std::nullopt;
+  }
+  SigChain chain(vec[1]);
+  for (std::size_t i = 2; i < vec.size(); ++i) {
+    auto sig = Signature::from_value(vec[i]);
+    if (!sig) return std::nullopt;
+    chain.sigs_.push_back(*sig);
+  }
+  return chain;
+}
+
+}  // namespace ba::crypto

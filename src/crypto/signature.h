@@ -1,0 +1,109 @@
+#pragma once
+
+// Idealized digital signatures (Canetti [30], as assumed by the paper's
+// authenticated algorithms). Implemented as per-process SipHash MACs whose
+// keys only the issuing Authenticator knows. Unforgeability is enforced by a
+// capability discipline:
+//   * `Authenticator` (one per execution) derives a secret key per process
+//     and exposes only public *verification*;
+//   * a `Signer` capability, bound to one process id, is the only way to
+//     produce a signature. Honest protocol factories close over the Signer
+//     for `ctx.self`; Byzantine strategies get exactly the same — they can
+//     sign anything *as themselves* but cannot sign as anyone else.
+//
+// Signatures embed into message payloads via to_value()/from_value() so the
+// runtime stays payload-agnostic.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/siphash.h"
+#include "runtime/serde.h"
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba::crypto {
+
+struct Signature {
+  ProcessId signer{kNoProcess};
+  std::uint64_t mac{0};
+
+  [[nodiscard]] Value to_value() const;
+  static std::optional<Signature> from_value(const Value& v);
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class Authenticator {
+ public:
+  /// `seed` randomizes keys per run; `n` is the system size.
+  Authenticator(std::uint64_t seed, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// Public verification: anyone can check any signature.
+  [[nodiscard]] bool verify(const Signature& sig, const Bytes& message) const;
+  [[nodiscard]] bool verify_value(const Signature& sig,
+                                  const Value& message) const;
+
+ private:
+  friend class Signer;
+  [[nodiscard]] std::uint64_t mac(ProcessId signer, const Bytes& msg) const;
+
+  std::uint32_t n_;
+  std::vector<SipKey> keys_;
+};
+
+/// Signing capability for exactly one process.
+class Signer {
+ public:
+  Signer() = default;
+  Signer(std::shared_ptr<const Authenticator> auth, ProcessId self)
+      : auth_(std::move(auth)), self_(self) {}
+
+  [[nodiscard]] bool valid() const { return auth_ != nullptr; }
+  [[nodiscard]] ProcessId id() const { return self_; }
+
+  [[nodiscard]] Signature sign(const Bytes& message) const;
+  [[nodiscard]] Signature sign_value(const Value& message) const;
+
+ private:
+  std::shared_ptr<const Authenticator> auth_;
+  ProcessId self_{kNoProcess};
+};
+
+/// A signature chain, the Dolev-Strong workhorse: a value endorsed by an
+/// ordered list of distinct signers, each signing the value concatenated with
+/// the previous signatures.
+class SigChain {
+ public:
+  SigChain() = default;
+  explicit SigChain(Value value) : value_(std::move(value)) {}
+
+  [[nodiscard]] const Value& value() const { return value_; }
+  [[nodiscard]] const std::vector<Signature>& sigs() const { return sigs_; }
+  [[nodiscard]] std::size_t length() const { return sigs_.size(); }
+
+  /// Appends this signer's endorsement.
+  void extend(const Signer& signer);
+
+  /// Checks: k >= min_len distinct signers, first signer == expected_first
+  /// (if given), and every MAC verifies over the correct prefix.
+  [[nodiscard]] bool verify(const Authenticator& auth, std::size_t min_len,
+                            std::optional<ProcessId> expected_first) const;
+
+  [[nodiscard]] bool contains_signer(ProcessId p) const;
+
+  [[nodiscard]] Value to_value() const;
+  static std::optional<SigChain> from_value(const Value& v);
+
+ private:
+  [[nodiscard]] Bytes prefix_bytes(std::size_t upto) const;
+
+  Value value_;
+  std::vector<Signature> sigs_;
+};
+
+}  // namespace ba::crypto

@@ -1,0 +1,85 @@
+#include "crypto/siphash.h"
+
+namespace ba::crypto {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key,
+                        std::span<const std::uint8_t> data) {
+  SipState s{
+      key.k0 ^ 0x736f6d6570736575ULL,
+      key.k1 ^ 0x646f72616e646f6dULL,
+      key.k0 ^ 0x6c7967656e657261ULL,
+      key.k1 ^ 0x7465646279746573ULL,
+  };
+
+  const std::size_t len = data.size();
+  const std::size_t end = len - (len % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    std::uint64_t m = 0;
+    for (int b = 0; b < 8; ++b) {
+      m |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+    }
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = end; i < len; ++i) {
+    last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+SipKey derive_key(std::uint64_t master_seed, std::uint64_t context) {
+  // Two domain-separated SipHash applications over the context, keyed by the
+  // master seed.
+  const SipKey base{master_seed, ~master_seed};
+  std::array<std::uint8_t, 9> buf{};
+  for (int i = 0; i < 8; ++i) buf[i] = (context >> (8 * i)) & 0xff;
+  buf[8] = 0;
+  std::uint64_t k0 = siphash24(base, buf);
+  buf[8] = 1;
+  std::uint64_t k1 = siphash24(base, buf);
+  return SipKey{k0, k1};
+}
+
+}  // namespace ba::crypto

@@ -1,0 +1,30 @@
+#pragma once
+
+// SipHash-2-4 (Aumasson & Bernstein), the keyed 64-bit PRF we use as the MAC
+// underlying simulated signatures. A real deployment would use asymmetric
+// signatures; the paper's authenticated model [30] only requires
+// unforgeability, which a secret-keyed PRF provides against the simulated
+// adversary (strategies never see other processes' keys — see
+// crypto/signature.h for the capability discipline).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ba::crypto {
+
+struct SipKey {
+  std::uint64_t k0{0};
+  std::uint64_t k1{0};
+
+  friend bool operator==(const SipKey&, const SipKey&) = default;
+};
+
+/// SipHash-2-4 of `data` under `key`.
+std::uint64_t siphash24(const SipKey& key, std::span<const std::uint8_t> data);
+
+/// Deterministic key derivation: splits a 64-bit master seed and a context
+/// label into independent SipKeys (used to give each process its own key).
+SipKey derive_key(std::uint64_t master_seed, std::uint64_t context);
+
+}  // namespace ba::crypto

@@ -1,0 +1,47 @@
+#pragma once
+
+// Violation certificates: self-contained, machine-checkable counterexamples
+// produced by the Theorem 2 attack engine. A certificate names a concrete
+// execution (with <= t omission faults) and the property of weak consensus it
+// violates; `verify_certificate` re-validates the execution structurally
+// (A.1.6) AND re-runs the protocol's deterministic state machines against the
+// recorded receive histories, so a certificate cannot be faked.
+
+#include <optional>
+#include <string>
+
+#include "runtime/process.h"
+#include "runtime/trace.h"
+
+namespace ba::lowerbound {
+
+enum class ViolationKind {
+  kWeakValidity,  // all correct, unanimous proposal, different decision
+  kAgreement,     // two correct processes decide differently
+  kTermination,   // a correct process never decides (execution quiesced)
+};
+
+std::string to_string(ViolationKind k);
+
+struct ViolationCertificate {
+  ViolationKind kind{ViolationKind::kAgreement};
+  ExecutionTrace execution;
+  /// The correct processes exhibiting the violation (two for Agreement, one
+  /// for Termination / Weak Validity).
+  ProcessId witness_a{kNoProcess};
+  ProcessId witness_b{kNoProcess};
+  std::string narrative;  // how the engine constructed this execution
+};
+
+struct CertificateCheck {
+  bool ok{false};
+  std::string error;
+};
+
+/// Full verification: structural validity of the execution, fault budget,
+/// witnesses correct, decisions replayed from `protocol` match the trace,
+/// and the claimed violation really occurs.
+CertificateCheck verify_certificate(const ViolationCertificate& cert,
+                                    const ProtocolFactory& protocol);
+
+}  // namespace ba::lowerbound

@@ -1,0 +1,49 @@
+#include "lowerbound/certificate_io.h"
+
+#include "runtime/trace_io.h"
+
+namespace ba::lowerbound {
+
+Value certificate_to_value(const ViolationCertificate& cert) {
+  return Value{ValueVec{
+      Value{"cert"}, Value{static_cast<std::int64_t>(cert.kind)},
+      trace_to_value(cert.execution),
+      Value{static_cast<std::int64_t>(cert.witness_a)},
+      Value{static_cast<std::int64_t>(cert.witness_b)},
+      Value{cert.narrative}}};
+}
+
+std::optional<ViolationCertificate> certificate_from_value(const Value& v) {
+  if (!v.is_vec() || v.as_vec().size() != 6) return std::nullopt;
+  const ValueVec& f = v.as_vec();
+  if (!f[0].is_str() || f[0].as_str() != "cert" || !f[1].is_int() ||
+      !f[3].is_int() || !f[4].is_int() || !f[5].is_str()) {
+    return std::nullopt;
+  }
+  const std::int64_t kind = f[1].as_int();
+  if (kind < 0 || kind > 2) return std::nullopt;
+  auto trace = trace_from_value(f[2]);
+  if (!trace) return std::nullopt;
+  ViolationCertificate cert;
+  cert.kind = static_cast<ViolationKind>(kind);
+  cert.execution = std::move(*trace);
+  cert.witness_a = static_cast<ProcessId>(f[3].as_int());
+  cert.witness_b = static_cast<ProcessId>(f[4].as_int());
+  cert.narrative = f[5].as_str();
+  return cert;
+}
+
+Bytes encode_certificate(const ViolationCertificate& cert) {
+  return encode_value(certificate_to_value(cert));
+}
+
+std::optional<ViolationCertificate> decode_certificate(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    return certificate_from_value(decode_value(bytes));
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ba::lowerbound

@@ -1,0 +1,74 @@
+#include "lowerbound/lemma2.h"
+
+#include <sstream>
+
+#include "calculus/swap_omission.h"
+
+namespace ba::lowerbound {
+
+Lemma2Report lemma2_report(const ExecutionTrace& e, const ProcessSet& y) {
+  Lemma2Report rep;
+  rep.b_x = e.unanimous_correct_decision();
+
+  const ProcessSet x = e.correct();
+  for (ProcessId p : y) {
+    const auto omitted_from_x = e.receive_omitted_from(p, x);
+    if (omitted_from_x.size() < e.params.t / 2) {
+      rep.low_omission.push_back(p);
+      if (rep.b_x && e.procs[p].decision == rep.b_x) {
+        rep.agreeing.push_back(p);
+      }
+    }
+  }
+  rep.holds = rep.b_x.has_value() && 2 * rep.agreeing.size() > y.size();
+  return rep;
+}
+
+std::optional<ViolationCertificate> find_lemma2_violation(
+    const ExecutionTrace& e, const ProcessSet& y, const std::string& how) {
+  const auto b_x = e.unanimous_correct_decision();
+  if (!b_x) return std::nullopt;  // caller handles X-internal violations
+
+  for (ProcessId p : y) {
+    const auto& decision = e.procs[p].decision;
+    if (decision.has_value() && *decision == *b_x) continue;  // agrees
+    if (!decision.has_value() && !e.quiesced) continue;  // can't certify
+
+    auto pre = calculus::check_swap_preconditions(e, p);
+    if (!pre.ok) continue;
+
+    calculus::SwapResult swapped = calculus::swap_omission(e, p);
+
+    // Find a process that is correct in E' and decided b_x (every correct
+    // process of E does, and at least the precondition witness survives).
+    ProcessId other = kNoProcess;
+    for (ProcessId q = 0; q < e.params.n; ++q) {
+      if (q == p || swapped.execution.faulty.contains(q)) continue;
+      if (swapped.execution.procs[q].decision == b_x) {
+        other = q;
+        break;
+      }
+    }
+    if (other == kNoProcess) continue;
+
+    ViolationCertificate cert;
+    cert.execution = std::move(swapped.execution);
+    cert.witness_a = p;
+    cert.witness_b = other;
+    std::ostringstream os;
+    os << how << "; isolated p" << p << " (now correct after swap_omission) ";
+    if (decision.has_value()) {
+      cert.kind = ViolationKind::kAgreement;
+      os << "decides " << *decision << " while correct p" << other
+         << " decides " << *b_x;
+    } else {
+      cert.kind = ViolationKind::kTermination;
+      os << "never decides although correct";
+    }
+    cert.narrative = os.str();
+    return cert;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ba::lowerbound

@@ -1,0 +1,42 @@
+#pragma once
+
+// Lemma 2 machinery: in any execution where group Y is isolated and the
+// correct processes decide b_X, more than half of Y — specifically every
+// member that receive-omitted fewer than t/2 messages from correct senders —
+// must also decide b_X. A member that does not yields, via swap_omission, a
+// valid execution in which a *correct* process disagrees with (or fails to
+// terminate against) another correct process: a violation certificate.
+
+#include <optional>
+#include <vector>
+
+#include "lowerbound/certificate.h"
+#include "runtime/trace.h"
+
+namespace ba::lowerbound {
+
+struct Lemma2Report {
+  /// Unanimous decision of the correct processes (nullopt => they already
+  /// violate Agreement/Termination themselves).
+  std::optional<Value> b_x;
+  /// Members of Y with fewer than t/2 receive-omitted messages from correct
+  /// senders (the paper's Y' candidates).
+  std::vector<ProcessId> low_omission;
+  /// Subset of low_omission that decided b_x.
+  std::vector<ProcessId> agreeing;
+  /// Lemma 2's conclusion: |agreeing| > |Y| / 2.
+  bool holds{false};
+};
+
+/// Evaluates Lemma 2's statement on execution `e` with isolated group `y`
+/// (X is the correct set of `e`; Z the remaining faulty processes).
+Lemma2Report lemma2_report(const ExecutionTrace& e, const ProcessSet& y);
+
+/// Hunts for a certificate: a member of `y` that (a) disagrees with the
+/// correct processes or never decides, and (b) passes the swap_omission
+/// preconditions. Returns nullopt when every such attempt fails (which is
+/// what happens for correct protocols).
+std::optional<ViolationCertificate> find_lemma2_violation(
+    const ExecutionTrace& e, const ProcessSet& y, const std::string& how);
+
+}  // namespace ba::lowerbound

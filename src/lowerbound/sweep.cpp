@@ -1,0 +1,86 @@
+#include "lowerbound/sweep.h"
+
+#include <memory>
+#include <ostream>
+
+#include "crypto/signature.h"
+#include "lowerbound/certificate.h"
+#include "protocols/weak_consensus.h"
+
+namespace ba::lowerbound {
+
+bool SweepResult::theorem2_consistent() const {
+  for (const SweepRow& row : rows) {
+    if (row.violation) {
+      if (!row.certificate_verified) return false;
+    } else {
+      if (row.max_messages < row.bound) return false;
+    }
+  }
+  return true;
+}
+
+SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
+                             const std::vector<SystemParams>& grid,
+                             const AttackOptions& options) {
+  SweepResult result;
+  for (const SweepEntry& entry : entries) {
+    for (const SystemParams& params : grid) {
+      ProtocolFactory protocol = entry.make(params);
+      AttackReport report =
+          attack_weak_consensus(params, protocol, options);
+      SweepRow row;
+      row.protocol_name = entry.protocol_name;
+      row.params = params;
+      row.violation = report.violation_found;
+      row.max_messages = report.max_message_complexity;
+      row.bound = report.bound;
+      row.critical_round = report.critical_round;
+      if (report.certificate) {
+        row.violation_kind = to_string(report.certificate->kind);
+        row.certificate_verified =
+            verify_certificate(*report.certificate, protocol).ok;
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+void write_markdown(std::ostream& os, const SweepResult& result) {
+  os << "| protocol | n | t | messages | t^2/32 | outcome |\n"
+     << "|---|---|---|---|---|---|\n";
+  for (const SweepRow& row : result.rows) {
+    os << "| " << row.protocol_name << " | " << row.params.n << " | "
+       << row.params.t << " | " << row.max_messages << " | " << row.bound
+       << " | ";
+    if (row.violation) {
+      os << row.violation_kind << " violation ("
+         << (row.certificate_verified ? "verified" : "UNVERIFIED") << ")";
+    } else {
+      os << "survives";
+    }
+    os << " |\n";
+  }
+}
+
+std::vector<SweepEntry> standard_sweep_entries() {
+  std::vector<SweepEntry> entries;
+  entries.push_back({"silent-default", [](const SystemParams&) {
+                       return protocols::wc_candidate_silent(1);
+                     }});
+  entries.push_back({"leader-beacon", [](const SystemParams&) {
+                       return protocols::wc_candidate_leader_beacon();
+                     }});
+  entries.push_back({"gossip-ring-2", [](const SystemParams&) {
+                       return protocols::wc_candidate_gossip_ring(2, 3);
+                     }});
+  entries.push_back({"dolev-strong-weak", [](const SystemParams& params) {
+                       auto auth = std::make_shared<crypto::Authenticator>(
+                           0xd5, params.n);
+                       return protocols::weak_consensus_auth(auth);
+                     }});
+  return entries;
+}
+
+}  // namespace ba::lowerbound

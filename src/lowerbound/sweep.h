@@ -1,0 +1,56 @@
+#pragma once
+
+// Batch driver for the attack engine: runs the Theorem 2 attack over a grid
+// of (protocol, n, t) points and collects one structured row per point —
+// the machinery behind `examples/paper_report` and reusable by downstream
+// evaluation scripts.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lowerbound/attack.h"
+#include "runtime/process.h"
+
+namespace ba::lowerbound {
+
+struct SweepEntry {
+  std::string protocol_name;
+  /// Builds the protocol for a given system size (may capture shared state
+  /// such as an Authenticator per n).
+  std::function<ProtocolFactory(const SystemParams&)> make;
+};
+
+struct SweepRow {
+  std::string protocol_name;
+  SystemParams params;
+  bool violation{false};
+  bool certificate_verified{false};
+  std::string violation_kind;  // empty when no violation
+  std::uint64_t max_messages{0};
+  std::uint64_t bound{0};
+  std::optional<Round> critical_round;
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;
+
+  /// True iff every sub-threshold protocol was broken with a verified
+  /// certificate and every surviving protocol clears the bound.
+  [[nodiscard]] bool theorem2_consistent() const;
+};
+
+/// Runs the attack for every entry at every (n, t) point. Certificates are
+/// re-verified by replay before a row claims `certificate_verified`.
+SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
+                             const std::vector<SystemParams>& grid,
+                             const AttackOptions& options = {});
+
+/// Renders the rows as a GitHub-flavored markdown table.
+void write_markdown(std::ostream& os, const SweepResult& result);
+
+/// The library's standard candidate + reference protocol set.
+std::vector<SweepEntry> standard_sweep_entries();
+
+}  // namespace ba::lowerbound

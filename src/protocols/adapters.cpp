@@ -1,0 +1,85 @@
+#include "protocols/adapters.h"
+
+#include <memory>
+#include <utility>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+class MappedProcess final : public DecidingProcess {
+ public:
+  MappedProcess(std::unique_ptr<Process> inner, DecisionMap decision_map)
+      : inner_(std::move(inner)), decision_map_(std::move(decision_map)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    return inner_->outbox_for_round(r);
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    inner_->deliver(r, inbox);
+    if (!decision()) {
+      if (auto d = inner_->decision()) decide(decision_map_(*d));
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return inner_->quiescent();
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  DecisionMap decision_map_;
+};
+
+class DelayedProcess final : public DecidingProcess {
+ public:
+  DelayedProcess(std::unique_ptr<Process> inner, Round offset)
+      : inner_(std::move(inner)), offset_(offset) {}
+
+  Outbox outbox_for_round(Round r) override {
+    if (r <= offset_) return {};
+    return inner_->outbox_for_round(r - offset_);
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r <= offset_) return;
+    inner_->deliver(r - offset_, inbox);
+    if (!decision()) {
+      if (auto d = inner_->decision()) decide(*d);
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return inner_->quiescent();
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  Round offset_;
+};
+
+}  // namespace
+
+ProtocolFactory map_protocol(ProtocolFactory inner, ProposalMap proposal_map,
+                             DecisionMap decision_map) {
+  return [inner = std::move(inner), proposal_map = std::move(proposal_map),
+          decision_map =
+              std::move(decision_map)](const ProcessContext& ctx) {
+    ProcessContext mapped = ctx;
+    if (proposal_map) mapped.proposal = proposal_map(ctx.self, ctx.proposal);
+    return std::make_unique<MappedProcess>(
+        inner(mapped), decision_map ? decision_map : [](const Value& v) {
+          return v;
+        });
+  };
+}
+
+ProtocolFactory delay_protocol(ProtocolFactory inner, Round offset) {
+  return [inner = std::move(inner), offset](const ProcessContext& ctx) {
+    return std::make_unique<DelayedProcess>(inner(ctx), offset);
+  };
+}
+
+}  // namespace ba::protocols

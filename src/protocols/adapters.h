@@ -1,0 +1,29 @@
+#pragma once
+
+// Protocol adapters: zero-message wrappers that transform proposals on the
+// way in and decisions on the way out. Algorithm 1 of the paper (the
+// weak-consensus reduction) is exactly such a wrapper; the reductions module
+// builds on these.
+
+#include <functional>
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// proposal_map(self, weak_proposal) -> proposal fed to the inner protocol.
+using ProposalMap = std::function<Value(ProcessId, const Value&)>;
+/// decision_map(inner_decision) -> outer decision.
+using DecisionMap = std::function<Value(const Value&)>;
+
+/// Wraps `inner` with proposal/decision transformations. Sends exactly the
+/// messages `inner` sends (zero additional communication).
+ProtocolFactory map_protocol(ProtocolFactory inner, ProposalMap proposal_map,
+                             DecisionMap decision_map);
+
+/// Delays the inner protocol by `offset` rounds: the wrapper is silent during
+/// rounds 1..offset and runs inner round r - offset afterwards. Used for
+/// sequential composition.
+ProtocolFactory delay_protocol(ProtocolFactory inner, Round offset);
+
+}  // namespace ba::protocols

@@ -1,0 +1,129 @@
+#include "protocols/beyond_agreement.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+
+Round approximate_agreement_rounds(std::int64_t epsilon,
+                                   std::int64_t value_bound) {
+  Round r = 1;
+  std::int64_t diameter = 2 * value_bound;
+  while (diameter > epsilon) {
+    diameter = (diameter + 1) / 2;
+    ++r;
+  }
+  return r;
+}
+
+namespace {
+
+class ApproxAgreementProcess final : public DecidingProcess {
+ public:
+  ApproxAgreementProcess(const ProcessContext& ctx, std::int64_t epsilon,
+                         std::int64_t bound)
+      : params_(ctx.params),
+        self_(ctx.self),
+        rounds_(approximate_agreement_rounds(epsilon, bound)) {
+    value_ = ctx.proposal.is_int() ? ctx.proposal.as_int() : 0;
+    value_ = std::clamp(value_, -bound, bound);
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > rounds_) return out;
+    const Value payload = tagged("aa", {Value{value_}});
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > rounds_) return;
+    std::vector<std::int64_t> reports{value_};
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "aa")) continue;
+      if (const Value* v = field(m.payload, 0)) {
+        if (v->is_int()) reports.push_back(v->as_int());
+      }
+    }
+    std::sort(reports.begin(), reports.end());
+    // Trim the t lowest and t highest: the survivors' range lies inside the
+    // range of the CORRECT reports (at most t of the received values are
+    // Byzantine), so the midpoint is a valid new estimate.
+    const std::size_t t = params_.t;
+    if (reports.size() > 2 * t) {
+      reports.erase(reports.begin(),
+                    reports.begin() + static_cast<std::ptrdiff_t>(t));
+      reports.erase(reports.end() - static_cast<std::ptrdiff_t>(t),
+                    reports.end());
+    }
+    value_ = (reports.front() + reports.back()) / 2;
+    if (r == rounds_) decide(Value{value_});
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  Round rounds_;
+  std::int64_t value_;
+};
+
+class KSetProcess final : public DecidingProcess {
+ public:
+  KSetProcess(const ProcessContext& ctx, std::uint32_t k)
+      : params_(ctx.params),
+        self_(ctx.self),
+        rounds_(params_.t / k + 1),
+        min_(ctx.proposal) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > rounds_) return out;
+    const Value payload = tagged("kset", {min_});
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > rounds_) return;
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "kset")) continue;
+      if (const Value* v = field(m.payload, 0)) {
+        if (*v < min_) min_ = *v;
+      }
+    }
+    if (r == rounds_) decide(min_);
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  Round rounds_;
+  Value min_;
+};
+
+}  // namespace
+
+ProtocolFactory approximate_agreement(std::int64_t epsilon,
+                                      std::int64_t value_bound) {
+  return [epsilon, value_bound](const ProcessContext& ctx) {
+    return std::make_unique<ApproxAgreementProcess>(ctx, epsilon,
+                                                    value_bound);
+  };
+}
+
+ProtocolFactory k_set_agreement(std::uint32_t k) {
+  return [k](const ProcessContext& ctx) {
+    return std::make_unique<KSetProcess>(ctx, k);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,46 @@
+#pragma once
+
+// Beyond exact agreement — the paper's §7 names approximate agreement
+// [2, 64, 65, 84] and k-set agreement [24, 48, 49] as the natural problems
+// to which its techniques might extend (they do NOT require Agreement, so
+// Theorem 3 does not cover them). The library ships the classic synchronous
+// protocols for both, so the boundary of the paper's result can be probed
+// experimentally (bench E13).
+//
+// Approximate agreement (Dolev-Lynch-Pinter-Stark-Weihl style, n > 3t):
+// processes hold integer (fixed-point) values; each round everyone
+// multicasts its value, discards the t lowest and t highest received
+// reports, and moves to the midpoint of the rest. The diameter of correct
+// values at least halves per round; after ceil(log2(D0 / eps)) rounds all
+// correct values are within eps.
+//
+// k-set agreement (crash model): flood the minimum for floor(t/k) + 1
+// rounds; at most k distinct values survive among correct deciders when at
+// most t processes crash.
+
+#include <cstdint>
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Approximate agreement over integer values in [-value_bound, value_bound].
+/// Decides after enough halving rounds that correct decisions differ by at
+/// most `epsilon` (> 0). Requires n > 3t.
+ProtocolFactory approximate_agreement(std::int64_t epsilon,
+                                      std::int64_t value_bound);
+
+/// Rounds the protocol runs: ceil(log2(2 * value_bound / epsilon)) + 1.
+Round approximate_agreement_rounds(std::int64_t epsilon,
+                                   std::int64_t value_bound);
+
+/// k-set agreement for the crash model: decide the minimum value seen after
+/// floor(t/k) + 1 rounds of flooding. At most k distinct decisions among
+/// correct processes with <= t crashes.
+ProtocolFactory k_set_agreement(std::uint32_t k);
+
+inline Round k_set_rounds(const SystemParams& p, std::uint32_t k) {
+  return p.t / k + 1;
+}
+
+}  // namespace ba::protocols

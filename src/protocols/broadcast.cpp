@@ -1,0 +1,169 @@
+#include "protocols/broadcast.h"
+
+#include <memory>
+
+#include "protocols/common.h"
+#include "protocols/phase_king.h"
+
+namespace ba::protocols {
+namespace {
+
+class UnauthBroadcastProcess final : public DecidingProcess {
+ public:
+  UnauthBroadcastProcess(const ProcessContext& ctx, ProcessId sender)
+      : ctx_(ctx), sender_(sender) {}
+
+  Outbox outbox_for_round(Round r) override {
+    if (r == 1) {
+      if (ctx_.self != sender_) return {};
+      Outbox out;
+      const Value payload =
+          tagged("bb-init", {Value::bit(ctx_.proposal.try_bit().value_or(0))});
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != sender_) out.push_back(Outgoing{p, payload});
+      }
+      return out;
+    }
+    if (!consensus_) return {};
+    return consensus_->outbox_for_round(r - 1);
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 1) {
+      int bit = 0;
+      if (ctx_.self == sender_) {
+        bit = ctx_.proposal.try_bit().value_or(0);
+      } else {
+        for (const Message& m : inbox) {
+          if (m.sender != sender_) continue;
+          if (!has_tag(m.payload, "bb-init")) continue;
+          if (const Value* v = field(m.payload, 0)) {
+            bit = v->try_bit().value_or(0);
+          }
+        }
+      }
+      ProcessContext inner_ctx = ctx_;
+      inner_ctx.proposal = Value::bit(bit);
+      consensus_ = phase_king_consensus()(inner_ctx);
+      return;
+    }
+    consensus_->deliver(r - 1, inbox);
+    if (!decision()) {
+      if (auto d = consensus_->decision()) decide(*d);
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return consensus_ && consensus_->quiescent();
+  }
+
+ private:
+  ProcessContext ctx_;
+  ProcessId sender_;
+  std::unique_ptr<Process> consensus_;
+};
+
+class DirectBroadcastCandidate final : public DecidingProcess {
+ public:
+  DirectBroadcastCandidate(const ProcessContext& ctx, ProcessId sender)
+      : ctx_(ctx), sender_(sender) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 && ctx_.self == sender_) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != sender_) {
+          out.push_back(Outgoing{p, tagged("bbd", {ctx_.proposal})});
+        }
+      }
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r != 1) return;
+    if (ctx_.self == sender_) {
+      decide(ctx_.proposal);
+      return;
+    }
+    for (const Message& m : inbox) {
+      if (m.sender == sender_ && has_tag(m.payload, "bbd")) {
+        if (const Value* v = field(m.payload, 0)) {
+          decide(*v);
+          return;
+        }
+      }
+    }
+    decide(bottom());
+  }
+
+ private:
+  ProcessContext ctx_;
+  ProcessId sender_;
+};
+
+class RelayRingCandidate final : public DecidingProcess {
+ public:
+  RelayRingCandidate(const ProcessContext& ctx, ProcessId sender,
+                     std::uint32_t k)
+      : ctx_(ctx), sender_(sender), k_(std::min(k, ctx.params.n - 1)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 && ctx_.self == sender_) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != sender_) {
+          out.push_back(Outgoing{p, tagged("bbr", {ctx_.proposal})});
+        }
+      }
+    } else if (r == 2 && seen_) {
+      for (std::uint32_t i = 1; i <= k_; ++i) {
+        const ProcessId to = (ctx_.self + i) % ctx_.params.n;
+        if (to != ctx_.self) {
+          out.push_back(Outgoing{to, tagged("bbr", {*seen_})});
+        }
+      }
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > 2) return;
+    if (r == 1 && ctx_.self == sender_) seen_ = ctx_.proposal;
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "bbr")) continue;
+      if (const Value* v = field(m.payload, 0)) {
+        if (!seen_) seen_ = *v;
+      }
+    }
+    if (r == 2) decide(seen_ ? *seen_ : bottom());
+  }
+
+ private:
+  ProcessContext ctx_;
+  ProcessId sender_;
+  std::uint32_t k_;
+  std::optional<Value> seen_;
+};
+
+}  // namespace
+
+ProtocolFactory bb_candidate_direct(ProcessId sender) {
+  return [sender](const ProcessContext& ctx) {
+    return std::make_unique<DirectBroadcastCandidate>(ctx, sender);
+  };
+}
+
+ProtocolFactory bb_candidate_relay_ring(ProcessId sender, std::uint32_t k) {
+  return [sender, k](const ProcessContext& ctx) {
+    return std::make_unique<RelayRingCandidate>(ctx, sender, k);
+  };
+}
+
+ProtocolFactory unauth_broadcast_bit(ProcessId sender) {
+  return [sender](const ProcessContext& ctx) {
+    return std::make_unique<UnauthBroadcastProcess>(ctx, sender);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared conventions for protocol payloads and decisions.
+
+#include <optional>
+#include <string>
+
+#include "runtime/message.h"
+#include "runtime/process.h"
+#include "runtime/value.h"
+
+namespace ba::protocols {
+
+/// Tagged payloads: ["tag", field...]. Protocols running side by side (e.g.
+/// n parallel broadcast instances inside interactive consistency) prefix an
+/// instance id field.
+inline Value tagged(const std::string& tag, ValueVec fields) {
+  ValueVec v;
+  v.reserve(fields.size() + 1);
+  v.emplace_back(tag);
+  for (Value& f : fields) v.push_back(std::move(f));
+  return Value{std::move(v)};
+}
+
+inline bool has_tag(const Value& v, const std::string& tag) {
+  return v.is_vec() && !v.as_vec().empty() && v.as_vec()[0].is_str() &&
+         v.as_vec()[0].as_str() == tag;
+}
+
+/// Field accessor for tagged payloads (index 0 is the tag).
+inline const Value* field(const Value& v, std::size_t i) {
+  if (!v.is_vec() || v.as_vec().size() <= i + 1) return nullptr;
+  return &v.as_vec()[i + 1];
+}
+
+/// The distinguished "no value" decision used by broadcast protocols when
+/// the sender is exposed as faulty.
+inline Value bottom() { return Value::null(); }
+
+/// Base class capturing the common state of a deciding process.
+class DecidingProcess : public Process {
+ public:
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return decision_;
+  }
+
+ protected:
+  void decide(Value v) {
+    if (!decision_) decision_ = std::move(v);
+  }
+
+ private:
+  std::optional<Value> decision_;
+};
+
+}  // namespace ba::protocols

@@ -1,0 +1,83 @@
+#include "protocols/crusader.h"
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+class CrusaderProcess final : public DecidingProcess {
+ public:
+  CrusaderProcess(const ProcessContext& ctx, ProcessId sender)
+      : params_(ctx.params),
+        self_(ctx.self),
+        sender_(sender),
+        own_bit_(ctx.proposal.try_bit().value_or(0)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 && self_ == sender_) {
+      const Value payload = tagged("cru-init", {Value::bit(own_bit_)});
+      for (ProcessId p = 0; p < params_.n; ++p) {
+        if (p != self_) out.push_back(Outgoing{p, payload});
+      }
+    } else if (r == 2 && received_.has_value()) {
+      const Value payload = tagged("cru-echo", {Value::bit(*received_)});
+      for (ProcessId p = 0; p < params_.n; ++p) {
+        if (p != self_) out.push_back(Outgoing{p, payload});
+      }
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 1) {
+      if (self_ == sender_) {
+        received_ = own_bit_;
+      } else {
+        for (const Message& m : inbox) {
+          if (m.sender != sender_ || !has_tag(m.payload, "cru-init")) continue;
+          if (const Value* v = field(m.payload, 0)) received_ = v->try_bit();
+        }
+      }
+      return;
+    }
+    if (r == 2) {
+      std::array<std::uint32_t, 2> echoes{0, 0};
+      if (received_) ++echoes[static_cast<std::size_t>(*received_)];
+      for (const Message& m : inbox) {
+        if (!has_tag(m.payload, "cru-echo")) continue;
+        if (const Value* v = field(m.payload, 0)) {
+          if (auto b = v->try_bit()) ++echoes[static_cast<std::size_t>(*b)];
+        }
+      }
+      for (int b : {0, 1}) {
+        if (echoes[static_cast<std::size_t>(b)] >= params_.n - params_.t) {
+          decide(Value::bit(b));
+          return;
+        }
+      }
+      decide(bottom());
+    }
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  ProcessId sender_;
+  int own_bit_;
+  std::optional<int> received_;
+};
+
+}  // namespace
+
+ProtocolFactory crusader_broadcast_bit(ProcessId sender) {
+  return [sender](const ProcessContext& ctx) {
+    return std::make_unique<CrusaderProcess>(ctx, sender);
+  };
+}
+
+}  // namespace ba::protocols

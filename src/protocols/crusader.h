@@ -1,0 +1,31 @@
+#pragma once
+
+// Binary crusader broadcast [13, Abraham-Stern]: a relaxation of Byzantine
+// broadcast in which correct processes may decide the sender's bit or the
+// special value bottom(), with the guarantees:
+//   * Crusader Agreement: no two correct processes decide different bits
+//     (one deciding a bit and another bottom() is allowed);
+//   * Sender Validity: if the sender is correct, every correct process
+//     decides its bit.
+//
+// The paper's related work highlights that even this weaker primitive has a
+// quadratic message lower bound in its own right [13]. The 2-round echo
+// protocol implemented here is the classic unauthenticated construction for
+// n > 3t:
+//   round 1: the sender multicasts its bit;
+//   round 2: everyone echoes the bit it received;
+//   decide b if >= n - t echoes of b were observed (own echo included),
+//   bottom() otherwise.
+// Two correct processes deciding different bits would require n - 2t correct
+// echoers per bit, impossible when n > 3t.
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+ProtocolFactory crusader_broadcast_bit(ProcessId sender);
+
+inline Round crusader_rounds() { return 2; }
+inline std::uint32_t crusader_min_n(std::uint32_t t) { return 3 * t + 1; }
+
+}  // namespace ba::protocols

@@ -1,0 +1,136 @@
+#include "protocols/dolev_strong.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+/// The value a chain endorses, namespaced by instance:
+/// ["dsv", instance, v].
+Value wrap_value(std::uint64_t instance, const Value& v) {
+  return tagged("dsv", {Value{static_cast<std::int64_t>(instance)}, v});
+}
+
+std::optional<Value> unwrap_value(const Value& wrapped,
+                                  std::uint64_t instance) {
+  if (!has_tag(wrapped, "dsv")) return std::nullopt;
+  const Value* inst = field(wrapped, 0);
+  const Value* v = field(wrapped, 1);
+  if (!inst || !v || !inst->is_int() ||
+      inst->as_int() != static_cast<std::int64_t>(instance)) {
+    return std::nullopt;
+  }
+  return *v;
+}
+
+class DolevStrongProcess final : public DecidingProcess {
+ public:
+  DolevStrongProcess(const ProcessContext& ctx,
+                     std::shared_ptr<const crypto::Authenticator> auth,
+                     ProcessId sender, std::uint64_t instance)
+      : params_(ctx.params),
+        self_(ctx.self),
+        sender_(sender),
+        instance_(instance),
+        auth_(std::move(auth)),
+        signer_(auth_, ctx.self),
+        proposal_(ctx.proposal) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 && self_ == sender_) {
+      crypto::SigChain chain(wrap_value(instance_, proposal_));
+      chain.extend(signer_);
+      extracted_.insert(proposal_);
+      out = chains_to_all({chain});
+      return out;
+    }
+    if (r >= 2 && r <= last_round() && !pending_relay_.empty()) {
+      out = chains_to_all(pending_relay_);
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    pending_relay_.clear();
+    if (r <= last_round()) {
+      for (const Message& m : inbox) {
+        ingest(m.payload, r);
+      }
+    }
+    if (r == last_round()) {
+      decide(extracted_.size() == 1 ? *extracted_.begin() : bottom());
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return decision().has_value() && pending_relay_.empty();
+  }
+
+ private:
+  [[nodiscard]] Round last_round() const { return params_.t + 1; }
+
+  Outbox chains_to_all(const std::vector<crypto::SigChain>& chains) {
+    ValueVec payload_fields;
+    payload_fields.reserve(chains.size());
+    for (const crypto::SigChain& c : chains) {
+      payload_fields.push_back(c.to_value());
+    }
+    Value payload = tagged("ds", std::move(payload_fields));
+    Outbox out;
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  void ingest(const Value& payload, Round r) {
+    if (!has_tag(payload, "ds")) return;
+    const ValueVec& fields = payload.as_vec();
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      auto chain = crypto::SigChain::from_value(fields[i]);
+      if (!chain) continue;
+      // A chain accepted at the end of round r carries >= r distinct
+      // signatures, the first being the designated sender's.
+      if (!chain->verify(*auth_, r, sender_)) continue;
+      auto v = unwrap_value(chain->value(), instance_);
+      if (!v) continue;
+      if (extracted_.contains(*v)) continue;
+      if (extracted_.size() >= 2) continue;  // two values prove equivocation
+      extracted_.insert(*v);
+      if (r < last_round() && !chain->contains_signer(self_)) {
+        crypto::SigChain extended = *chain;
+        extended.extend(signer_);
+        pending_relay_.push_back(std::move(extended));
+      }
+    }
+  }
+
+  SystemParams params_;
+  ProcessId self_;
+  ProcessId sender_;
+  std::uint64_t instance_;
+  std::shared_ptr<const crypto::Authenticator> auth_;
+  crypto::Signer signer_;
+  Value proposal_;
+
+  std::set<Value> extracted_;
+  std::vector<crypto::SigChain> pending_relay_;
+};
+
+}  // namespace
+
+ProtocolFactory dolev_strong_broadcast(
+    std::shared_ptr<const crypto::Authenticator> auth, ProcessId sender,
+    std::uint64_t instance) {
+  return [auth = std::move(auth), sender,
+          instance](const ProcessContext& ctx) {
+    return std::make_unique<DolevStrongProcess>(ctx, auth, sender, instance);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,36 @@
+#pragma once
+
+// Dolev-Strong authenticated Byzantine broadcast [52]: t + 1 rounds,
+// tolerates any t < n corruptions, O(n^2) messages per extracted value.
+//
+// Problem (Sender Validity): the designated sender proposes; if the sender is
+// correct, every correct process decides the sender's proposal. Correct
+// processes always agree; when the sender is exposed they decide bottom().
+//
+// Protocol: in round 1 the sender signs its value and multicasts the
+// signature chain. A process that, at the end of round r, holds a valid chain
+// of r distinct signatures starting with the sender's on a value it has not
+// extracted before, extracts the value, appends its own signature, and
+// relays in round r + 1. At the end of round t + 1 a process decides the
+// unique extracted value, or bottom() if it extracted zero or >= 2 values.
+// A process relays at most two distinct values (two suffice to prove sender
+// equivocation), which caps the message complexity.
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Factory for one broadcast instance with designated `sender`. All replicas
+/// must share the same `auth`. `instance` namespaces payloads so several
+/// broadcasts can run in parallel (used by interactive consistency).
+ProtocolFactory dolev_strong_broadcast(
+    std::shared_ptr<const crypto::Authenticator> auth, ProcessId sender,
+    std::uint64_t instance = 0);
+
+/// Number of rounds the protocol runs: t + 1.
+inline Round dolev_strong_rounds(const SystemParams& p) { return p.t + 1; }
+
+}  // namespace ba::protocols

@@ -1,0 +1,81 @@
+#include "protocols/early_stopping.h"
+
+#include <memory>
+#include <set>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+class FloodSetProcess : public DecidingProcess {
+ public:
+  FloodSetProcess(const ProcessContext& ctx, bool early)
+      : params_(ctx.params), self_(ctx.self), early_(early) {
+    seen_.insert(ctx.proposal);
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > params_.t + 1) return out;
+    ValueVec values(seen_.begin(), seen_.end());
+    const Value payload = tagged("flood", {Value{std::move(values)}});
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > params_.t + 1) return;
+    std::set<ProcessId> heard{self_};
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "flood")) continue;
+      heard.insert(m.sender);
+      if (const Value* vals = field(m.payload, 0)) {
+        if (vals->is_vec()) {
+          for (const Value& v : vals->as_vec()) seen_.insert(v);
+        }
+      }
+    }
+    if (early_ && !prev_heard_.empty() && heard == prev_heard_) {
+      decide(*seen_.begin());
+    }
+    prev_heard_ = std::move(heard);
+    if (r == params_.t + 1) decide(*seen_.begin());
+  }
+
+  /// Quiescent only after the full t + 1 rounds even if decided early: the
+  /// flooding is what keeps everyone else safe.
+  [[nodiscard]] bool quiescent() const override {
+    return decision().has_value() && prev_rounds_done();
+  }
+
+ private:
+  [[nodiscard]] bool prev_rounds_done() const {
+    // After t + 1 deliveries prev_heard_ reflects round t + 1.
+    return decision().has_value();
+  }
+
+  SystemParams params_;
+  ProcessId self_;
+  bool early_;
+  std::set<Value> seen_;
+  std::set<ProcessId> prev_heard_;
+};
+
+}  // namespace
+
+ProtocolFactory floodset_consensus() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<FloodSetProcess>(ctx, /*early=*/false);
+  };
+}
+
+ProtocolFactory early_deciding_floodset() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<FloodSetProcess>(ctx, /*early=*/true);
+  };
+}
+
+}  // namespace ba::protocols

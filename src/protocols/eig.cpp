@@ -1,0 +1,180 @@
+#include "protocols/eig.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+using Label = std::vector<ProcessId>;
+
+Value label_to_value(const Label& label) {
+  ValueVec v;
+  v.reserve(label.size());
+  for (ProcessId p : label) v.emplace_back(static_cast<std::int64_t>(p));
+  return Value{std::move(v)};
+}
+
+std::optional<Label> label_from_value(const Value& v, std::uint32_t n) {
+  if (!v.is_vec()) return std::nullopt;
+  Label label;
+  label.reserve(v.as_vec().size());
+  for (const Value& e : v.as_vec()) {
+    if (!e.is_int() || e.as_int() < 0 ||
+        e.as_int() >= static_cast<std::int64_t>(n)) {
+      return std::nullopt;
+    }
+    label.push_back(static_cast<ProcessId>(e.as_int()));
+  }
+  return label;
+}
+
+bool label_contains(const Label& label, ProcessId p) {
+  return std::find(label.begin(), label.end(), p) != label.end();
+}
+
+class EigProcess : public DecidingProcess {
+ public:
+  explicit EigProcess(const ProcessContext& ctx)
+      : params_(ctx.params), self_(ctx.self), proposal_(ctx.proposal) {
+    tree_[Label{}] = proposal_;
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    if (r > params_.t + 1) return {};
+    // Send every level-(r-1) node not containing self.
+    ValueVec reports;
+    for (const auto& [label, value] : tree_) {
+      if (label.size() != r - 1) continue;
+      if (label_contains(label, self_)) continue;
+      reports.push_back(
+          Value{ValueVec{label_to_value(label), value}});
+    }
+    if (reports.empty() && r > 1) return {};
+    Value payload = tagged("eig", std::move(reports));
+    Outbox out;
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > params_.t + 1) return;
+    // Self-delivery: the runtime carries no self-messages, so a process
+    // stores the reports it broadcast this round directly (every label it
+    // sent gains the child label·self). Without this, a node's own honest
+    // testimony would be missing from its majority votes.
+    std::vector<std::pair<Label, Value>> own;
+    for (const auto& [label, value] : tree_) {
+      if (label.size() == r - 1 && !label_contains(label, self_)) {
+        Label child = label;
+        child.push_back(self_);
+        own.emplace_back(std::move(child), value);
+      }
+    }
+    for (auto& [child, value] : own) {
+      tree_.emplace(std::move(child), value);
+    }
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "eig")) continue;
+      const ValueVec& reports = m.payload.as_vec();
+      for (std::size_t i = 1; i < reports.size(); ++i) {
+        const Value& rep = reports[i];
+        if (!rep.is_vec() || rep.as_vec().size() != 2) continue;
+        auto label = label_from_value(rep.as_vec()[0], params_.n);
+        if (!label || label->size() != r - 1) continue;
+        if (label_contains(*label, m.sender)) continue;
+        Label child = *label;
+        child.push_back(m.sender);
+        tree_.emplace(std::move(child), rep.as_vec()[1]);  // first report wins
+      }
+    }
+    if (r == params_.t + 1) {
+      ValueVec vec;
+      vec.reserve(params_.n);
+      for (ProcessId j = 0; j < params_.n; ++j) {
+        vec.push_back(resolve(Label{j}));
+      }
+      decide(finish(Value{std::move(vec)}));
+    }
+  }
+
+ protected:
+  /// Hook for derived protocols (strong consensus) to post-process the IC
+  /// vector.
+  [[nodiscard]] virtual Value finish(Value ic_vector) const {
+    return ic_vector;
+  }
+
+  SystemParams params_;
+
+ private:
+  [[nodiscard]] Value stored(const Label& label) const {
+    auto it = tree_.find(label);
+    return it == tree_.end() ? Value::null() : it->second;
+  }
+
+  /// Bottom-up resolution: a leaf resolves to its stored value; an internal
+  /// node resolves to the strict majority of its children, or null.
+  [[nodiscard]] Value resolve(const Label& label) const {
+    if (label.size() == params_.t + 1) return stored(label);
+    std::map<Value, std::uint32_t> votes;
+    std::uint32_t children = 0;
+    for (ProcessId j = 0; j < params_.n; ++j) {
+      if (label_contains(label, j)) continue;
+      Label child = label;
+      child.push_back(j);
+      ++children;
+      ++votes[resolve(child)];
+    }
+    for (const auto& [v, count] : votes) {
+      if (2 * count > children) return v;
+    }
+    return Value::null();
+  }
+
+  ProcessId self_;
+  Value proposal_;
+  std::map<Label, Value> tree_;
+};
+
+class EigStrongProcess final : public EigProcess {
+ public:
+  using EigProcess::EigProcess;
+
+ protected:
+  [[nodiscard]] Value finish(Value ic_vector) const override {
+    std::map<Value, std::uint32_t> votes;
+    for (const Value& v : ic_vector.as_vec()) ++votes[v];
+    Value best = Value::null();
+    std::uint32_t best_count = 0;
+    for (const auto& [v, count] : votes) {
+      if (count > best_count) {
+        best = v;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+ProtocolFactory eig_interactive_consistency() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<EigProcess>(ctx);
+  };
+}
+
+ProtocolFactory eig_strong_consensus() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<EigStrongProcess>(ctx);
+  };
+}
+
+}  // namespace ba::protocols

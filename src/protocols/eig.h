@@ -1,0 +1,26 @@
+#pragma once
+
+// Exponential Information Gathering (EIG) interactive consistency
+// [78, 55, 82]: unauthenticated, n > 3t, t + 1 rounds, messages of size
+// O(n^t) — the classic proof-of-solvability construction, practical for small
+// t only (the library's phase-king-based protocols cover larger systems).
+//
+// Every process decides the same vector of n values; the component of every
+// correct process equals its proposal (IC-Validity).
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Interactive consistency over arbitrary `Value` proposals. Missing or
+/// malformed reports resolve to Value::null().
+ProtocolFactory eig_interactive_consistency();
+
+/// Strong consensus derived from EIG: decide the most frequent component of
+/// the IC vector (ties broken by value order).
+ProtocolFactory eig_strong_consensus();
+
+inline Round eig_rounds(const SystemParams& p) { return p.t + 1; }
+inline std::uint32_t eig_min_n(std::uint32_t t) { return 3 * t + 1; }
+
+}  // namespace ba::protocols

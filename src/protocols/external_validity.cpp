@@ -1,0 +1,78 @@
+#include "protocols/external_validity.h"
+
+#include <memory>
+#include <utility>
+
+#include "protocols/common.h"
+#include "protocols/dolev_strong.h"
+
+namespace ba::protocols {
+namespace {
+
+class ExternalValidityProcess final : public DecidingProcess {
+ public:
+  ExternalValidityProcess(const ProcessContext& ctx,
+                          std::shared_ptr<const crypto::Authenticator> auth,
+                          ValidPredicate valid)
+      : ctx_(ctx), auth_(std::move(auth)), valid_(std::move(valid)) {
+    start_view(0);
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    if (decision() || !view_process_) return {};
+    return view_process_->outbox_for_round(view_round(r));
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (decision() || !view_process_) return;
+    view_process_->deliver(view_round(r), inbox);
+    if (auto d = view_process_->decision()) {
+      if (valid_(*d)) {
+        decide(*d);
+        view_process_.reset();
+      } else if (view_ + 1 <= ctx_.params.t) {
+        start_view(view_ + 1);
+      } else {
+        // Unreachable with <= t faults: one of the t + 1 leaders is correct
+        // and its proposal is valid. Decide bottom defensively.
+        decide(bottom());
+        view_process_.reset();
+      }
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return decision().has_value();
+  }
+
+ private:
+  [[nodiscard]] Round view_len() const { return ctx_.params.t + 1; }
+  [[nodiscard]] Round view_round(Round r) const {
+    return r - view_ * view_len();
+  }
+
+  void start_view(std::uint32_t view) {
+    view_ = view;
+    view_process_ = dolev_strong_broadcast(
+        auth_, /*sender=*/static_cast<ProcessId>(view),
+        /*instance=*/1000 + view)(ctx_);
+  }
+
+  ProcessContext ctx_;
+  std::shared_ptr<const crypto::Authenticator> auth_;
+  ValidPredicate valid_;
+  std::uint32_t view_{0};
+  std::unique_ptr<Process> view_process_;
+};
+
+}  // namespace
+
+ProtocolFactory external_validity_agreement(
+    std::shared_ptr<const crypto::Authenticator> auth, ValidPredicate valid) {
+  return [auth = std::move(auth),
+          valid = std::move(valid)](const ProcessContext& ctx) {
+    return std::make_unique<ExternalValidityProcess>(ctx, auth, valid);
+  };
+}
+
+}  // namespace ba::protocols

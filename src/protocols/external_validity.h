@@ -1,0 +1,38 @@
+#pragma once
+
+// Byzantine agreement with External Validity [29] (§4.3): the decided value
+// must satisfy a globally verifiable predicate valid(.). The blockchain-style
+// problem: processes propose (e.g.) signed transactions; only valid ones may
+// be decided.
+//
+// Protocol (authenticated, any t < n): leaders rotate. In view l
+// (l = 0..t), leader p_l Dolev-Strong-broadcasts its current proposal; at the
+// end of the view every process checks the agreed broadcast output — if it is
+// valid, everyone decides it; otherwise the next view starts. Correct
+// processes agree on every broadcast output, so they decide in the same view.
+// Some view has a correct leader, whose proposal is valid, so termination
+// takes at most (t + 1)(t + 1) rounds.
+//
+// Corollary 1 instantiation: the protocol has fully-correct executions
+// deciding different values (unanimous proposal v => p_0 correct => v
+// decided), so the Omega(t^2) bound applies to it.
+
+#include <functional>
+#include <memory>
+
+#include "crypto/signature.h"
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+using ValidPredicate = std::function<bool(const Value&)>;
+
+/// Correct processes must propose values satisfying `valid`.
+ProtocolFactory external_validity_agreement(
+    std::shared_ptr<const crypto::Authenticator> auth, ValidPredicate valid);
+
+inline Round external_validity_max_rounds(const SystemParams& p) {
+  return (p.t + 1) * (p.t + 1);
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,46 @@
+#include "protocols/interactive_consistency.h"
+
+#include <utility>
+
+#include "protocols/broadcast.h"
+#include "protocols/dolev_strong.h"
+#include "protocols/parallel.h"
+
+namespace ba::protocols {
+namespace {
+
+Value combine_vector(const std::vector<Value>& decisions) {
+  return Value{ValueVec(decisions.begin(), decisions.end())};
+}
+
+}  // namespace
+
+ProtocolFactory auth_interactive_consistency(
+    std::shared_ptr<const crypto::Authenticator> auth) {
+  return [auth = std::move(auth)](const ProcessContext& ctx) {
+    const std::uint32_t n = ctx.params.n;
+    return parallel_composition(
+        n,
+        [auth](std::size_t instance, const ProcessContext& inner_ctx) {
+          return dolev_strong_broadcast(
+              auth, static_cast<ProcessId>(instance),
+              static_cast<std::uint64_t>(instance))(inner_ctx);
+        },
+        combine_vector)(ctx);
+  };
+}
+
+ProtocolFactory unauth_interactive_consistency_bits() {
+  return [](const ProcessContext& ctx) {
+    const std::uint32_t n = ctx.params.n;
+    return parallel_composition(
+        n,
+        [](std::size_t instance, const ProcessContext& inner_ctx) {
+          return unauth_broadcast_bit(static_cast<ProcessId>(instance))(
+              inner_ctx);
+        },
+        combine_vector)(ctx);
+  };
+}
+
+}  // namespace ba::protocols

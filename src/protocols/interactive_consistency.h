@@ -1,0 +1,30 @@
+#pragma once
+
+// Interactive consistency (IC) [78, 18]: correct processes agree on a vector
+// of n values whose j-th component equals p_j's proposal whenever p_j is
+// correct (IC-Validity). IC is the "universal" agreement problem of the
+// paper's §5: any non-trivial problem satisfying the containment condition
+// reduces to it (Algorithm 2).
+//
+// Two constructions:
+//  * authenticated: n parallel Dolev-Strong broadcasts — any t < n;
+//  * unauthenticated: n parallel (multicast + phase-king) bit broadcasts —
+//    n > 3t, bits only (arbitrary values: see eig_interactive_consistency).
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Authenticated IC, any t < n, t + 1 rounds.
+/// Decision: vector of n values (component = broadcast decision; bottom()
+/// for exposed senders).
+ProtocolFactory auth_interactive_consistency(
+    std::shared_ptr<const crypto::Authenticator> auth);
+
+/// Unauthenticated IC over bits, n > 3t, 1 + 3(t+1) rounds.
+ProtocolFactory unauth_interactive_consistency_bits();
+
+}  // namespace ba::protocols

@@ -1,0 +1,100 @@
+#include "protocols/parallel.h"
+
+#include <map>
+#include <utility>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+class ParallelProcess final : public DecidingProcess {
+ public:
+  ParallelProcess(const ProcessContext& ctx, std::size_t count,
+                  const InstanceFactory& make_instance,
+                  DecisionCombiner combine)
+      : params_(ctx.params), self_(ctx.self), combine_(std::move(combine)) {
+    instances_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      instances_.push_back(make_instance(i, ctx));
+    }
+    decided_.assign(count, std::nullopt);
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    // Gather per-receiver bundles across instances.
+    std::map<ProcessId, ValueVec> bundles;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      for (Outgoing& o : instances_[i]->outbox_for_round(r)) {
+        bundles[o.to].push_back(Value{
+            ValueVec{Value{static_cast<std::int64_t>(i)}, std::move(o.payload)}});
+      }
+    }
+    Outbox out;
+    out.reserve(bundles.size());
+    for (auto& [to, parts] : bundles) {
+      out.push_back(Outgoing{to, tagged("par", std::move(parts))});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    // Split bundles back into per-instance inboxes.
+    std::vector<Inbox> per_instance(instances_.size());
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "par")) continue;
+      const ValueVec& parts = m.payload.as_vec();
+      for (std::size_t j = 1; j < parts.size(); ++j) {
+        const Value& part = parts[j];
+        if (!part.is_vec() || part.as_vec().size() != 2 ||
+            !part.as_vec()[0].is_int()) {
+          continue;
+        }
+        const std::int64_t i = part.as_vec()[0].as_int();
+        if (i < 0 || static_cast<std::size_t>(i) >= instances_.size()) continue;
+        per_instance[static_cast<std::size_t>(i)].push_back(
+            Message{m.sender, m.receiver, m.round, part.as_vec()[1]});
+      }
+    }
+    bool all_decided = true;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      instances_[i]->deliver(r, per_instance[i]);
+      if (!decided_[i]) decided_[i] = instances_[i]->decision();
+      if (!decided_[i]) all_decided = false;
+    }
+    if (all_decided && !decision()) {
+      std::vector<Value> values;
+      values.reserve(decided_.size());
+      for (const auto& d : decided_) values.push_back(*d);
+      decide(combine_(values));
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    for (const auto& inst : instances_) {
+      if (!inst->quiescent()) return false;
+    }
+    return decision().has_value();
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  DecisionCombiner combine_;
+  std::vector<std::unique_ptr<Process>> instances_;
+  std::vector<std::optional<Value>> decided_;
+};
+
+}  // namespace
+
+ProtocolFactory parallel_composition(std::size_t count,
+                                     InstanceFactory make_instance,
+                                     DecisionCombiner combine) {
+  return [count, make_instance = std::move(make_instance),
+          combine = std::move(combine)](const ProcessContext& ctx) {
+    return std::make_unique<ParallelProcess>(ctx, count, make_instance,
+                                             combine);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,35 @@
+#pragma once
+
+// Parallel composition of protocol instances.
+//
+// The model allows one message per ordered process pair per round (A.1.1), so
+// running k protocol instances side by side requires batching: the composite
+// process collects each instance's outbox and ships, per receiver, a single
+// bundle ["par", [i, payload_i], ...]; inbound bundles are split and routed
+// back to the instances. Decisions of the instances are combined by a
+// user-supplied finisher once all instances have decided.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Builds the i-th sub-process for a composite replica.
+using InstanceFactory = std::function<std::unique_ptr<Process>(
+    std::size_t instance, const ProcessContext& ctx)>;
+
+/// Combines the instances' decisions into the composite decision. Called
+/// exactly once, after every instance has decided.
+using DecisionCombiner =
+    std::function<Value(const std::vector<Value>& instance_decisions)>;
+
+/// A protocol that runs `count` instances in parallel.
+ProtocolFactory parallel_composition(std::size_t count,
+                                     InstanceFactory make_instance,
+                                     DecisionCombiner combine);
+
+}  // namespace ba::protocols

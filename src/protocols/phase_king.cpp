@@ -1,0 +1,131 @@
+#include "protocols/phase_king.h"
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "protocols/common.h"
+
+namespace ba::protocols {
+namespace {
+
+class PhaseKingProcess final : public DecidingProcess {
+ public:
+  explicit PhaseKingProcess(const ProcessContext& ctx)
+      : params_(ctx.params), self_(ctx.self) {
+    pref_ = ctx.proposal.try_bit().value_or(0);
+  }
+
+  Outbox outbox_for_round(Round r) override {
+    if (r > total_rounds()) return {};
+    switch (subround(r)) {
+      case 1:
+        return multicast(tagged("pk-val", {Value::bit(pref_)}));
+      case 2:
+        if (backed_.has_value()) {
+          return multicast(tagged("pk-prop", {Value::bit(*backed_)}));
+        }
+        return {};
+      case 3:
+        if (self_ == king(r)) {
+          return multicast(tagged("pk-king", {Value::bit(pref_)}));
+        }
+        return {};
+      default:
+        return {};
+    }
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > total_rounds()) return;
+    switch (subround(r)) {
+      case 1: {
+        std::array<std::uint32_t, 2> count{0, 0};
+        ++count[static_cast<std::size_t>(pref_)];  // own value counts
+        for (const Message& m : inbox) {
+          if (auto b = parse_bit(m.payload, "pk-val")) {
+            ++count[static_cast<std::size_t>(*b)];
+          }
+        }
+        backed_.reset();
+        for (int w : {0, 1}) {
+          if (count[static_cast<std::size_t>(w)] >= params_.n - params_.t) {
+            backed_ = w;
+          }
+        }
+        break;
+      }
+      case 2: {
+        std::array<std::uint32_t, 2> support{0, 0};
+        if (backed_) ++support[static_cast<std::size_t>(*backed_)];
+        for (const Message& m : inbox) {
+          if (auto b = parse_bit(m.payload, "pk-prop")) {
+            ++support[static_cast<std::size_t>(*b)];
+          }
+        }
+        sure_ = false;
+        for (int w : {0, 1}) {
+          if (support[static_cast<std::size_t>(w)] >= params_.t + 1) {
+            pref_ = w;
+            sure_ = support[static_cast<std::size_t>(w)] >=
+                    params_.n - params_.t;
+          }
+        }
+        break;
+      }
+      case 3: {
+        if (!sure_ && self_ != king(r)) {  // the king's own value is pref_
+          int king_bit = 0;
+          for (const Message& m : inbox) {
+            if (m.sender != king(r)) continue;
+            if (auto b = parse_bit(m.payload, "pk-king")) king_bit = *b;
+          }
+          pref_ = king_bit;
+        }
+        if (r == total_rounds()) decide(Value::bit(pref_));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  [[nodiscard]] Round total_rounds() const { return 3 * (params_.t + 1); }
+  [[nodiscard]] static Round subround(Round r) { return (r - 1) % 3 + 1; }
+  [[nodiscard]] ProcessId king(Round r) const {
+    return static_cast<ProcessId>(((r - 1) / 3) % params_.n);
+  }
+
+  Outbox multicast(const Value& payload) const {
+    Outbox out;
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  static std::optional<int> parse_bit(const Value& payload,
+                                      const std::string& tag) {
+    if (!has_tag(payload, tag)) return std::nullopt;
+    const Value* v = field(payload, 0);
+    if (!v) return std::nullopt;
+    return v->try_bit();
+  }
+
+  SystemParams params_;
+  ProcessId self_;
+  int pref_{0};
+  std::optional<int> backed_;
+  bool sure_{false};
+};
+
+}  // namespace
+
+ProtocolFactory phase_king_consensus() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<PhaseKingProcess>(ctx);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,96 @@
+#include "protocols/turpin_coan.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "protocols/common.h"
+#include "protocols/phase_king.h"
+
+namespace ba::protocols {
+namespace {
+
+class TurpinCoanProcess final : public DecidingProcess {
+ public:
+  explicit TurpinCoanProcess(const ProcessContext& ctx) : ctx_(ctx) {}
+
+  Outbox outbox_for_round(Round r) override {
+    if (r == 1) return multicast(tagged("tc-val", {ctx_.proposal}));
+    if (r == 2) {
+      if (candidate_) return multicast(tagged("tc-cand", {*candidate_}));
+      return {};
+    }
+    if (!binary_) return {};
+    return binary_->outbox_for_round(r - 2);
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 1) {
+      std::map<Value, std::uint32_t> tally;
+      ++tally[ctx_.proposal];
+      for (const Message& m : inbox) {
+        if (!has_tag(m.payload, "tc-val")) continue;
+        if (const Value* v = field(m.payload, 0)) ++tally[*v];
+      }
+      for (const auto& [v, count] : tally) {
+        if (count >= ctx_.params.n - ctx_.params.t) candidate_ = v;
+      }
+      return;
+    }
+    if (r == 2) {
+      std::map<Value, std::uint32_t> tally;
+      if (candidate_) ++tally[*candidate_];
+      for (const Message& m : inbox) {
+        if (!has_tag(m.payload, "tc-cand")) continue;
+        if (const Value* v = field(m.payload, 0)) ++tally[*v];
+      }
+      std::uint32_t best = 0;
+      for (const auto& [v, count] : tally) {
+        if (count > best) {
+          best = count;
+          top_ = v;
+        }
+      }
+      const int b = best >= ctx_.params.n - ctx_.params.t ? 1 : 0;
+      ProcessContext inner = ctx_;
+      inner.proposal = Value::bit(b);
+      binary_ = phase_king_consensus()(inner);
+      return;
+    }
+    binary_->deliver(r - 2, inbox);
+    if (!decision()) {
+      if (auto d = binary_->decision()) {
+        decide(d->try_bit().value_or(0) == 1 && top_.has_value() ? *top_
+                                                                 : bottom());
+      }
+    }
+  }
+
+  [[nodiscard]] bool quiescent() const override {
+    return binary_ && binary_->quiescent();
+  }
+
+ private:
+  Outbox multicast(const Value& payload) const {
+    Outbox out;
+    for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+      if (p != ctx_.self) out.push_back(Outgoing{p, payload});
+    }
+    return out;
+  }
+
+  ProcessContext ctx_;
+  std::optional<Value> candidate_;
+  std::optional<Value> top_;
+  std::unique_ptr<Process> binary_;
+};
+
+}  // namespace
+
+ProtocolFactory turpin_coan_multivalued() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<TurpinCoanProcess>(ctx);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,190 @@
+#include "protocols/weak_consensus.h"
+
+#include <algorithm>
+
+#include "protocols/adapters.h"
+#include "protocols/common.h"
+#include "protocols/dolev_strong.h"
+#include "protocols/phase_king.h"
+
+namespace ba::protocols {
+namespace {
+
+class SilentCandidate final : public DecidingProcess {
+ public:
+  explicit SilentCandidate(int default_bit) : bit_(default_bit) {}
+  Outbox outbox_for_round(Round) override { return {}; }
+  void deliver(Round r, const Inbox&) override {
+    if (r == 1) decide(Value::bit(bit_));
+  }
+
+ private:
+  int bit_;
+};
+
+class LeaderBeaconCandidate final : public DecidingProcess {
+ public:
+  LeaderBeaconCandidate(const ProcessContext& ctx, ProcessId leader)
+      : params_(ctx.params),
+        self_(ctx.self),
+        leader_(leader),
+        bit_(ctx.proposal.try_bit().value_or(0)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 && self_ == leader_) {
+      for (ProcessId p = 0; p < params_.n; ++p) {
+        if (p == leader_) continue;
+        out.push_back(Outgoing{p, tagged("beacon", {Value::bit(bit_)})});
+      }
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r != 1) return;
+    if (self_ == leader_) {
+      decide(Value::bit(bit_));
+      return;
+    }
+    for (const Message& m : inbox) {
+      if (m.sender == leader_ && has_tag(m.payload, "beacon")) {
+        if (const Value* v = field(m.payload, 0)) {
+          decide(Value::bit(v->try_bit().value_or(1)));
+          return;
+        }
+      }
+    }
+    decide(Value::bit(1));  // heard nothing: default
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  ProcessId leader_;
+  int bit_;
+};
+
+class GossipRingCandidate final : public DecidingProcess {
+ public:
+  GossipRingCandidate(const ProcessContext& ctx, std::uint32_t k,
+                      Round rounds)
+      : params_(ctx.params),
+        self_(ctx.self),
+        k_(std::min<std::uint32_t>(k, ctx.params.n - 1)),
+        rounds_(rounds),
+        all_zero_(ctx.proposal.try_bit().value_or(1) == 0) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r > rounds_) return out;
+    for (std::uint32_t i = 1; i <= k_; ++i) {
+      const ProcessId to = (self_ + i) % params_.n;
+      out.push_back(
+          Outgoing{to, tagged("gossip", {Value::bit(all_zero_ ? 0 : 1)})});
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r > rounds_) return;
+    std::uint32_t heard = 0;
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "gossip")) continue;
+      ++heard;
+      if (const Value* v = field(m.payload, 0)) {
+        if (v->try_bit().value_or(1) == 1) all_zero_ = false;
+      }
+    }
+    if (heard < k_) all_zero_ = false;  // a silent predecessor is suspicious
+    if (r == rounds_) decide(Value::bit(all_zero_ ? 0 : 1));
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  std::uint32_t k_;
+  Round rounds_;
+  bool all_zero_;
+};
+
+class OneShotEchoCandidate final : public DecidingProcess {
+ public:
+  explicit OneShotEchoCandidate(const ProcessContext& ctx)
+      : params_(ctx.params),
+        self_(ctx.self),
+        bit_(ctx.proposal.try_bit().value_or(1)) {}
+
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1) {
+      for (ProcessId p = 0; p < params_.n; ++p) {
+        if (p != self_) {
+          out.push_back(Outgoing{p, tagged("echo", {Value::bit(bit_)})});
+        }
+      }
+    }
+    return out;
+  }
+
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r != 1) return;
+    bool all_zero = bit_ == 0 && inbox.size() == params_.n - 1;
+    for (const Message& m : inbox) {
+      if (!has_tag(m.payload, "echo")) {
+        all_zero = false;
+        continue;
+      }
+      const Value* v = field(m.payload, 0);
+      if (!v || v->try_bit().value_or(1) == 1) all_zero = false;
+    }
+    decide(Value::bit(all_zero ? 0 : 1));
+  }
+
+ private:
+  SystemParams params_;
+  ProcessId self_;
+  int bit_;
+};
+
+}  // namespace
+
+ProtocolFactory weak_consensus_auth(
+    std::shared_ptr<const crypto::Authenticator> auth) {
+  // One Dolev-Strong broadcast with p_0 as sender; decide the delivered bit,
+  // defaulting to 1 on bottom()/non-bit. Weak Validity: with everyone
+  // correct and unanimous, p_0 broadcasts the common bit and it is decided.
+  return map_protocol(
+      dolev_strong_broadcast(std::move(auth), /*sender=*/0),
+      /*proposal_map=*/nullptr, [](const Value& delivered) {
+        return Value::bit(delivered.try_bit().value_or(1));
+      });
+}
+
+ProtocolFactory weak_consensus_unauth() { return phase_king_consensus(); }
+
+ProtocolFactory wc_candidate_silent(int default_bit) {
+  return [default_bit](const ProcessContext&) {
+    return std::make_unique<SilentCandidate>(default_bit);
+  };
+}
+
+ProtocolFactory wc_candidate_leader_beacon(ProcessId leader) {
+  return [leader](const ProcessContext& ctx) {
+    return std::make_unique<LeaderBeaconCandidate>(ctx, leader);
+  };
+}
+
+ProtocolFactory wc_candidate_gossip_ring(std::uint32_t k, Round rounds) {
+  return [k, rounds](const ProcessContext& ctx) {
+    return std::make_unique<GossipRingCandidate>(ctx, k, rounds);
+  };
+}
+
+ProtocolFactory wc_candidate_one_shot_echo() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<OneShotEchoCandidate>(ctx);
+  };
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,57 @@
+#pragma once
+
+// Weak consensus — the paper's weakest non-trivial agreement problem.
+//
+// Interface: propose/decide over bits. Properties: Termination, Agreement,
+// and Weak Validity (if ALL processes are correct and all propose the same
+// bit, that bit is decided).
+//
+// This header provides:
+//  * correct solutions with matching (quadratic) message complexity:
+//      - authenticated, any t < n: one Dolev-Strong broadcast with p_0 as
+//        sender; everyone decides the delivered bit (default 1);
+//      - unauthenticated, n > 3t: phase-king strong consensus (Strong
+//        Validity implies Weak Validity);
+//  * deliberately *sub-quadratic candidate* protocols used as targets for
+//    the Theorem 2 attack engine — each sends o(t^2) messages, so by the
+//    paper it MUST violate weak consensus somewhere, and the lower-bound
+//    engine constructs the violating execution.
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// Correct, authenticated, any t < n. O(n^2) messages, t + 1 rounds.
+ProtocolFactory weak_consensus_auth(
+    std::shared_ptr<const crypto::Authenticator> auth);
+
+/// Correct, unauthenticated, n > 3t. O(n^2 t) messages, 3(t+1) rounds.
+ProtocolFactory weak_consensus_unauth();
+
+// --- Sub-quadratic candidates (provably broken by Theorem 2) -------------
+
+/// Sends nothing, decides `default_bit` immediately. 0 messages.
+/// (Violates Weak Validity outright; the trivial sanity target.)
+ProtocolFactory wc_candidate_silent(int default_bit = 1);
+
+/// The `leader` multicasts its bit in round 1; everyone decides the received
+/// bit and the leader decides its own; a process that hears nothing decides
+/// 1. n - 1 messages. (Survives fault-free runs; broken under isolation.)
+ProtocolFactory wc_candidate_leader_beacon(ProcessId leader = 0);
+
+/// For `rounds` rounds every process forwards the AND of everything it has
+/// heard to its `k` ring successors; decides 0 iff it never saw a 1 and
+/// heard from all k predecessors in every round, else 1. O(n*k*rounds)
+/// messages. (A "local gossip" protocol; broken under isolation.)
+ProtocolFactory wc_candidate_gossip_ring(std::uint32_t k, Round rounds);
+
+/// One all-to-all exchange; decides 0 iff its own bit and all n - 1 received
+/// bits are 0, else 1. O(n^2) messages but only ONE round — correct when all
+/// processes are correct, broken by a single send-omission (used by tests to
+/// show that quadratic cost alone is not sufficient).
+ProtocolFactory wc_candidate_one_shot_echo();
+
+}  // namespace ba::protocols

@@ -1,0 +1,49 @@
+#include "reductions/classic.h"
+
+#include <utility>
+
+#include "protocols/adapters.h"
+#include "protocols/parallel.h"
+
+namespace ba::reductions {
+
+ProtocolFactory weak_from_strong(ProtocolFactory strong) {
+  return protocols::map_protocol(std::move(strong), nullptr, nullptr);
+}
+
+ProtocolFactory strong_from_broadcasts(
+    std::function<ProtocolFactory(ProcessId sender)> make_broadcast) {
+  return [make_broadcast =
+              std::move(make_broadcast)](const ProcessContext& ctx) {
+    const std::uint32_t n = ctx.params.n;
+    return protocols::parallel_composition(
+        n,
+        [make_broadcast](std::size_t instance, const ProcessContext& inner) {
+          return make_broadcast(static_cast<ProcessId>(instance))(inner);
+        },
+        [](const std::vector<Value>& decisions) {
+          std::size_t ones = 0;
+          for (const Value& d : decisions) {
+            if (d.try_bit().value_or(0) == 1) ++ones;
+          }
+          return Value::bit(2 * ones > decisions.size() ? 1 : 0);
+        })(ctx);
+  };
+}
+
+ProtocolFactory weak_from_external_validity(ProtocolFactory external,
+                                            Value proposal0, Value proposal1,
+                                            Value decision0) {
+  auto proposal_map = [proposal0 = std::move(proposal0),
+                       proposal1 = std::move(proposal1)](
+                          ProcessId, const Value& b) -> Value {
+    return b.try_bit().value_or(1) == 0 ? proposal0 : proposal1;
+  };
+  auto decision_map = [decision0 = std::move(decision0)](const Value& d) {
+    return Value::bit(d == decision0 ? 0 : 1);
+  };
+  return protocols::map_protocol(std::move(external), proposal_map,
+                                 decision_map);
+}
+
+}  // namespace ba::reductions

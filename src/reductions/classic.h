@@ -1,0 +1,39 @@
+#pragma once
+
+// Classical cross-problem reductions ([17, 82], §6) used as cross-checks and
+// baselines:
+//  * weak consensus from strong consensus (Strong Validity ⇒ Weak Validity);
+//  * strong consensus (binary) from Byzantine broadcast: broadcast p_0's
+//    value... — NOT valid in general; the honest reduction is via n
+//    broadcasts (majority), provided here;
+//  * Corollary 1: weak consensus from an External-Validity agreement
+//    algorithm that has two fault-free executions deciding differently.
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "runtime/process.h"
+
+namespace ba::reductions {
+
+/// Strong Validity implies Weak Validity, so any strong-consensus protocol
+/// already solves weak consensus (identity wrapper, zero extra messages).
+ProtocolFactory weak_from_strong(ProtocolFactory strong);
+
+/// Binary strong consensus from n parallel broadcast instances: every
+/// process broadcasts its bit; decide the majority of delivered bits
+/// (bottoms count as 0). Honest majority of broadcasts carries Strong
+/// Validity. `make_broadcast(sender)` builds one instance.
+ProtocolFactory strong_from_broadcasts(
+    std::function<ProtocolFactory(ProcessId sender)> make_broadcast);
+
+/// Corollary 1 (§4.3): a weak-consensus protocol built from an
+/// External-Validity agreement algorithm with two fault-free executions
+/// deciding differently. `proposal0`/`proposal1` are the unanimous proposals
+/// of those executions; `decision0` is the value decided when everyone
+/// proposes `proposal0`.
+ProtocolFactory weak_from_external_validity(ProtocolFactory external,
+                                            Value proposal0, Value proposal1,
+                                            Value decision0);
+
+}  // namespace ba::reductions

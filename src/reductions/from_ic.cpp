@@ -1,0 +1,43 @@
+#include "reductions/from_ic.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "protocols/adapters.h"
+#include "validity/solvability.h"
+
+namespace ba::reductions {
+
+ProtocolFactory agreement_from_ic(validity::ValidityProperty problem,
+                                  SystemParams params, ProtocolFactory ic) {
+  auto decision_map = [problem = std::move(problem),
+                       params](const Value& ic_decision) -> Value {
+    // The IC protocols decide a plain vector of n values; coerce it into a
+    // full input configuration over the problem's domain (exposed senders'
+    // bottom components map to the first domain value — any filling of the
+    // faulty slots is sound because vec ⊒ c is preserved on correct slots).
+    std::vector<Value> entries(params.n, problem.input_domain.front());
+    if (ic_decision.is_vec() && ic_decision.as_vec().size() == params.n) {
+      for (std::uint32_t i = 0; i < params.n; ++i) {
+        const Value& e = ic_decision.as_vec()[i];
+        if (std::find(problem.input_domain.begin(),
+                      problem.input_domain.end(),
+                      e) != problem.input_domain.end()) {
+          entries[i] = e;
+        }
+      }
+    }
+    const auto vec = validity::InputConfig::full(entries);
+    if (problem.gamma_fast) {
+      if (auto g = problem.gamma_fast(vec)) return *g;
+    }
+    if (auto g = validity::gamma(problem, params.t, vec)) return *g;
+    // CC was a precondition; fall back to a fixed value so the reduction
+    // stays deterministic even when misused.
+    return problem.output_domain.front();
+  };
+  return protocols::map_protocol(std::move(ic), /*proposal_map=*/nullptr,
+                                 decision_map);
+}
+
+}  // namespace ba::reductions

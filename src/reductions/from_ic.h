@@ -1,0 +1,24 @@
+#pragma once
+
+// Algorithm 2 (§5.2.2): solving any non-trivial agreement problem that
+// satisfies the containment condition, on top of interactive consistency.
+//
+// propose(v)  -> IC.propose(v)
+// IC.decide(vec in I_n) -> decide Γ(vec)
+//
+// IC-Validity guarantees vec ⊒ c (the real input configuration), and CC
+// guarantees Γ(vec) ∈ val(c') for every c' ⊑ vec — in particular for c.
+
+#include "runtime/process.h"
+#include "validity/property.h"
+
+namespace ba::reductions {
+
+/// `ic` must solve interactive consistency over `problem.input_domain`
+/// (decisions encode a vector of n values; components of exposed senders may
+/// be bottom/null and are coerced into the domain before applying Γ).
+/// Γ is `problem.gamma_fast` when available, otherwise the enumerated gamma.
+ProtocolFactory agreement_from_ic(validity::ValidityProperty problem,
+                                  SystemParams params, ProtocolFactory ic);
+
+}  // namespace ba::reductions

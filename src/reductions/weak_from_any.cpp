@@ -1,0 +1,96 @@
+#include "reductions/weak_from_any.h"
+
+#include <utility>
+
+#include "protocols/adapters.h"
+#include "runtime/sync_system.h"
+#include "validity/solvability.h"
+
+namespace ba::reductions {
+namespace {
+
+std::optional<Value> run_full_config(const SystemParams& params,
+                                     const ProtocolFactory& solver,
+                                     const validity::InputConfig& c,
+                                     Round max_rounds) {
+  std::vector<Value> proposals(params.n);
+  for (ProcessId p = 0; p < params.n; ++p) proposals[p] = *c[p];
+  RunOptions opts;
+  opts.max_rounds = max_rounds;
+  RunResult res = run_execution(params, solver, proposals, Adversary::none(),
+                                opts);
+  return res.unanimous_correct_decision();
+}
+
+}  // namespace
+
+std::optional<ReductionParams> derive_reduction_params(
+    const validity::ValidityProperty& problem, const SystemParams& params,
+    const ProtocolFactory& solver, std::string* error, Round max_rounds) {
+  auto fail = [&](const std::string& why) -> std::optional<ReductionParams> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+
+  ReductionParams out;
+  // c_0: the full configuration where everyone proposes the first domain
+  // value; E_0 determines v'_0.
+  out.c0 = validity::InputConfig::uniform(params.n,
+                                          problem.input_domain.front());
+  auto v0 = run_full_config(params, solver, out.c0, max_rounds);
+  if (!v0) return fail("solver undecided or disagreeing in E_0");
+  out.v0 = *v0;
+
+  // c_1*: any configuration for which v'_0 is inadmissible; exists iff the
+  // problem is non-trivial *at* v'_0 (if v'_0 is always admissible the
+  // problem may still be non-trivial elsewhere, but then A itself would be
+  // exploiting triviality of v'_0 — flag it).
+  bool found = false;
+  validity::for_each_input_config(
+      params.n, params.t, problem.input_domain,
+      [&](const validity::InputConfig& c) {
+        if (!problem.admissible(c, out.v0)) {
+          out.c1_star = c;
+          found = true;
+          return false;
+        }
+        return true;
+      });
+  if (!found) {
+    return fail("v'_0 is admissible everywhere (problem trivial at v'_0)");
+  }
+
+  // c_1: a full extension of c_1* (containment is reflexive, so filling the
+  // empty slots with anything works; we use the first domain value).
+  out.c1 = out.c1_star;
+  for (std::size_t i = 0; i < out.c1.n(); ++i) {
+    if (!out.c1[i].has_value()) out.c1[i] = problem.input_domain.front();
+  }
+
+  // Sanity (Lemma 17): E_1 decides v'_1 != v'_0.
+  auto v1 = run_full_config(params, solver, out.c1, max_rounds);
+  if (!v1) return fail("solver undecided or disagreeing in E_1");
+  if (*v1 == out.v0) {
+    return fail(
+        "solver decided v'_0 in E_1 although v'_0 is inadmissible for the "
+        "contained c_1* (Lemma 7 violation — solver does not solve the "
+        "problem)");
+  }
+  return out;
+}
+
+ProtocolFactory weak_consensus_from_any(ProtocolFactory solver,
+                                        ReductionParams params) {
+  auto proposal_map = [params](ProcessId self, const Value& b) -> Value {
+    const int bit = b.try_bit().value_or(1);
+    const validity::InputConfig& c = (bit == 0) ? params.c0 : params.c1;
+    return *c[self];
+  };
+  auto decision_map = [v0 = params.v0](const Value& d) -> Value {
+    return Value::bit(d == v0 ? 0 : 1);
+  };
+  return protocols::map_protocol(std::move(solver), proposal_map,
+                                 decision_map);
+}
+
+}  // namespace ba::reductions

@@ -1,0 +1,47 @@
+#pragma once
+
+// Algorithm 1 (§4.2): the zero-message reduction from weak consensus to ANY
+// solvable non-trivial agreement problem P. This is the reduction that
+// generalizes the Omega(t^2) bound from weak consensus to everything.
+//
+// Construction (Table 2):
+//   c_0  — any full input configuration; E_0 the fault-free execution of the
+//          solving algorithm A with proposals c_0; v'_0 its decision.
+//   c_1* — a configuration with v'_0 not admissible (exists: P non-trivial).
+//   c_1  — a full extension of c_1*; E_1 decides v'_1 != v'_0 (Lemma 7).
+// The reduction: propose 0 -> feed proposal(c_0[i]) into A; propose 1 -> feed
+// proposal(c_1[i]). Decide 0 iff A decided v'_0. Zero additional messages
+// (Lemma 18).
+
+#include <optional>
+#include <string>
+
+#include "runtime/process.h"
+#include "validity/property.h"
+
+namespace ba::reductions {
+
+struct ReductionParams {
+  validity::InputConfig c0;
+  validity::InputConfig c1;
+  Value v0;  // the decision of the fault-free execution on c0
+
+  /// For reporting: the witness configuration c_1* with v0 inadmissible.
+  validity::InputConfig c1_star;
+};
+
+/// Derives the Table 2 parameters for `problem` solved by `solver`, by
+/// actually running the two fault-free executions (E_0 and E_1). Returns
+/// nullopt if the problem is trivial (no c_1* exists) or the solver
+/// misbehaves (undecided / decides inadmissibly), with `error` explaining.
+std::optional<ReductionParams> derive_reduction_params(
+    const validity::ValidityProperty& problem, const SystemParams& params,
+    const ProtocolFactory& solver, std::string* error = nullptr,
+    Round max_rounds = 10000);
+
+/// Algorithm 1 itself: a weak-consensus protocol that sends exactly the
+/// messages `solver` sends.
+ProtocolFactory weak_consensus_from_any(ProtocolFactory solver,
+                                        ReductionParams params);
+
+}  // namespace ba::reductions

@@ -1,0 +1,12 @@
+#include "runtime/message.h"
+
+#include <ostream>
+
+namespace ba {
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  return os << "msg(p" << m.sender << "->p" << m.receiver << "@r" << m.round
+            << ": " << m.payload << ")";
+}
+
+}  // namespace ba

@@ -1,0 +1,67 @@
+#pragma once
+
+// Messages. Per Appendix A.1.1 of the paper, a message is identified by its
+// (sender, receiver, round) triple — each process sends at most one message to
+// any specific process in a single round, and no process sends to itself.
+// The payload travels alongside the identity; two executions are
+// indistinguishable to a process only if it receives *identical* messages
+// (identity and payload) in every round.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba {
+
+/// The paper's message identity (A.1.1): m.sender, m.receiver, m.round.
+struct MsgKey {
+  ProcessId sender{kNoProcess};
+  ProcessId receiver{kNoProcess};
+  Round round{kNoRound};
+
+  friend auto operator<=>(const MsgKey&, const MsgKey&) = default;
+};
+
+struct Message {
+  ProcessId sender{kNoProcess};
+  ProcessId receiver{kNoProcess};
+  Round round{kNoRound};
+  Value payload;
+
+  [[nodiscard]] MsgKey key() const { return {sender, receiver, round}; }
+
+  friend bool operator==(const Message&, const Message&) = default;
+  friend std::strong_ordering operator<=>(const Message& a, const Message& b) {
+    if (auto c = a.key() <=> b.key(); c != std::strong_ordering::equal) {
+      return c;
+    }
+    return a.payload <=> b.payload;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Message& m);
+
+/// A message a process hands to the runtime for sending this round; the
+/// runtime fills in sender and round.
+struct Outgoing {
+  ProcessId to{kNoProcess};
+  Value payload;
+};
+
+using Inbox = std::vector<Message>;
+using Outbox = std::vector<Outgoing>;
+
+}  // namespace ba
+
+template <>
+struct std::hash<ba::MsgKey> {
+  std::size_t operator()(const ba::MsgKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.sender) << 32) | k.receiver);
+    return h ^ (std::hash<std::uint32_t>{}(k.round) * 0x9e3779b97f4a7c15ULL);
+  }
+};

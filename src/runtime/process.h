@@ -1,0 +1,76 @@
+#pragma once
+
+// The deterministic state-machine interface (paper A.1.3).
+//
+// The paper's transition function is A(s, M^R) = (s', M^S): the state at the
+// start of a round plus the messages received in that round determine the
+// next state and the messages sent in the *next* round. Round-1 messages are
+// a pure function of the initial state (proposal).
+//
+// We express the same model with a two-phase interface:
+//   * `outbox_for_round(r)`  — messages to send in round r, a deterministic
+//     function of the state at the start of round r;
+//   * `deliver(r, inbox)`    — messages received in round r; advances the
+//     state to the start of round r + 1.
+// The runtime owns every side effect (omission, delivery, accounting), so a
+// protocol implementation is a pure state machine and can be re-run on any
+// receive-history — exactly what the Appendix-A constructions (swap_omission,
+// merge) require.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runtime/message.h"
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba {
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Messages this process sends in round `r` (1-based). Must be
+  /// deterministic in the state at the start of round r. At most one message
+  /// per receiver; never to self (the runtime enforces both).
+  virtual Outbox outbox_for_round(Round r) = 0;
+
+  /// Messages received in round `r`. Advances state to the start of round
+  /// r + 1. The inbox is sorted by sender and contains at most one message
+  /// per sender.
+  virtual void deliver(Round r, const Inbox& inbox) = 0;
+
+  /// The decision, if the process has decided (decisions are permanent).
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+
+  /// True once the process will provably never send another message
+  /// regardless of future inboxes. Used to detect quiescence so finite
+  /// prefixes stand in for the paper's infinite executions.
+  [[nodiscard]] virtual bool quiescent() const { return decision().has_value(); }
+};
+
+/// Everything a protocol instance needs to know at construction time.
+struct ProcessContext {
+  SystemParams params;
+  ProcessId self{kNoProcess};
+  Value proposal;
+};
+
+/// A protocol is a factory of deterministic process replicas. Factories must
+/// be pure: two processes constructed from equal contexts behave identically
+/// on equal receive-histories.
+using ProtocolFactory =
+    std::function<std::unique_ptr<Process>(const ProcessContext&)>;
+
+/// Descriptive bundle used by benches/examples.
+struct Protocol {
+  std::string name;
+  ProtocolFactory factory;
+  /// Smallest n this protocol supports for a given t (e.g. 3t+1), or 0 if any
+  /// n > t works.
+  std::function<std::uint32_t(std::uint32_t t)> min_n;
+};
+
+}  // namespace ba

@@ -1,0 +1,173 @@
+#include "runtime/sync_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace ba {
+
+std::vector<Message> normalize_outbox(const Outbox& out, ProcessId self,
+                                      Round r, std::uint32_t n) {
+  std::vector<Message> msgs;
+  std::set<ProcessId> seen;
+  for (const Outgoing& o : out) {
+    if (o.to == self || o.to >= n) continue;
+    if (!seen.insert(o.to).second) continue;
+    msgs.push_back(Message{self, o.to, r, o.payload});
+  }
+  std::sort(msgs.begin(), msgs.end(),
+            [](const Message& a, const Message& b) {
+              return a.receiver < b.receiver;
+            });
+  return msgs;
+}
+
+void sort_inbox(Inbox& inbox) {
+  std::sort(inbox.begin(), inbox.end(), [](const Message& a, const Message& b) {
+    return a.sender < b.sender;
+  });
+}
+
+RunResult run_execution(const SystemParams& params,
+                        const ProtocolFactory& protocol,
+                        const std::vector<Value>& proposals,
+                        const Adversary& adversary,
+                        const RunOptions& options) {
+  if (!params.valid()) throw std::invalid_argument("invalid SystemParams");
+  if (proposals.size() != params.n) {
+    throw std::invalid_argument("proposals.size() != n");
+  }
+  if (adversary.faulty.size() > params.t) {
+    throw std::invalid_argument("|faulty| > t");
+  }
+  if (!adversary.byzantine.is_subset_of(adversary.faulty)) {
+    throw std::invalid_argument("byzantine set must be a subset of faulty");
+  }
+  if (!adversary.byzantine.empty() && !adversary.byzantine_factory) {
+    throw std::invalid_argument("byzantine set without byzantine_factory");
+  }
+
+  const std::uint32_t n = params.n;
+  std::vector<std::unique_ptr<Process>> replicas(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    ProcessContext ctx{params, p, proposals[p]};
+    replicas[p] = adversary.is_byzantine(p) ? adversary.byzantine_factory(ctx)
+                                            : protocol(ctx);
+    if (!replicas[p]) throw std::runtime_error("factory returned null");
+  }
+
+  RunResult result;
+  result.decisions.assign(n, std::nullopt);
+  result.trace.params = params;
+  result.trace.faulty = adversary.faulty;
+  result.trace.procs.resize(n);
+  for (ProcessId p = 0; p < n; ++p) result.trace.procs[p].proposal = proposals[p];
+
+  for (Round r = 1; r <= options.max_rounds; ++r) {
+    // Phase 1: compute all outboxes from states at the start of round r.
+    std::vector<std::vector<Message>> outs(n);
+    std::uint64_t sent_this_round = 0;
+    for (ProcessId p = 0; p < n; ++p) {
+      outs[p] = normalize_outbox(replicas[p]->outbox_for_round(r), p, r, n);
+    }
+
+    // Phase 2: apply send omissions, route to inboxes, apply receive
+    // omissions.
+    std::vector<Inbox> inboxes(n);
+    std::vector<RoundEvents> events(options.record_trace ? n : 0);
+    for (ProcessId p = 0; p < n; ++p) {
+      for (Message& m : outs[p]) {
+        if (adversary.drops_send(m.key())) {
+          if (options.record_trace) events[p].send_omitted.push_back(m);
+          continue;
+        }
+        ++sent_this_round;
+        ++result.messages_sent_total;
+        if (!adversary.is_faulty(p)) ++result.messages_sent_by_correct;
+        if (options.record_trace) events[p].sent.push_back(m);
+        if (adversary.drops_receive(m.key())) {
+          if (options.record_trace) {
+            events[m.receiver].receive_omitted.push_back(m);
+          }
+          continue;
+        }
+        inboxes[m.receiver].push_back(m);
+      }
+    }
+
+    // Phase 3: deliver.
+    for (ProcessId p = 0; p < n; ++p) {
+      sort_inbox(inboxes[p]);
+      if (options.record_trace) {
+        events[p].received = inboxes[p];
+      }
+      replicas[p]->deliver(r, inboxes[p]);
+      if (!result.decisions[p].has_value()) {
+        if (auto d = replicas[p]->decision()) {
+          result.decisions[p] = d;
+          result.trace.procs[p].decision = d;
+          result.trace.procs[p].decision_round = r;
+        }
+      }
+    }
+    if (options.record_trace) {
+      for (ProcessId p = 0; p < n; ++p) {
+        result.trace.procs[p].rounds.push_back(std::move(events[p]));
+      }
+    }
+    result.rounds_executed = r;
+    result.trace.rounds = r;
+
+    if (options.stop_on_quiescence && sent_this_round == 0) {
+      bool all_quiescent = true;
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!replicas[p]->quiescent()) {
+          all_quiescent = false;
+          break;
+        }
+      }
+      if (all_quiescent) {
+        result.quiesced = true;
+        result.trace.quiesced = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+RunResult run_all_correct(const SystemParams& params,
+                          const ProtocolFactory& protocol, const Value& v,
+                          const RunOptions& options) {
+  std::vector<Value> proposals(params.n, v);
+  return run_execution(params, protocol, proposals, Adversary::none(),
+                       options);
+}
+
+ReplayResult replay_process(const SystemParams& params,
+                            const ProtocolFactory& protocol, ProcessId p,
+                            const Value& proposal,
+                            const std::vector<Inbox>& inboxes) {
+  ProcessContext ctx{params, p, proposal};
+  std::unique_ptr<Process> replica = protocol(ctx);
+  ReplayResult result;
+  result.outboxes.reserve(inboxes.size());
+  for (std::size_t r = 0; r < inboxes.size(); ++r) {
+    const Round round = static_cast<Round>(r + 1);
+    result.outboxes.push_back(replica->outbox_for_round(round));
+    Inbox inbox = inboxes[r];
+    sort_inbox(inbox);
+    replica->deliver(round, inbox);
+    if (!result.decision.has_value()) {
+      if (auto d = replica->decision()) {
+        result.decision = d;
+        result.decision_round = round;
+      }
+    }
+  }
+  result.quiescent = replica->quiescent();
+  return result;
+}
+
+}  // namespace ba

@@ -1,0 +1,84 @@
+#pragma once
+
+// The synchronous round executor (§2). In each round every process
+// (1) computes locally, (2) sends messages, (3) receives the messages sent to
+// it in the round, subject to the adversary's omission faults. Channels are
+// authenticated: the inbox exposes true sender identities.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/message.h"
+#include "runtime/process.h"
+#include "runtime/trace.h"
+#include "runtime/types.h"
+
+namespace ba {
+
+struct RunOptions {
+  /// Hard cap on executed rounds (protects against non-quiescent protocols).
+  Round max_rounds{1000};
+  /// Record full per-round event traces (required by the execution calculus;
+  /// switch off for large-n complexity benchmarks).
+  bool record_trace{true};
+  /// Stop once the system is quiescent: all replicas report quiescent() and
+  /// no message was sent this round.
+  bool stop_on_quiescence{true};
+};
+
+struct RunResult {
+  ExecutionTrace trace;  // events empty when !record_trace; metadata filled
+  std::vector<std::optional<Value>> decisions;
+  std::uint64_t messages_sent_by_correct{0};
+  std::uint64_t messages_sent_total{0};
+  Round rounds_executed{0};
+  bool quiesced{false};
+
+  [[nodiscard]] std::optional<Value> unanimous_correct_decision() const {
+    return trace.unanimous_correct_decision();
+  }
+};
+
+/// Runs one execution of `protocol` among n processes with the given
+/// proposals (size n; proposals of faulty-Byzantine processes are still used
+/// to construct their replicas and may be ignored by the strategy).
+RunResult run_execution(const SystemParams& params,
+                        const ProtocolFactory& protocol,
+                        const std::vector<Value>& proposals,
+                        const Adversary& adversary,
+                        const RunOptions& options = {});
+
+/// Convenience: fault-free execution where everyone proposes `v`.
+RunResult run_all_correct(const SystemParams& params,
+                          const ProtocolFactory& protocol, const Value& v,
+                          const RunOptions& options = {});
+
+/// Replays process `p`'s deterministic state machine against a fixed receive
+/// history (one inbox per round, each sorted by sender) and returns the
+/// outboxes it produces per round plus its decision. This is the
+// "determinism" device used throughout Appendix A: identical receive
+/// histories force identical behaviour.
+struct ReplayResult {
+  std::vector<Outbox> outboxes;  // outboxes[r - 1] = sends in round r
+  std::optional<Value> decision;
+  Round decision_round{kNoRound};
+  bool quiescent{false};
+};
+ReplayResult replay_process(const SystemParams& params,
+                            const ProtocolFactory& protocol, ProcessId p,
+                            const Value& proposal,
+                            const std::vector<Inbox>& inboxes);
+
+/// Turns a raw outbox into well-formed round-`r` messages from `self`:
+/// drops self-sends and out-of-range receivers and keeps the first message
+/// per receiver (the model allows at most one, A.1.1). Sorted by receiver.
+std::vector<Message> normalize_outbox(const Outbox& out, ProcessId self,
+                                      Round r, std::uint32_t n);
+
+/// Sorts an inbox by sender (the canonical delivery order).
+void sort_inbox(Inbox& inbox);
+
+}  // namespace ba

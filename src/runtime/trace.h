@@ -1,0 +1,97 @@
+#pragma once
+
+// Execution traces: the observable content of an execution, recorded per
+// process per round, in exactly the vocabulary of Appendix A.1.4–A.1.6
+// (sent / send-omitted / received / receive-omitted message sets, states
+// being implicit in the deterministic protocol + receive history).
+//
+// Traces are the common currency between the runtime, the execution calculus
+// (swap_omission / merge), and the lower-bound attack engine.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "runtime/message.h"
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba {
+
+/// One round of one process, as seen by an omniscient observer (a fragment,
+/// A.1.4, minus the state — states are recoverable by determinism).
+struct RoundEvents {
+  std::vector<Message> sent;
+  std::vector<Message> send_omitted;
+  std::vector<Message> received;
+  std::vector<Message> receive_omitted;
+
+  friend bool operator==(const RoundEvents&, const RoundEvents&) = default;
+};
+
+/// The behaviour of one process across the whole (finite prefix of an)
+/// execution (A.1.5).
+struct ProcessTrace {
+  Value proposal;
+  std::vector<RoundEvents> rounds;  // rounds[r - 1] is round r
+  std::optional<Value> decision;
+  Round decision_round{kNoRound};
+
+  [[nodiscard]] const RoundEvents& round(Round r) const {
+    return rounds.at(r - 1);
+  }
+
+  friend bool operator==(const ProcessTrace&, const ProcessTrace&) = default;
+};
+
+/// A (finite prefix standing in for an infinite) execution (A.1.6).
+struct ExecutionTrace {
+  SystemParams params;
+  ProcessSet faulty;
+  std::vector<ProcessTrace> procs;
+  Round rounds{0};
+  /// True if the run reached quiescence (every process provably silent
+  /// forever after), so this finite prefix determines the infinite execution.
+  bool quiesced{false};
+
+  [[nodiscard]] ProcessSet correct() const {
+    return faulty.complement(params.n);
+  }
+
+  /// Paper §2: number of messages sent by correct processes over the whole
+  /// execution.
+  [[nodiscard]] std::uint64_t message_complexity() const;
+
+  /// Bit complexity: total canonical-encoding bytes of payloads sent by
+  /// correct processes (the metric of the related-work bit-complexity
+  /// results, e.g. [12, 20, 34, 41]). Multiply by 8 for bits.
+  [[nodiscard]] std::uint64_t payload_bytes_sent_by_correct() const;
+
+  /// All messages sent by anyone (diagnostics).
+  [[nodiscard]] std::uint64_t total_messages_sent() const;
+
+  /// Messages sent by processes in `senders` and receive-omitted by `p`
+  /// (the paper's M_{X -> p} when `senders` = X).
+  [[nodiscard]] std::vector<Message> receive_omitted_from(
+      ProcessId p, const ProcessSet& senders) const;
+
+  /// Indistinguishability (§3): process p cannot tell this execution from
+  /// `other` iff it has the same proposal and receives identical messages in
+  /// every round of both.
+  [[nodiscard]] bool indistinguishable_for(ProcessId p,
+                                           const ExecutionTrace& other) const;
+
+  /// Structural well-formedness per A.1.6: send-validity, receive-validity,
+  /// omission-validity, |F| <= t, at-most-one message per ordered pair and
+  /// round, no self-messages. Returns an explanation on failure.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// The decision of the correct processes if they all decided the same
+  /// value; nullopt if any correct process is undecided or two disagree.
+  [[nodiscard]] std::optional<Value> unanimous_correct_decision() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ExecutionTrace& t);
+
+}  // namespace ba

@@ -1,0 +1,136 @@
+#include "runtime/trace_io.h"
+
+namespace ba {
+namespace {
+
+Value message_to_value(const Message& m) {
+  return Value{ValueVec{Value{static_cast<std::int64_t>(m.sender)},
+                        Value{static_cast<std::int64_t>(m.receiver)},
+                        Value{static_cast<std::int64_t>(m.round)},
+                        m.payload}};
+}
+
+std::optional<Message> message_from_value(const Value& v) {
+  if (!v.is_vec() || v.as_vec().size() != 4) return std::nullopt;
+  const ValueVec& f = v.as_vec();
+  if (!f[0].is_int() || !f[1].is_int() || !f[2].is_int()) return std::nullopt;
+  return Message{static_cast<ProcessId>(f[0].as_int()),
+                 static_cast<ProcessId>(f[1].as_int()),
+                 static_cast<Round>(f[2].as_int()), f[3]};
+}
+
+Value messages_to_value(const std::vector<Message>& ms) {
+  ValueVec out;
+  out.reserve(ms.size());
+  for (const Message& m : ms) out.push_back(message_to_value(m));
+  return Value{std::move(out)};
+}
+
+std::optional<std::vector<Message>> messages_from_value(const Value& v) {
+  if (!v.is_vec()) return std::nullopt;
+  std::vector<Message> out;
+  out.reserve(v.as_vec().size());
+  for (const Value& e : v.as_vec()) {
+    auto m = message_from_value(e);
+    if (!m) return std::nullopt;
+    out.push_back(std::move(*m));
+  }
+  return out;
+}
+
+}  // namespace
+
+Value trace_to_value(const ExecutionTrace& trace) {
+  ValueVec procs;
+  procs.reserve(trace.procs.size());
+  for (const ProcessTrace& pt : trace.procs) {
+    ValueVec rounds;
+    rounds.reserve(pt.rounds.size());
+    for (const RoundEvents& re : pt.rounds) {
+      rounds.push_back(Value{ValueVec{
+          messages_to_value(re.sent), messages_to_value(re.send_omitted),
+          messages_to_value(re.received),
+          messages_to_value(re.receive_omitted)}});
+    }
+    procs.push_back(Value{ValueVec{
+        pt.proposal,
+        pt.decision ? Value{ValueVec{*pt.decision}} : Value{ValueVec{}},
+        Value{static_cast<std::int64_t>(pt.decision_round)},
+        Value{std::move(rounds)}}});
+  }
+  ValueVec faulty;
+  for (ProcessId p : trace.faulty) {
+    faulty.emplace_back(static_cast<std::int64_t>(p));
+  }
+  return Value{ValueVec{Value{"trace"},
+                        Value{static_cast<std::int64_t>(trace.params.n)},
+                        Value{static_cast<std::int64_t>(trace.params.t)},
+                        Value{std::move(faulty)},
+                        Value{static_cast<std::int64_t>(trace.rounds)},
+                        Value{trace.quiesced}, Value{std::move(procs)}}};
+}
+
+std::optional<ExecutionTrace> trace_from_value(const Value& v) {
+  if (!v.is_vec() || v.as_vec().size() != 7) return std::nullopt;
+  const ValueVec& f = v.as_vec();
+  if (!f[0].is_str() || f[0].as_str() != "trace" || !f[1].is_int() ||
+      !f[2].is_int() || !f[3].is_vec() || !f[4].is_int() || !f[5].is_bool() ||
+      !f[6].is_vec()) {
+    return std::nullopt;
+  }
+  ExecutionTrace trace;
+  trace.params.n = static_cast<std::uint32_t>(f[1].as_int());
+  trace.params.t = static_cast<std::uint32_t>(f[2].as_int());
+  for (const Value& e : f[3].as_vec()) {
+    if (!e.is_int()) return std::nullopt;
+    trace.faulty.insert(static_cast<ProcessId>(e.as_int()));
+  }
+  trace.rounds = static_cast<Round>(f[4].as_int());
+  trace.quiesced = f[5].as_bool();
+
+  for (const Value& pv : f[6].as_vec()) {
+    if (!pv.is_vec() || pv.as_vec().size() != 4) return std::nullopt;
+    const ValueVec& pf = pv.as_vec();
+    ProcessTrace pt;
+    pt.proposal = pf[0];
+    if (!pf[1].is_vec()) return std::nullopt;
+    if (!pf[1].as_vec().empty()) pt.decision = pf[1].as_vec()[0];
+    if (!pf[2].is_int()) return std::nullopt;
+    pt.decision_round = static_cast<Round>(pf[2].as_int());
+    if (!pf[3].is_vec()) return std::nullopt;
+    for (const Value& rv : pf[3].as_vec()) {
+      if (!rv.is_vec() || rv.as_vec().size() != 4) return std::nullopt;
+      RoundEvents re;
+      auto sent = messages_from_value(rv.as_vec()[0]);
+      auto send_omitted = messages_from_value(rv.as_vec()[1]);
+      auto received = messages_from_value(rv.as_vec()[2]);
+      auto receive_omitted = messages_from_value(rv.as_vec()[3]);
+      if (!sent || !send_omitted || !received || !receive_omitted) {
+        return std::nullopt;
+      }
+      re.sent = std::move(*sent);
+      re.send_omitted = std::move(*send_omitted);
+      re.received = std::move(*received);
+      re.receive_omitted = std::move(*receive_omitted);
+      pt.rounds.push_back(std::move(re));
+    }
+    trace.procs.push_back(std::move(pt));
+  }
+  if (trace.procs.size() != trace.params.n) return std::nullopt;
+  return trace;
+}
+
+Bytes encode_trace(const ExecutionTrace& trace) {
+  return encode_value(trace_to_value(trace));
+}
+
+std::optional<ExecutionTrace> decode_trace(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    return trace_from_value(decode_value(bytes));
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ba

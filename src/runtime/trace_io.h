@@ -1,0 +1,25 @@
+#pragma once
+
+// Serialization of execution traces (and, in lowerbound/certificate_io.h,
+// violation certificates) to the library's canonical byte format. Lets a
+// counterexample found by the attack engine be stored, shipped, and
+// re-verified elsewhere — the certificate is meaningful precisely because
+// anyone can replay it.
+
+#include <optional>
+
+#include "runtime/serde.h"
+#include "runtime/trace.h"
+
+namespace ba {
+
+/// Encodes the full trace (params, faulty set, per-process proposals,
+/// per-round event sets, decisions, quiescence flag).
+Value trace_to_value(const ExecutionTrace& trace);
+std::optional<ExecutionTrace> trace_from_value(const Value& v);
+
+Bytes encode_trace(const ExecutionTrace& trace);
+std::optional<ExecutionTrace> decode_trace(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace ba

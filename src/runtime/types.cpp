@@ -1,0 +1,64 @@
+#include "runtime/types.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ba {
+
+ProcessSet::ProcessSet(std::vector<ProcessId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+ProcessSet ProcessSet::range(ProcessId begin, ProcessId end) {
+  ProcessSet s;
+  s.ids_.reserve(end > begin ? end - begin : 0);
+  for (ProcessId i = begin; i < end; ++i) s.ids_.push_back(i);
+  return s;
+}
+
+void ProcessSet::insert(ProcessId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+void ProcessSet::erase(ProcessId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) ids_.erase(it);
+}
+
+bool ProcessSet::contains(ProcessId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+ProcessSet ProcessSet::set_union(const ProcessSet& other) const {
+  ProcessSet out;
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+ProcessSet ProcessSet::set_intersection(const ProcessSet& other) const {
+  ProcessSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+ProcessSet ProcessSet::set_difference(const ProcessSet& other) const {
+  ProcessSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+ProcessSet ProcessSet::complement(std::uint32_t n) const {
+  return all(n).set_difference(*this);
+}
+
+bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+}  // namespace ba

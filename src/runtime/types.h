@@ -1,0 +1,68 @@
+#pragma once
+
+// Basic vocabulary types for the synchronous Byzantine-agreement runtime.
+//
+// The model follows §2 and Appendix A.1 of "All Byzantine Agreement Problems
+// are Expensive" (PODC 2024): a static system Pi = {p_0, ..., p_{n-1}} of
+// deterministic state machines advancing in synchronous rounds 1, 2, ...
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ba {
+
+/// Index of a process in the static system Pi. 0-based.
+using ProcessId = std::uint32_t;
+
+/// Synchronous round number. Rounds are 1-based as in the paper; round 0 is
+/// used as a sentinel meaning "before the execution starts".
+using Round = std::uint32_t;
+
+inline constexpr Round kNoRound = 0;
+inline constexpr ProcessId kNoProcess =
+    std::numeric_limits<ProcessId>::max();
+
+/// System-size parameters: n processes, at most t < n faulty.
+struct SystemParams {
+  std::uint32_t n{0};
+  std::uint32_t t{0};
+
+  [[nodiscard]] bool valid() const { return n > 0 && t < n; }
+};
+
+/// A set of process ids, kept sorted and unique. Small systems dominate the
+/// experiments, so a sorted vector beats a node-based set.
+class ProcessSet {
+ public:
+  ProcessSet() = default;
+  explicit ProcessSet(std::vector<ProcessId> ids);
+
+  static ProcessSet range(ProcessId begin, ProcessId end);  // [begin, end)
+  static ProcessSet all(std::uint32_t n) { return range(0, n); }
+
+  void insert(ProcessId id);
+  void erase(ProcessId id);
+  [[nodiscard]] bool contains(ProcessId id) const;
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+
+  [[nodiscard]] ProcessSet set_union(const ProcessSet& other) const;
+  [[nodiscard]] ProcessSet set_intersection(const ProcessSet& other) const;
+  [[nodiscard]] ProcessSet set_difference(const ProcessSet& other) const;
+  /// Complement with respect to a system of n processes (paper notation G-bar).
+  [[nodiscard]] ProcessSet complement(std::uint32_t n) const;
+
+  [[nodiscard]] bool is_subset_of(const ProcessSet& other) const;
+
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+  [[nodiscard]] const std::vector<ProcessId>& ids() const { return ids_; }
+
+  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+
+ private:
+  std::vector<ProcessId> ids_;
+};
+
+}  // namespace ba

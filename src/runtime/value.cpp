@@ -1,0 +1,99 @@
+#include "runtime/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ba {
+namespace {
+
+std::size_t hash_combine(std::size_t seed, std::size_t h) {
+  // Boost-style combiner; good enough for container keying.
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::optional<int> Value::try_bit() const {
+  if (is_bool()) return as_bool() ? 1 : 0;
+  if (is_int() && (as_int() == 0 || as_int() == 1)) {
+    return static_cast<int>(as_int());
+  }
+  return std::nullopt;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::size_t Value::hash() const {
+  std::size_t seed = static_cast<std::size_t>(kind());
+  switch (kind()) {
+    case Kind::kNull:
+      break;
+    case Kind::kBool:
+      seed = hash_combine(seed, std::hash<bool>{}(as_bool()));
+      break;
+    case Kind::kInt:
+      seed = hash_combine(seed, std::hash<std::int64_t>{}(as_int()));
+      break;
+    case Kind::kStr:
+      seed = hash_combine(seed, std::hash<std::string>{}(as_str()));
+      break;
+    case Kind::kVec:
+      for (const Value& e : as_vec()) seed = hash_combine(seed, e.hash());
+      break;
+  }
+  return seed;
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return a.kind() <=> b.kind();
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return std::strong_ordering::equal;
+    case Value::Kind::kBool:
+      return a.as_bool() <=> b.as_bool();
+    case Value::Kind::kInt:
+      return a.as_int() <=> b.as_int();
+    case Value::Kind::kStr:
+      return a.as_str().compare(b.as_str()) <=> 0;
+    case Value::Kind::kVec: {
+      const ValueVec& va = a.as_vec();
+      const ValueVec& vb = b.as_vec();
+      for (std::size_t i = 0; i < va.size() && i < vb.size(); ++i) {
+        auto c = va[i] <=> vb[i];
+        if (c != std::strong_ordering::equal) return c;
+      }
+      return va.size() <=> vb.size();
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return os << "_";
+    case Value::Kind::kBool:
+      return os << (v.as_bool() ? "1" : "0");
+    case Value::Kind::kInt:
+      return os << v.as_int();
+    case Value::Kind::kStr:
+      return os << '"' << v.as_str() << '"';
+    case Value::Kind::kVec: {
+      os << '[';
+      bool first = true;
+      for (const Value& e : v.as_vec()) {
+        if (!first) os << ',';
+        first = false;
+        os << e;
+      }
+      return os << ']';
+    }
+  }
+  return os;
+}
+
+}  // namespace ba

@@ -1,0 +1,90 @@
+#pragma once
+
+// `Value` is the universal, comparable, hashable datum used for proposals,
+// decisions, and message payloads across the library.
+//
+// The paper works with (potentially infinite) proposal/decision sets V_I and
+// V_O; concrete experiments only ever need a small recursive value universe:
+// null (the "no decision yet" / bottom symbol), booleans/bits, integers,
+// strings (transactions, signatures as bytes), and vectors (interactive-
+// consistency decisions are vectors of n entries).
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ba {
+
+class Value;
+using ValueVec = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNull = 0, kBool, kInt, kStr, kVec };
+
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                           // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) : rep_(i) {}                   // NOLINT
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {} // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}         // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}       // NOLINT
+  Value(ValueVec v) : rep_(std::move(v)) {}            // NOLINT
+
+  static Value null() { return Value{}; }
+  static Value bit(int b) { return Value{b != 0}; }
+  static Value vec(std::initializer_list<Value> elems) {
+    return Value{ValueVec(elems)};
+  }
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(rep_.index());
+  }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind() == Kind::kInt; }
+  [[nodiscard]] bool is_str() const { return kind() == Kind::kStr; }
+  [[nodiscard]] bool is_vec() const { return kind() == Kind::kVec; }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(rep_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(rep_);
+  }
+  [[nodiscard]] const std::string& as_str() const {
+    return std::get<std::string>(rep_);
+  }
+  [[nodiscard]] const ValueVec& as_vec() const {
+    return std::get<ValueVec>(rep_);
+  }
+  [[nodiscard]] ValueVec& as_vec() { return std::get<ValueVec>(rep_); }
+
+  /// Interpret a kBool or kInt value as a binary bit; nullopt otherwise.
+  [[nodiscard]] std::optional<int> try_bit() const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+ private:
+  using Rep =
+      std::variant<std::monostate, bool, std::int64_t, std::string, ValueVec>;
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace ba
+
+template <>
+struct std::hash<ba::Value> {
+  std::size_t operator()(const ba::Value& v) const { return v.hash(); }
+};

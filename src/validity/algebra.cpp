@@ -1,0 +1,50 @@
+#include "validity/algebra.h"
+
+namespace ba::validity {
+
+bool is_weaker_equal(const ValidityProperty& weaker,
+                     const ValidityProperty& stronger, std::uint32_t n,
+                     std::uint32_t t) {
+  bool holds = true;
+  for_each_input_config(n, t, stronger.input_domain,
+                        [&](const InputConfig& c) {
+                          for (const Value& v : stronger.output_domain) {
+                            if (stronger.admissible(c, v) &&
+                                !weaker.admissible(c, v)) {
+                              holds = false;
+                              return false;
+                            }
+                          }
+                          return true;
+                        });
+  return holds;
+}
+
+ValidityProperty conjunction(const ValidityProperty& a,
+                             const ValidityProperty& b) {
+  ValidityProperty out;
+  out.name = a.name + " AND " + b.name;
+  out.input_domain = a.input_domain;
+  out.output_domain = a.output_domain;
+  out.admissible = [fa = a.admissible, fb = b.admissible](
+                       const InputConfig& c, const Value& v) {
+    return fa(c, v) && fb(c, v);
+  };
+  return out;
+}
+
+bool has_empty_admissible_set(const ValidityProperty& val, std::uint32_t n,
+                              std::uint32_t t, InputConfig* witness) {
+  bool empty_found = false;
+  for_each_input_config(n, t, val.input_domain, [&](const InputConfig& c) {
+    for (const Value& v : val.output_domain) {
+      if (val.admissible(c, v)) return true;  // non-empty, keep going
+    }
+    empty_found = true;
+    if (witness) *witness = c;
+    return false;
+  });
+  return empty_found;
+}
+
+}  // namespace ba::validity

@@ -1,0 +1,47 @@
+#pragma once
+
+// An algebra over validity properties, formalizing the "landscape" talk of
+// §4.2: which problems are weaker/stronger than which, and how properties
+// compose.
+//
+//   * `is_weaker_equal(a, b)`: problem a is weaker than (or equal to) b iff
+//     a admits every decision b admits at every configuration —
+//     val_a(c) ⊇ val_b(c) for all c. Any solver of b then solves a verbatim
+//     (no reduction needed). The paper's headline structural claim — weak
+//     consensus is the WEAKEST non-trivial problem — is about the reduction
+//     order (Algorithm 1), which is coarser than this pointwise order; both
+//     are exposed here.
+//   * `conjunction(a, b)`: admissible iff admissible under both (the
+//     intersection problem); may fail the non-emptiness requirement, which
+//     `has_empty_admissible_set` reports.
+//   * `reduction_exists(problem, params, solver)`: the operational order of
+//     §4.2 — Algorithm 1 parameters are derivable from this solver, i.e.
+//     weak consensus reduces to the problem at zero cost.
+
+#include <optional>
+
+#include "runtime/process.h"
+#include "validity/property.h"
+
+namespace ba::validity {
+
+/// Pointwise order: every decision admissible under `stronger` is admissible
+/// under `weaker`, at every input configuration (enumerated exactly).
+/// Requires identical input/output domains.
+bool is_weaker_equal(const ValidityProperty& weaker,
+                     const ValidityProperty& stronger, std::uint32_t n,
+                     std::uint32_t t);
+
+/// The intersection problem: val(c) = val_a(c) ∩ val_b(c).
+/// Input/output domains must match.
+ValidityProperty conjunction(const ValidityProperty& a,
+                             const ValidityProperty& b);
+
+/// True iff some configuration has an empty admissible set (making the
+/// property malformed as a validity property — val must map to non-empty
+/// sets).
+bool has_empty_admissible_set(const ValidityProperty& val, std::uint32_t n,
+                              std::uint32_t t,
+                              InputConfig* witness = nullptr);
+
+}  // namespace ba::validity

@@ -1,0 +1,82 @@
+#pragma once
+
+// Input configurations (§4.1): an assignment of proposals to the correct
+// processes. A configuration over a system of n processes with at most t
+// faults has x slots filled, n - t <= x <= n; an empty slot (nullopt) means
+// the process is faulty in the corresponding executions.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba::validity {
+
+class InputConfig {
+ public:
+  InputConfig() = default;
+  explicit InputConfig(std::vector<std::optional<Value>> slots)
+      : slots_(std::move(slots)) {}
+
+  /// A configuration with all n processes correct (c in I_n).
+  static InputConfig full(std::vector<Value> proposals);
+  /// All n processes correct, all proposing `v`.
+  static InputConfig uniform(std::uint32_t n, const Value& v);
+
+  [[nodiscard]] std::size_t n() const { return slots_.size(); }
+  [[nodiscard]] const std::optional<Value>& operator[](std::size_t i) const {
+    return slots_[i];
+  }
+  [[nodiscard]] std::optional<Value>& operator[](std::size_t i) {
+    return slots_[i];
+  }
+
+  /// pi(c): the set of correct processes.
+  [[nodiscard]] ProcessSet correct() const;
+  [[nodiscard]] std::size_t num_correct() const;
+  [[nodiscard]] bool is_full() const { return num_correct() == n(); }
+
+  /// The containment relation: *this ⊒ other iff pi(other) ⊆ pi(*this) and
+  /// proposals coincide on pi(other).
+  [[nodiscard]] bool contains(const InputConfig& other) const;
+
+  /// Restriction of this configuration to the processes in `keep`
+  /// (slots outside `keep` become empty).
+  [[nodiscard]] InputConfig restrict_to(const ProcessSet& keep) const;
+
+  /// Do all filled slots hold the same value? Returns it if so and the
+  /// configuration is non-empty.
+  [[nodiscard]] std::optional<Value> uniform_value() const;
+
+  /// Encodes as a Value (vector of ["c", v] / ["f"] slots) — used when a
+  /// decision *is* an input configuration (interactive consistency).
+  [[nodiscard]] Value to_value() const;
+  static std::optional<InputConfig> from_value(const Value& v);
+
+  friend bool operator==(const InputConfig&, const InputConfig&) = default;
+  /// Lexicographic order so configurations can key ordered containers.
+  friend bool operator<(const InputConfig& a, const InputConfig& b);
+
+ private:
+  std::vector<std::optional<Value>> slots_;
+};
+
+/// Enumerates Cnt(c) = { c' | c ⊒ c' , |pi(c')| >= n - t }, invoking `fn` on
+/// each (including c itself). Stops early if `fn` returns false. Returns
+/// false iff stopped early.
+bool for_each_contained(const InputConfig& c, std::uint32_t t,
+                        const std::function<bool(const InputConfig&)>& fn);
+
+/// Enumerates every input configuration in I over the finite proposal domain
+/// `input_domain` for an (n, t) system. Stops early if `fn` returns false.
+bool for_each_input_config(std::uint32_t n, std::uint32_t t,
+                           const std::vector<Value>& input_domain,
+                           const std::function<bool(const InputConfig&)>& fn);
+
+/// |I| for the given parameters (to size experiments).
+std::uint64_t count_input_configs(std::uint32_t n, std::uint32_t t,
+                                  std::size_t domain_size);
+
+}  // namespace ba::validity

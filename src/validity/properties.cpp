@@ -1,0 +1,183 @@
+#include "validity/properties.h"
+
+#include <map>
+
+namespace ba::validity {
+namespace {
+
+/// Count of slots in c equal to v.
+std::size_t count_of(const InputConfig& c, const Value& v) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < c.n(); ++i) {
+    if (c[i].has_value() && *c[i] == v) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::vector<Value> binary_domain() { return {Value::bit(0), Value::bit(1)}; }
+
+std::vector<Value> int_domain(std::size_t k) {
+  std::vector<Value> d;
+  d.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    d.emplace_back(static_cast<std::int64_t>(i));
+  }
+  return d;
+}
+
+ValidityProperty weak_validity(std::uint32_t n, std::uint32_t t,
+                               std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "weak-validity";
+  p.input_domain = domain;
+  p.output_domain = domain;
+  p.admissible = [n](const InputConfig& c, const Value& v) {
+    if (c.num_correct() == n) {
+      if (auto u = c.uniform_value()) return v == *u;
+    }
+    return true;
+  };
+  p.gamma_fast = [n, domain](const InputConfig& c) -> std::optional<Value> {
+    // Only the full uniform configuration constrains anything, and Cnt(c)
+    // contains a full configuration only if c is full (containment cannot
+    // add processes).
+    if (c.num_correct() == n) {
+      if (auto u = c.uniform_value()) return *u;
+    }
+    return domain.front();
+  };
+  return p;
+}
+
+ValidityProperty strong_validity(std::uint32_t n, std::uint32_t t,
+                                 std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "strong-validity";
+  p.input_domain = domain;
+  p.output_domain = domain;
+  p.admissible = [](const InputConfig& c, const Value& v) {
+    if (auto u = c.uniform_value()) return v == *u;
+    return true;
+  };
+  p.gamma_fast = [n, t, domain](const InputConfig& c) -> std::optional<Value> {
+    // A contained configuration is uniform in w iff c holds >= n - t slots
+    // equal to w. Each such w is forced; two distinct forced values make the
+    // intersection empty.
+    std::optional<Value> forced;
+    for (const Value& w : domain) {
+      if (count_of(c, w) >= n - t) {
+        if (forced && *forced != w) return std::nullopt;
+        forced = w;
+      }
+    }
+    return forced ? *forced : domain.front();
+  };
+  return p;
+}
+
+ValidityProperty sender_validity(std::uint32_t n, std::uint32_t t,
+                                 ProcessId sender, std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "sender-validity(p" + std::to_string(sender) + ")";
+  p.input_domain = domain;
+  // Decisions: a proposal value, or bottom (the "sender exposed" symbol).
+  p.output_domain = domain;
+  p.output_domain.push_back(Value::null());
+  p.admissible = [sender](const InputConfig& c, const Value& v) {
+    if (c[sender].has_value()) return v == *c[sender];
+    return true;
+  };
+  p.gamma_fast = [sender](const InputConfig& c) -> std::optional<Value> {
+    // Configurations containing the sender all force the sender's value;
+    // configurations without it allow anything — so the sender's value (or
+    // bottom when the sender is faulty) always works.
+    if (c[sender].has_value()) return *c[sender];
+    return Value::null();
+  };
+  (void)n;
+  (void)t;
+  return p;
+}
+
+ValidityProperty ic_validity(std::uint32_t n, std::uint32_t t,
+                             std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "ic-validity";
+  p.input_domain = domain;
+  // V_O = I_n, encoded the way the IC protocols decide: a plain vector of n
+  // values. (Faulty components may carry anything; only the correct slots
+  // are constrained by IC-Validity.) For enumeration purposes the output
+  // domain lists all domain^n vectors.
+  std::vector<Value> outs;
+  std::vector<Value> current(n, domain.front());
+  std::function<void(std::uint32_t)> gen = [&](std::uint32_t i) {
+    if (i == n) {
+      outs.emplace_back(ValueVec(current.begin(), current.end()));
+      return;
+    }
+    for (const Value& v : domain) {
+      current[i] = v;
+      gen(i + 1);
+    }
+  };
+  gen(0);
+  p.output_domain = std::move(outs);
+  p.admissible = [n](const InputConfig& c, const Value& v) {
+    // IC-Validity: a vector of n entries matching c on every correct slot.
+    if (!v.is_vec() || v.as_vec().size() != n) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c[i].has_value() && v.as_vec()[i] != *c[i]) return false;
+    }
+    return true;
+  };
+  p.gamma_fast = [n, domain](const InputConfig& c) -> std::optional<Value> {
+    // Any full extension of c contains every configuration c contains.
+    ValueVec ext(n, domain.front());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c[i].has_value()) ext[i] = *c[i];
+    }
+    return Value{std::move(ext)};
+  };
+  (void)t;
+  return p;
+}
+
+ValidityProperty any_proposed_validity(std::uint32_t n, std::uint32_t t,
+                                       std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "any-proposed-validity";
+  p.input_domain = domain;
+  p.output_domain = domain;
+  p.admissible = [](const InputConfig& c, const Value& v) {
+    return count_of(c, v) > 0;
+  };
+  p.gamma_fast = [n, t, domain](const InputConfig& c) -> std::optional<Value> {
+    // Γ(c) must be present in every contained configuration, i.e. survive
+    // dropping any |pi(c)| - (n - t) slots: count(w) must exceed that.
+    const std::size_t max_drop = c.num_correct() - (n - t);
+    for (const Value& w : domain) {
+      if (count_of(c, w) > max_drop) return w;
+    }
+    return std::nullopt;
+  };
+  return p;
+}
+
+ValidityProperty constant_validity(std::uint32_t n, std::uint32_t t,
+                                   std::vector<Value> domain) {
+  ValidityProperty p;
+  p.name = "constant-validity";
+  p.input_domain = domain;
+  p.output_domain = domain;
+  p.admissible = [](const InputConfig&, const Value&) { return true; };
+  p.gamma_fast = [domain](const InputConfig&) -> std::optional<Value> {
+    return domain.front();
+  };
+  (void)n;
+  (void)t;
+  return p;
+}
+
+}  // namespace ba::validity

@@ -1,0 +1,50 @@
+#pragma once
+
+// Canned validity properties — the agreement-problem zoo of the paper's
+// introduction, each expressed in the §4.1 formalism:
+//
+//   * Weak Validity        (weak consensus [28, 37, 79, 101])
+//   * Strong Validity      (strong consensus [37, 45, 78])
+//   * Sender Validity      (Byzantine broadcast [11, 88, 96, 98])
+//   * IC-Validity          (interactive consistency [18, 54, 78])
+//   * Any-Proposed Validity (decide a value some correct process proposed)
+//   * Constant Validity    (every value always admissible — the trivial one)
+//
+// Each ships a closed-form Γ (gamma_fast) which tests cross-check against
+// the generic enumerator in validity/solvability.h.
+
+#include <cstdint>
+
+#include "validity/property.h"
+
+namespace ba::validity {
+
+/// {0, 1} as Values.
+std::vector<Value> binary_domain();
+/// {0, 1, ..., k-1} as Values.
+std::vector<Value> int_domain(std::size_t k);
+
+ValidityProperty weak_validity(std::uint32_t n, std::uint32_t t,
+                               std::vector<Value> domain = binary_domain());
+
+ValidityProperty strong_validity(std::uint32_t n, std::uint32_t t,
+                                 std::vector<Value> domain = binary_domain());
+
+ValidityProperty sender_validity(std::uint32_t n, std::uint32_t t,
+                                 ProcessId sender,
+                                 std::vector<Value> domain = binary_domain());
+
+/// V_O = I_n (full input configurations, encoded via InputConfig::to_value).
+ValidityProperty ic_validity(std::uint32_t n, std::uint32_t t,
+                             std::vector<Value> domain = binary_domain());
+
+/// The decided value must have been proposed by a correct process.
+ValidityProperty any_proposed_validity(
+    std::uint32_t n, std::uint32_t t,
+    std::vector<Value> domain = binary_domain());
+
+/// Trivial: everything is always admissible.
+ValidityProperty constant_validity(std::uint32_t n, std::uint32_t t,
+                                   std::vector<Value> domain = binary_domain());
+
+}  // namespace ba::validity

@@ -1,0 +1,85 @@
+#include "validity/solvability.h"
+
+#include <sstream>
+
+namespace ba::validity {
+
+std::vector<Value> containment_intersection(const ValidityProperty& val,
+                                            std::uint32_t t,
+                                            const InputConfig& c) {
+  std::vector<Value> alive = val.output_domain;
+  for_each_contained(c, t, [&](const InputConfig& contained) {
+    std::erase_if(alive, [&](const Value& v) {
+      return !val.admissible(contained, v);
+    });
+    return !alive.empty();  // stop early once empty
+  });
+  return alive;
+}
+
+std::optional<Value> gamma(const ValidityProperty& val, std::uint32_t t,
+                           const InputConfig& c) {
+  std::vector<Value> inter = containment_intersection(val, t, c);
+  if (inter.empty()) return std::nullopt;
+  return inter.front();
+}
+
+bool is_trivial(const ValidityProperty& val, std::uint32_t n,
+                std::uint32_t t) {
+  for (const Value& v : val.output_domain) {
+    bool always = true;
+    for_each_input_config(n, t, val.input_domain, [&](const InputConfig& c) {
+      if (!val.admissible(c, v)) {
+        always = false;
+        return false;
+      }
+      return true;
+    });
+    if (always) return true;
+  }
+  return false;
+}
+
+bool satisfies_cc(const ValidityProperty& val, std::uint32_t n,
+                  std::uint32_t t, InputConfig* witness) {
+  bool ok = true;
+  for_each_input_config(n, t, val.input_domain, [&](const InputConfig& c) {
+    if (!gamma(val, t, c).has_value()) {
+      ok = false;
+      if (witness) *witness = c;
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
+
+std::string SolvabilityVerdict::summary() const {
+  std::ostringstream os;
+  os << (trivial ? "trivial" : "non-trivial") << ", CC "
+     << (cc ? "holds" : "fails") << ", authenticated: "
+     << (authenticated_solvable ? "solvable" : "UNSOLVABLE")
+     << ", unauthenticated: "
+     << (unauthenticated_solvable ? "solvable" : "UNSOLVABLE");
+  return os.str();
+}
+
+SolvabilityVerdict solvability(const ValidityProperty& val, std::uint32_t n,
+                               std::uint32_t t) {
+  SolvabilityVerdict v;
+  v.trivial = is_trivial(val, n, t);
+  InputConfig witness;
+  v.cc = satisfies_cc(val, n, t, &witness);
+  if (!v.cc) v.cc_witness = witness;
+  if (v.trivial) {
+    // Decide the always-admissible value with zero communication.
+    v.authenticated_solvable = true;
+    v.unauthenticated_solvable = true;
+  } else {
+    v.authenticated_solvable = v.cc;                 // Theorem 4(a)
+    v.unauthenticated_solvable = v.cc && n > 3 * t;  // Theorem 4(b)
+  }
+  return v;
+}
+
+}  // namespace ba::validity

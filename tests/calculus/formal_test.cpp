@@ -1,0 +1,244 @@
+// Tests for the explicit Appendix-A formalization: fragment conditions
+// (A.1.4, 1-10), behavior conditions (A.1.5), execution guarantees (A.1.6),
+// and the trace <-> behavior lifting — including the determinism condition
+// (7) discharged by state-machine replay, on real protocol executions.
+
+#include "calculus/formal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/omission.h"
+#include "crypto/signature.h"
+#include "protocols/phase_king.h"
+#include "protocols/weak_consensus.h"
+#include "runtime/sync_system.h"
+
+namespace ba::calculus {
+namespace {
+
+Fragment sample_fragment() {
+  Fragment f;
+  f.state = FormalState{1, 2, Value::bit(0), std::nullopt};
+  f.sent = {Message{1, 0, 2, Value{"a"}}, Message{1, 2, 2, Value{"b"}}};
+  f.send_omitted = {Message{1, 3, 2, Value{"c"}}};
+  f.received = {Message{0, 1, 2, Value{"d"}}};
+  f.receive_omitted = {Message{2, 1, 2, Value{"e"}}};
+  return f;
+}
+
+TEST(Fragment, WellFormedSamplePasses) {
+  EXPECT_EQ(check_fragment(sample_fragment(), 1, 2), std::nullopt);
+}
+
+TEST(Fragment, EachConditionFires) {
+  {  // (1) wrong process
+    EXPECT_EQ(check_fragment(sample_fragment(), 2, 2), 1);
+  }
+  {  // (2) wrong round
+    EXPECT_EQ(check_fragment(sample_fragment(), 1, 3), 2);
+  }
+  {  // (3) message with wrong round
+    Fragment f = sample_fragment();
+    f.sent[0].round = 9;
+    EXPECT_EQ(check_fragment(f, 1, 2), 3);
+  }
+  {  // (4) sent and send-omitted overlap
+    Fragment f = sample_fragment();
+    f.send_omitted.push_back(f.sent[0]);
+    EXPECT_EQ(check_fragment(f, 1, 2), 4);
+  }
+  {  // (5) received and receive-omitted overlap
+    Fragment f = sample_fragment();
+    f.receive_omitted.push_back(f.received[0]);
+    EXPECT_EQ(check_fragment(f, 1, 2), 5);
+  }
+  {  // (6) outbound with foreign sender
+    Fragment f = sample_fragment();
+    f.sent[0].sender = 2;  // also breaks (8)? receiver is 0, so no
+    EXPECT_EQ(check_fragment(f, 1, 2), 6);
+  }
+  {  // (7) inbound with foreign receiver
+    Fragment f = sample_fragment();
+    f.received[0].receiver = 3;
+    EXPECT_EQ(check_fragment(f, 1, 2), 7);
+  }
+  {  // (8) self-message
+    Fragment f = sample_fragment();
+    f.received[0].sender = 1;
+    EXPECT_EQ(check_fragment(f, 1, 2), 8);
+  }
+  {  // (9) two outbound to one receiver (same bucket, so (4) stays silent)
+    Fragment f = sample_fragment();
+    f.sent.push_back(Message{1, 0, 2, Value{"dup"}});
+    EXPECT_EQ(check_fragment(f, 1, 2), 9);
+  }
+  {  // (10) two inbound from one sender
+    Fragment f = sample_fragment();
+    f.received.push_back(Message{0, 1, 2, Value{"dup"}});
+    EXPECT_EQ(check_fragment(f, 1, 2), 10);
+  }
+  {  // (4) duplicate identity across sent / send-omitted
+    Fragment f = sample_fragment();
+    f.send_omitted.push_back(Message{1, 0, 2, Value{"dup"}});
+    EXPECT_EQ(check_fragment(f, 1, 2), 4);
+  }
+  {  // (5) duplicate identity across received / receive-omitted
+    Fragment f = sample_fragment();
+    f.receive_omitted.push_back(Message{0, 1, 2, Value{"dup"}});
+    EXPECT_EQ(check_fragment(f, 1, 2), 5);
+  }
+}
+
+TEST(Behavior, StaticConditionsOnRealTrace) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(1));
+  for (const Behavior& b : to_behaviors(res.trace)) {
+    EXPECT_EQ(check_behavior_static(b), std::nullopt) << "p" << b.process;
+  }
+}
+
+TEST(Behavior, StickyDecisionViolationDetected) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(1));
+  auto behaviors = to_behaviors(res.trace);
+  // Flip the decision in the last fragment only.
+  Behavior& b = behaviors[0];
+  ASSERT_GE(b.fragments.size(), 2u);
+  ASSERT_TRUE(b.fragments.back().state.decision.has_value());
+  b.fragments.back().state.decision = Value::bit(0);
+  // If the previous fragment had already decided 1, this breaks (6).
+  if (b.fragments[b.fragments.size() - 2].state.decision == Value::bit(1)) {
+    EXPECT_EQ(check_behavior_static(b), 6);
+  }
+}
+
+TEST(Behavior, ProposalChangeDetected) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(1));
+  auto behaviors = to_behaviors(res.trace);
+  behaviors[2].fragments[1].state.proposal = Value::bit(0);
+  EXPECT_EQ(check_behavior_static(behaviors[2]), 5);
+}
+
+TEST(Behavior, TransitionConditionHoldsOnRealExecutions) {
+  SystemParams params{6, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(5, 6);
+  auto wc = protocols::weak_consensus_auth(auth);
+  RunResult res = run_execution(params, wc,
+                                std::vector<Value>(6, Value::bit(0)),
+                                isolate_group(ProcessSet{{4, 5}}, 2));
+  for (const Behavior& b : to_behaviors(res.trace)) {
+    EXPECT_EQ(check_behavior_transitions(b, params, wc), std::nullopt)
+        << "p" << b.process;
+  }
+}
+
+TEST(Behavior, TransitionConditionCatchesTamperedSends) {
+  SystemParams params{4, 1};
+  auto pk = protocols::phase_king_consensus();
+  RunResult res = run_all_correct(params, pk, Value::bit(0));
+  auto behaviors = to_behaviors(res.trace);
+  ASSERT_FALSE(behaviors[1].fragments[0].sent.empty());
+  behaviors[1].fragments[0].sent[0].payload = Value{"forged"};
+  EXPECT_NE(check_behavior_transitions(behaviors[1], params, pk),
+            std::nullopt);
+}
+
+TEST(Behavior, TransitionConditionCatchesWrongProtocol) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(0));
+  auto behaviors = to_behaviors(res.trace);
+  EXPECT_NE(check_behavior_transitions(behaviors[0], params,
+                                       protocols::wc_candidate_silent(1)),
+            std::nullopt);
+}
+
+TEST(ExecutionConditions, HoldOnRealExecutions) {
+  SystemParams params{5, 2};
+  RunResult res = run_execution(params, protocols::phase_king_consensus(),
+                                std::vector<Value>(5, Value::bit(1)),
+                                isolate_group(ProcessSet{{4}}, 3));
+  auto behaviors = to_behaviors(res.trace);
+  EXPECT_EQ(check_execution_conditions(params, res.trace.faulty, behaviors),
+            std::nullopt);
+}
+
+TEST(ExecutionConditions, OmissionValidityFires) {
+  SystemParams params{5, 2};
+  RunResult res = run_execution(params, protocols::phase_king_consensus(),
+                                std::vector<Value>(5, Value::bit(1)),
+                                isolate_group(ProcessSet{{4}}, 1));
+  auto behaviors = to_behaviors(res.trace);
+  // Claim nobody is faulty: p4's receive-omissions violate the guarantee.
+  auto err = check_execution_conditions(params, ProcessSet{}, behaviors);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("omission-validity"), std::string::npos);
+}
+
+TEST(ExecutionConditions, ReceiveValidityFires) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(0));
+  auto behaviors = to_behaviors(res.trace);
+  behaviors[0].fragments[0].received.push_back(
+      Message{2, 0, 1, Value{"never-sent"}});
+  // The forged inbound breaks fragment condition (10)? No — sender 2 already
+  // sent one message to p0 in round 1, making two inbound from one sender,
+  // which composition (static behavior check) reports first. Use a fresh
+  // sender id impossible in round 1 instead: remove the original first.
+  auto& rec = behaviors[0].fragments[0].received;
+  std::erase_if(rec, [](const Message& m) {
+    return m.sender == 2 && m.payload != Value{"never-sent"};
+  });
+  auto err = check_execution_conditions(params, res.trace.faulty, behaviors);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("receive-validity"), std::string::npos);
+}
+
+TEST(ExecutionConditions, FaultBudgetFires) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(0));
+  auto behaviors = to_behaviors(res.trace);
+  auto err = check_execution_conditions(params, ProcessSet{{0, 1}},
+                                        behaviors);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("|F| > t"), std::string::npos);
+}
+
+TEST(Lifting, BehaviorsMatchTraceContent) {
+  SystemParams params{4, 2};
+  RunResult res = run_execution(params, protocols::phase_king_consensus(),
+                                std::vector<Value>(4, Value::bit(0)),
+                                isolate_group(ProcessSet{{3}}, 2));
+  auto behaviors = to_behaviors(res.trace);
+  ASSERT_EQ(behaviors.size(), 4u);
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_EQ(behaviors[p].rounds(), res.trace.procs[p].rounds.size());
+    for (std::size_t j = 0; j < behaviors[p].rounds(); ++j) {
+      EXPECT_EQ(behaviors[p].fragments[j].sent,
+                res.trace.procs[p].rounds[j].sent);
+      EXPECT_EQ(behaviors[p].fragments[j].received,
+                res.trace.procs[p].rounds[j].received);
+    }
+    // Decision appears in states strictly after its decision round.
+    const auto& pt = res.trace.procs[p];
+    if (pt.decision && pt.decision_round < behaviors[p].rounds()) {
+      EXPECT_EQ(behaviors[p]
+                    .state(static_cast<Round>(pt.decision_round + 1))
+                    .decision,
+                pt.decision);
+      EXPECT_EQ(behaviors[p].state(pt.decision_round).decision,
+                std::nullopt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ba::calculus

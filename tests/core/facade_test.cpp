@@ -1,0 +1,123 @@
+// Tests for the AgreementProblem facade: verdicts, solver synthesis across
+// settings, validity checking of executions, and input-configuration
+// extraction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba {
+namespace {
+
+TEST(Facade, InputConfOfTrace) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value{1}, Value{2}, Value{3}, Value{4}};
+  RunResult res = run_execution(params, protocols::phase_king_consensus(),
+                                proposals, isolate_group(ProcessSet{{2}}, 1));
+  validity::InputConfig c = input_conf(res.trace);
+  EXPECT_EQ(c.correct(), ProcessSet({0, 1, 3}));
+  EXPECT_EQ(*c[0], Value{1});
+  EXPECT_FALSE(c[2].has_value());
+}
+
+TEST(Facade, TrivialProblemGetsZeroMessageSolver) {
+  SystemParams params{5, 2};
+  AgreementProblem trivial{params, validity::constant_validity(5, 2)};
+  auto solver = trivial.make_solver(/*authenticated=*/false);
+  ASSERT_TRUE(solver.has_value());
+  RunResult res = run_all_correct(params, *solver, Value::bit(1));
+  EXPECT_EQ(res.messages_sent_by_correct, 0u);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_TRUE(res.decisions[p].has_value());
+  }
+}
+
+TEST(Facade, UnsolvableProblemGetsNoSolver) {
+  SystemParams params{4, 2};
+  AgreementProblem strong{params, validity::strong_validity(4, 2)};
+  auto auth = std::make_shared<crypto::Authenticator>(1, 4);
+  EXPECT_FALSE(strong.make_solver(true, auth).has_value());
+  EXPECT_FALSE(strong.make_solver(false).has_value());
+}
+
+TEST(Facade, UnauthSolverRefusedBeyondThreeT) {
+  // Sender validity satisfies CC at any resilience, but n <= 3t blocks the
+  // unauthenticated route (Lemma 10 / FLM).
+  SystemParams params{4, 2};
+  AgreementProblem bb{params, validity::sender_validity(4, 2, 0)};
+  EXPECT_FALSE(bb.make_solver(false).has_value());
+  auto auth = std::make_shared<crypto::Authenticator>(2, 4);
+  EXPECT_TRUE(bb.make_solver(true, auth).has_value());
+}
+
+TEST(Facade, AuthSolverNeedsAuthenticator) {
+  SystemParams params{4, 1};
+  AgreementProblem strong{params, validity::strong_validity(4, 1)};
+  EXPECT_FALSE(strong.make_solver(true, nullptr).has_value());
+}
+
+TEST(Facade, CheckExecutionFlagsInadmissibleDecisions) {
+  SystemParams params{4, 1};
+  AgreementProblem strong{params, validity::strong_validity(4, 1)};
+  // Build a trace by hand from a phase-king run, then corrupt a decision.
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(0));
+  EXPECT_EQ(strong.check_execution(res.trace), std::nullopt);
+  ExecutionTrace bad = res.trace;
+  bad.procs[1].decision = Value::bit(1);  // unanimous 0 forces 0
+  auto err = strong.check_execution(bad);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("p1"), std::string::npos);
+}
+
+TEST(Facade, SolverDecisionsAdmissibleUnderFaults) {
+  SystemParams params{5, 1};
+  auto auth = std::make_shared<crypto::Authenticator>(3, 5);
+  AgreementProblem any{params, validity::any_proposed_validity(5, 1)};
+  ASSERT_TRUE(any.analyze().authenticated_solvable);
+  auto solver = any.make_solver(true, auth);
+  ASSERT_TRUE(solver.has_value());
+
+  Adversary adv;
+  adv.faulty = ProcessSet{{4}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(4);
+  std::vector<Value> proposals{Value::bit(0), Value::bit(0), Value::bit(1),
+                               Value::bit(0), Value::bit(1)};
+  RunResult res = run_execution(params, *solver, proposals, adv);
+  EXPECT_EQ(any.check_execution(res.trace), std::nullopt);
+  EXPECT_TRUE(res.unanimous_correct_decision().has_value());
+}
+
+TEST(Facade, VerdictAndSolverAgreeAcrossCannedProblems) {
+  struct Case {
+    std::uint32_t n, t;
+    validity::ValidityProperty prop;
+  };
+  const Case cases[] = {
+      {4, 1, validity::weak_validity(4, 1)},
+      {4, 1, validity::strong_validity(4, 1)},
+      {4, 2, validity::strong_validity(4, 2)},
+      {4, 2, validity::sender_validity(4, 2, 0)},
+      {3, 1, validity::ic_validity(3, 1)},
+      {4, 2, validity::any_proposed_validity(4, 2)},
+      {4, 1, validity::constant_validity(4, 1)},
+  };
+  for (const Case& c : cases) {
+    SystemParams params{c.n, c.t};
+    AgreementProblem problem{params, c.prop};
+    auto verdict = problem.analyze();
+    auto auth = std::make_shared<crypto::Authenticator>(9, c.n);
+    EXPECT_EQ(problem.make_solver(true, auth).has_value(),
+              verdict.authenticated_solvable)
+        << c.prop.name;
+    EXPECT_EQ(problem.make_solver(false).has_value(),
+              verdict.unauthenticated_solvable)
+        << c.prop.name;
+  }
+}
+
+}  // namespace
+}  // namespace ba

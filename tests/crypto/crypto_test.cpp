@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "crypto/siphash.h"
+
+namespace ba::crypto {
+namespace {
+
+TEST(SipHash, KnownTestVector) {
+  // Reference vector from the SipHash paper (Appendix A): key 0x00..0x0f,
+  // input 0x00..0x0e -> 0xa129ca6149be45e5.
+  SipKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  std::vector<std::uint8_t> msg(15);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(siphash24(key, msg), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, EmptyInputVector) {
+  SipKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  EXPECT_EQ(siphash24(key, {}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, KeySeparation) {
+  std::vector<std::uint8_t> msg{1, 2, 3};
+  EXPECT_NE(siphash24(SipKey{1, 2}, msg), siphash24(SipKey{1, 3}, msg));
+  EXPECT_NE(derive_key(42, 0), derive_key(42, 1));
+  EXPECT_NE(derive_key(42, 0), derive_key(43, 0));
+  EXPECT_EQ(derive_key(42, 7), derive_key(42, 7));
+}
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Authenticator> auth_ =
+      std::make_shared<Authenticator>(12345, 4);
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  Signer s0(auth_, 0);
+  Value msg{"attack at dawn"};
+  Signature sig = s0.sign_value(msg);
+  EXPECT_EQ(sig.signer, 0u);
+  EXPECT_TRUE(auth_->verify_value(sig, msg));
+}
+
+TEST_F(SignatureTest, WrongMessageFails) {
+  Signer s0(auth_, 0);
+  Signature sig = s0.sign_value(Value{"a"});
+  EXPECT_FALSE(auth_->verify_value(sig, Value{"b"}));
+}
+
+TEST_F(SignatureTest, ForgedSignerFails) {
+  Signer s0(auth_, 0);
+  Signature sig = s0.sign_value(Value{"a"});
+  sig.signer = 1;  // claim someone else signed it
+  EXPECT_FALSE(auth_->verify_value(sig, Value{"a"}));
+}
+
+TEST_F(SignatureTest, OutOfRangeSignerFails) {
+  Signature sig{99, 0};
+  EXPECT_FALSE(auth_->verify_value(sig, Value{"a"}));
+}
+
+TEST_F(SignatureTest, SignatureValueEncoding) {
+  Signer s2(auth_, 2);
+  Signature sig = s2.sign_value(Value{7});
+  auto decoded = Signature::from_value(sig.to_value());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sig);
+  EXPECT_EQ(Signature::from_value(Value{"junk"}), std::nullopt);
+  EXPECT_EQ(Signature::from_value(Value::vec({Value{"sig"}, Value{1}})),
+            std::nullopt);
+}
+
+TEST_F(SignatureTest, ChainBuildsAndVerifies) {
+  SigChain chain(Value{"v"});
+  chain.extend(Signer(auth_, 1));
+  chain.extend(Signer(auth_, 0));
+  chain.extend(Signer(auth_, 3));
+  EXPECT_TRUE(chain.verify(*auth_, 3, 1));
+  EXPECT_TRUE(chain.verify(*auth_, 2, 1));
+  EXPECT_FALSE(chain.verify(*auth_, 4, 1));   // too short
+  EXPECT_FALSE(chain.verify(*auth_, 3, 0));   // wrong first signer
+  EXPECT_TRUE(chain.contains_signer(0));
+  EXPECT_FALSE(chain.contains_signer(2));
+}
+
+TEST_F(SignatureTest, ChainRejectsDuplicateSigners) {
+  SigChain chain(Value{"v"});
+  chain.extend(Signer(auth_, 1));
+  chain.extend(Signer(auth_, 1));
+  EXPECT_FALSE(chain.verify(*auth_, 2, 1));
+}
+
+TEST_F(SignatureTest, ChainRejectsTamperedValue) {
+  SigChain chain(Value{"v"});
+  chain.extend(Signer(auth_, 0));
+  chain.extend(Signer(auth_, 1));
+  Value enc = chain.to_value();
+  enc.as_vec()[1] = Value{"w"};  // swap the endorsed value
+  auto tampered = SigChain::from_value(enc);
+  ASSERT_TRUE(tampered.has_value());
+  EXPECT_FALSE(tampered->verify(*auth_, 2, 0));
+}
+
+TEST_F(SignatureTest, ChainRejectsReorderedSignatures) {
+  SigChain chain(Value{"v"});
+  chain.extend(Signer(auth_, 0));
+  chain.extend(Signer(auth_, 1));
+  Value enc = chain.to_value();
+  std::swap(enc.as_vec()[2], enc.as_vec()[3]);
+  auto reordered = SigChain::from_value(enc);
+  ASSERT_TRUE(reordered.has_value());
+  EXPECT_FALSE(reordered->verify(*auth_, 2, 1));
+}
+
+TEST_F(SignatureTest, ChainValueRoundTrip) {
+  SigChain chain(Value::vec({Value{"dsv"}, Value{0}, Value{1}}));
+  chain.extend(Signer(auth_, 2));
+  auto decoded = SigChain::from_value(chain.to_value());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->value(), chain.value());
+  EXPECT_EQ(decoded->sigs().size(), 1u);
+  EXPECT_TRUE(decoded->verify(*auth_, 1, 2));
+}
+
+TEST_F(SignatureTest, DifferentRunsDifferentKeys) {
+  Authenticator other(54321, 4);
+  Signer s0(auth_, 0);
+  Signature sig = s0.sign_value(Value{"x"});
+  EXPECT_FALSE(other.verify_value(sig, Value{"x"}));
+}
+
+}  // namespace
+}  // namespace ba::crypto

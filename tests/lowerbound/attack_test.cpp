@@ -1,0 +1,187 @@
+// Tests for the Theorem 2 attack engine: every sub-quadratic weak-consensus
+// candidate must yield a machine-checkable violation certificate; correct
+// protocols must survive the attack and exhibit >= t^2/32 messages.
+
+#include "lowerbound/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "lowerbound/certificate.h"
+#include "protocols/weak_consensus.h"
+#include "runtime/sync_system.h"
+
+namespace ba::lowerbound {
+namespace {
+
+void expect_attack_succeeds(const SystemParams& params,
+                            const ProtocolFactory& protocol,
+                            const char* label) {
+  AttackReport report = attack_weak_consensus(params, protocol);
+  ASSERT_TRUE(report.violation_found) << label << "\n" << report.narrative;
+  ASSERT_TRUE(report.certificate.has_value()) << label;
+  CertificateCheck check = verify_certificate(*report.certificate, protocol);
+  EXPECT_TRUE(check.ok) << label << ": " << check.error << "\n"
+                        << report.certificate->narrative;
+}
+
+TEST(Attack, SilentCandidateCaughtByWeakValidity) {
+  SystemParams params{12, 8};
+  AttackReport report =
+      attack_weak_consensus(params, protocols::wc_candidate_silent(1));
+  ASSERT_TRUE(report.violation_found);
+  EXPECT_EQ(report.certificate->kind, ViolationKind::kWeakValidity);
+  CertificateCheck check = verify_certificate(
+      *report.certificate, protocols::wc_candidate_silent(1));
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Attack, LeaderBeaconBroken) {
+  expect_attack_succeeds({12, 8}, protocols::wc_candidate_leader_beacon(),
+                         "leader-beacon");
+}
+
+TEST(Attack, LeaderBeaconBrokenAtLargerScale) {
+  expect_attack_succeeds({33, 32}, protocols::wc_candidate_leader_beacon(),
+                         "leader-beacon-32");
+}
+
+TEST(Attack, GossipRingBroken) {
+  expect_attack_succeeds({12, 8}, protocols::wc_candidate_gossip_ring(2, 3),
+                         "gossip-ring");
+}
+
+TEST(Attack, GossipRingBrokenWithWiderFanout) {
+  expect_attack_succeeds({16, 8}, protocols::wc_candidate_gossip_ring(3, 4),
+                         "gossip-ring-3-4");
+}
+
+TEST(Attack, CertificateUsesAtMostTFaults) {
+  SystemParams params{12, 8};
+  AttackReport report = attack_weak_consensus(
+      params, protocols::wc_candidate_leader_beacon());
+  ASSERT_TRUE(report.certificate.has_value());
+  EXPECT_LE(report.certificate->execution.faulty.size(), params.t);
+}
+
+TEST(Attack, CorrectAuthProtocolSurvives) {
+  SystemParams params{12, 8};
+  auto auth = std::make_shared<crypto::Authenticator>(21, params.n);
+  auto wc = protocols::weak_consensus_auth(auth);
+  AttackReport report = attack_weak_consensus(params, wc);
+  EXPECT_FALSE(report.violation_found) << report.narrative;
+  // ... and, as Theorem 2 promises, its cost clears the bound.
+  EXPECT_GE(report.max_message_complexity, report.bound);
+}
+
+TEST(Attack, CorrectUnauthProtocolSurvives) {
+  SystemParams params{25, 8};  // n > 3t for phase king
+  auto wc = protocols::weak_consensus_unauth();
+  AttackReport report = attack_weak_consensus(params, wc);
+  EXPECT_FALSE(report.violation_found) << report.narrative;
+  EXPECT_GE(report.max_message_complexity, report.bound);
+}
+
+TEST(Attack, DirectLemma2ShortCircuitsOnBeacon) {
+  // With direct probing (the default), the beacon falls at the very first
+  // isolated execution E_0^B(1), before any merge.
+  SystemParams params{12, 8};
+  AttackReport report = attack_weak_consensus(
+      params, protocols::wc_candidate_leader_beacon());
+  ASSERT_TRUE(report.violation_found);
+  EXPECT_NE(report.narrative.find("E_0^{G(1)}"), std::string::npos)
+      << report.narrative;
+}
+
+TEST(Attack, PureMergeRouteStillBreaksBeacon) {
+  // Forcing the paper's route (no direct probing): default bit, Lemma 4
+  // critical-round machinery or the round-1 mergeable pairs, then a merge
+  // and swap_omission — and still a verified certificate.
+  SystemParams params{12, 8};
+  AttackOptions opts;
+  opts.direct_lemma2 = false;
+  auto protocol = protocols::wc_candidate_leader_beacon();
+  AttackReport report = attack_weak_consensus(params, protocol, opts);
+  ASSERT_TRUE(report.violation_found) << report.narrative;
+  EXPECT_TRUE(report.default_bit.has_value());
+  EXPECT_NE(report.narrative.find("merge("), std::string::npos)
+      << report.narrative;
+  EXPECT_TRUE(verify_certificate(*report.certificate, protocol).ok);
+}
+
+TEST(Attack, PureMergeRouteStillBreaksGossip) {
+  SystemParams params{12, 8};
+  AttackOptions opts;
+  opts.direct_lemma2 = false;
+  auto protocol = protocols::wc_candidate_gossip_ring(2, 3);
+  AttackReport report = attack_weak_consensus(params, protocol, opts);
+  ASSERT_TRUE(report.violation_found) << report.narrative;
+  EXPECT_TRUE(verify_certificate(*report.certificate, protocol).ok);
+}
+
+TEST(Attack, NarrativeMentionsConstructions) {
+  SystemParams params{12, 8};
+  AttackReport report =
+      attack_weak_consensus(params, protocols::wc_candidate_gossip_ring(2, 3));
+  EXPECT_NE(report.narrative.find("E_0^B(1)"), std::string::npos)
+      << report.narrative;
+}
+
+TEST(Attack, TamperedCertificateRejected) {
+  SystemParams params{12, 8};
+  auto protocol = protocols::wc_candidate_leader_beacon();
+  AttackReport report = attack_weak_consensus(params, protocol);
+  ASSERT_TRUE(report.certificate.has_value());
+  ASSERT_TRUE(verify_certificate(*report.certificate, protocol).ok);
+
+  // Tamper 1: claim different witnesses.
+  {
+    ViolationCertificate bad = *report.certificate;
+    bad.witness_a = bad.witness_b;
+    EXPECT_FALSE(verify_certificate(bad, protocol).ok);
+  }
+  // Tamper 2: flip a recorded decision.
+  {
+    ViolationCertificate bad = *report.certificate;
+    auto& d = bad.execution.procs[bad.witness_a].decision;
+    if (d.has_value()) {
+      d = Value::bit(1 - d->try_bit().value_or(0));
+      EXPECT_FALSE(verify_certificate(bad, protocol).ok);
+    }
+  }
+  // Tamper 3: verify against the wrong protocol.
+  {
+    EXPECT_FALSE(verify_certificate(*report.certificate,
+                                    protocols::wc_candidate_silent(1))
+                     .ok);
+  }
+}
+
+TEST(Attack, GroupOverridesRespected) {
+  SystemParams params{12, 8};
+  AttackOptions opts;
+  opts.group_b = ProcessSet{{2, 3}};
+  opts.group_c = ProcessSet{{5, 6}};
+  AttackReport report = attack_weak_consensus(
+      params, protocols::wc_candidate_gossip_ring(2, 3), opts);
+  EXPECT_TRUE(report.violation_found) << report.narrative;
+}
+
+TEST(Attack, RequiresEnoughFaultBudget) {
+  SystemParams params{4, 1};
+  EXPECT_THROW(attack_weak_consensus(params,
+                                     protocols::wc_candidate_silent(1)),
+               std::invalid_argument);
+}
+
+TEST(Lemma1Bound, Values) {
+  EXPECT_EQ(lemma1_bound(8), 2u);
+  EXPECT_EQ(lemma1_bound(16), 8u);
+  EXPECT_EQ(lemma1_bound(32), 32u);
+  EXPECT_EQ(lemma1_bound(64), 128u);
+}
+
+}  // namespace
+}  // namespace ba::lowerbound

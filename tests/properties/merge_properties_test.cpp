@@ -1,0 +1,126 @@
+// Parameterized property tests for merge (Algorithm 5 / Lemma 16) and
+// swap_omission (Algorithm 4 / Lemma 15) across protocols and isolation
+// rounds: for every mergeable pair the merged execution must (1) be a valid
+// execution, (2) be indistinguishable from the sources for the isolated
+// groups, (3) isolate both groups at their rounds — and the isolated
+// processes must decide exactly as in their source executions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba::calculus {
+namespace {
+
+struct MergeCase {
+  std::string name;
+  SystemParams params;
+  ProtocolFactory factory;
+};
+
+std::vector<MergeCase> merge_cases() {
+  auto auth = std::make_shared<crypto::Authenticator>(404, 8);
+  std::vector<MergeCase> cases;
+  cases.push_back({"phase_king", SystemParams{8, 2},
+                   protocols::phase_king_consensus()});
+  cases.push_back({"ds_weak", SystemParams{8, 2},
+                   protocols::weak_consensus_auth(auth)});
+  cases.push_back({"gossip", SystemParams{8, 2},
+                   protocols::wc_candidate_gossip_ring(2, 3)});
+  cases.push_back({"floodset", SystemParams{8, 2},
+                   protocols::floodset_consensus()});
+  cases.push_back({"crusader", SystemParams{8, 2},
+                   protocols::crusader_broadcast_bit(0)});
+  return cases;
+}
+
+class MergeProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(MergeProperty, Lemma16HoldsAcrossRoundPairs) {
+  const auto [case_idx, k1, dk] = GetParam();
+  const MergeCase c = merge_cases()[case_idx];
+  const Round kb = static_cast<Round>(k1);
+  const Round kc = static_cast<Round>(k1 + dk);
+
+  const ProcessSet b{{6u}};
+  const ProcessSet grp_c{{7u}};
+
+  auto run_isolated = [&](const ProcessSet& g, Round k) {
+    return IsolatedExecution{
+        run_execution(c.params, c.factory,
+                      std::vector<Value>(c.params.n, Value::bit(0)),
+                      isolate_group(g, k))
+            .trace,
+        g, k};
+  };
+  IsolatedExecution eb = run_isolated(b, kb);
+  IsolatedExecution ec = run_isolated(grp_c, kc);
+  ASSERT_TRUE(are_mergeable(eb, ec));
+
+  ExecutionTrace merged = merge(c.params, c.factory, eb, ec);
+
+  // Lemma 16 (1): a valid execution.
+  EXPECT_EQ(merged.validate(), std::nullopt) << c.name;
+  // Lemma 16 (2): indistinguishability for the isolated groups.
+  EXPECT_TRUE(merged.indistinguishable_for(6, eb.trace)) << c.name;
+  EXPECT_TRUE(merged.indistinguishable_for(7, ec.trace)) << c.name;
+  // ... hence identical decisions (determinism).
+  EXPECT_EQ(merged.procs[6].decision, eb.trace.procs[6].decision) << c.name;
+  EXPECT_EQ(merged.procs[7].decision, ec.trace.procs[7].decision) << c.name;
+  // Lemma 16 (3): both groups isolated at their rounds.
+  EXPECT_EQ(check_isolated(merged, b, kb), std::nullopt) << c.name;
+  EXPECT_EQ(check_isolated(merged, grp_c, kc), std::nullopt) << c.name;
+  // The formal A.1.6 conditions hold as well.
+  EXPECT_EQ(check_execution_conditions(c.params, merged.faulty,
+                                       to_behaviors(merged)),
+            std::nullopt)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MergeProperty,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 5),
+                       ::testing::Values(1, 2, 3, 4),   // k1
+                       ::testing::Values(-1, 0, 1)),    // k2 - k1
+    [](const auto& info) {
+      const int k1 = std::get<1>(info.param);
+      const int dk = std::get<2>(info.param);
+      std::string name = merge_cases()[std::get<0>(info.param)].name;
+      name += "_k" + std::to_string(k1);
+      name += dk < 0 ? "_m1" : dk == 0 ? "_0" : "_p1";
+      return name;
+    });
+
+class SwapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwapProperty, Lemma15OnGossipIsolations) {
+  // Gossip with fan-out 1: each member's blame set is a single predecessor,
+  // so the swap preconditions hold at every isolation round.
+  const Round k = static_cast<Round>(GetParam());
+  SystemParams params{8, 3};
+  auto factory = protocols::wc_candidate_gossip_ring(1, 3);
+  RunResult res = run_execution(params, factory,
+                                std::vector<Value>(8, Value::bit(0)),
+                                isolate_group(ProcessSet{{6, 7}}, k));
+  for (ProcessId subject : {6u, 7u}) {
+    auto pre = check_swap_preconditions(res.trace, subject);
+    if (!pre.ok) continue;  // e.g. no omissions at late k
+    SwapResult swapped = swap_omission(res.trace, subject);
+    EXPECT_EQ(swapped.execution.validate(), std::nullopt) << "k=" << k;
+    EXPECT_FALSE(swapped.execution.faulty.contains(subject));
+    for (ProcessId p = 0; p < 8; ++p) {
+      EXPECT_TRUE(res.trace.indistinguishable_for(p, swapped.execution))
+          << "k=" << k << " p" << p;
+      EXPECT_EQ(swapped.execution.procs[p].decision,
+                res.trace.procs[p].decision);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, SwapProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace ba::calculus

@@ -1,0 +1,249 @@
+// Property tests over the whole protocol zoo: for every correct protocol and
+// a grid of seeded adversaries (random omissions, random Byzantine
+// placements, isolation at random rounds), the protocol's contract —
+// Termination, Agreement, its validity property, and trace well-formedness —
+// must hold. TEST_P sweeps (protocol x adversary-seed).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba {
+namespace {
+
+struct ProtocolCase {
+  std::string name;
+  SystemParams params;
+  ProtocolFactory factory;
+  /// How to check decided values given the trace (validity).
+  std::function<void(const ExecutionTrace&)> check_validity;
+  /// Protocols tolerating only omission faults skip Byzantine schedules.
+  bool byzantine_tolerant{true};
+};
+
+std::vector<Value> bit_proposals(std::uint32_t n, std::uint64_t seed) {
+  std::vector<Value> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = Value::bit(static_cast<int>(
+        crypto::siphash24(crypto::derive_key(seed, 0xb17),
+                          std::array<std::uint8_t, 1>{
+                              static_cast<std::uint8_t>(i)}) &
+        1));
+  }
+  return out;
+}
+
+ProcessSet random_faulty(std::uint32_t n, std::uint32_t t,
+                         std::uint64_t seed) {
+  ProcessSet f;
+  std::uint32_t budget = t;
+  for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
+    const std::uint64_t h =
+        crypto::siphash24(crypto::derive_key(seed, 0xfa),
+                          std::array<std::uint8_t, 1>{
+                              static_cast<std::uint8_t>(i)});
+    if (h % 3 == 0) {
+      f.insert(i);
+      --budget;
+    }
+  }
+  return f;
+}
+
+void check_agreement_and_termination(const ExecutionTrace& trace) {
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < trace.params.n; ++p) {
+    if (trace.faulty.contains(p)) continue;
+    ASSERT_TRUE(trace.procs[p].decision.has_value())
+        << "correct p" << p << " undecided";
+    if (!first) first = trace.procs[p].decision;
+    EXPECT_EQ(*trace.procs[p].decision, *first) << "p" << p;
+  }
+}
+
+/// Strong validity over bits: unanimous correct proposals force the bit.
+void check_strong_validity(const ExecutionTrace& trace) {
+  std::optional<Value> unanimous;
+  bool same = true;
+  for (ProcessId p = 0; p < trace.params.n; ++p) {
+    if (trace.faulty.contains(p)) continue;
+    if (!unanimous) {
+      unanimous = trace.procs[p].proposal;
+    } else if (*unanimous != trace.procs[p].proposal) {
+      same = false;
+    }
+  }
+  if (!same || !unanimous) return;
+  for (ProcessId p = 0; p < trace.params.n; ++p) {
+    if (trace.faulty.contains(p)) continue;
+    EXPECT_EQ(*trace.procs[p].decision, *unanimous);
+  }
+}
+
+/// IC validity: the vector matches every correct process's proposal.
+void check_ic_validity(const ExecutionTrace& trace) {
+  for (ProcessId p = 0; p < trace.params.n; ++p) {
+    if (trace.faulty.contains(p)) continue;
+    const Value& d = *trace.procs[p].decision;
+    ASSERT_TRUE(d.is_vec());
+    ASSERT_EQ(d.as_vec().size(), trace.params.n);
+    for (ProcessId q = 0; q < trace.params.n; ++q) {
+      if (trace.faulty.contains(q)) continue;
+      EXPECT_EQ(d.as_vec()[q], trace.procs[q].proposal)
+          << "component " << q << " at p" << p;
+    }
+  }
+}
+
+std::vector<ProtocolCase> protocol_cases() {
+  std::vector<ProtocolCase> cases;
+  auto auth7 = std::make_shared<crypto::Authenticator>(1001, 7);
+  auto auth4 = std::make_shared<crypto::Authenticator>(1002, 4);
+
+  cases.push_back({"phase-king(7,2)", SystemParams{7, 2},
+                   protocols::phase_king_consensus(), check_strong_validity});
+  cases.push_back({"eig-strong(4,1)", SystemParams{4, 1},
+                   protocols::eig_strong_consensus(), check_strong_validity});
+  cases.push_back({"eig-ic(4,1)", SystemParams{4, 1},
+                   protocols::eig_interactive_consistency(),
+                   check_ic_validity});
+  cases.push_back({"auth-ic(7,2)", SystemParams{7, 2},
+                   protocols::auth_interactive_consistency(auth7),
+                   check_ic_validity});
+  cases.push_back({"auth-ic(4,2)", SystemParams{4, 2},
+                   protocols::auth_interactive_consistency(auth4),
+                   check_ic_validity});
+  cases.push_back({"weak-auth(7,3)", SystemParams{7, 3},
+                   protocols::weak_consensus_auth(auth7),
+                   [](const ExecutionTrace&) {}});
+  cases.push_back({"unauth-ic-bits(7,2)", SystemParams{7, 2},
+                   protocols::unauth_interactive_consistency_bits(),
+                   check_ic_validity});
+  cases.push_back({"floodset(7,3)", SystemParams{7, 3},
+                   protocols::floodset_consensus(),
+                   [](const ExecutionTrace&) {},
+                   /*byzantine_tolerant=*/false});
+  cases.push_back({"early-floodset(7,3)", SystemParams{7, 3},
+                   protocols::early_deciding_floodset(),
+                   [](const ExecutionTrace&) {},
+                   /*byzantine_tolerant=*/false});
+  cases.push_back({"turpin-coan(7,2)", SystemParams{7, 2},
+                   protocols::turpin_coan_multivalued(),
+                   [](const ExecutionTrace&) {}});
+  cases.push_back({"unauth-bb(7,2)", SystemParams{7, 2},
+                   protocols::unauth_broadcast_bit(0),
+                   [](const ExecutionTrace& trace) {
+                     // Sender validity: a correct sender's bit is decided.
+                     if (trace.faulty.contains(0)) return;
+                     for (ProcessId p = 0; p < trace.params.n; ++p) {
+                       if (trace.faulty.contains(p)) continue;
+                       EXPECT_EQ(*trace.procs[p].decision,
+                                 Value::bit(trace.procs[0]
+                                                .proposal.try_bit()
+                                                .value_or(0)));
+                     }
+                   }});
+  cases.push_back(
+      {"algo2-strong(4,1)", SystemParams{4, 1},
+       reductions::agreement_from_ic(validity::strong_validity(4, 1),
+                                     SystemParams{4, 1},
+                                     protocols::eig_interactive_consistency()),
+       check_strong_validity});
+  return cases;
+}
+
+class ProtocolProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(ProtocolProperty, RandomOmissionSchedules) {
+  const auto [case_idx, seed] = GetParam();
+  const ProtocolCase c = protocol_cases()[case_idx];
+
+  ProcessSet faulty = random_faulty(c.params.n, c.params.t, seed);
+  Adversary adv = random_omissions(faulty, seed, /*drop_permille=*/300);
+  std::vector<Value> proposals = bit_proposals(c.params.n, seed);
+
+  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_agreement_and_termination(res.trace);
+  c.check_validity(res.trace);
+}
+
+TEST_P(ProtocolProperty, RandomIsolationSchedules) {
+  const auto [case_idx, seed] = GetParam();
+  const ProtocolCase c = protocol_cases()[case_idx];
+  if (c.params.t < 1) GTEST_SKIP();
+
+  // Isolate a random suffix group (size <= t) from a random round.
+  const std::uint32_t gsz = 1 + seed % c.params.t;
+  const Round from = 1 + (seed / 7) % 5;
+  Adversary adv = isolate_group(
+      ProcessSet::range(c.params.n - gsz, c.params.n), from);
+  std::vector<Value> proposals = bit_proposals(c.params.n, seed * 31 + 7);
+
+  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_agreement_and_termination(res.trace);
+  c.check_validity(res.trace);
+}
+
+TEST_P(ProtocolProperty, RandomByzantinePlacements) {
+  const auto [case_idx, seed] = GetParam();
+  const ProtocolCase c = protocol_cases()[case_idx];
+  if (!c.byzantine_tolerant) GTEST_SKIP();
+
+  Adversary adv;
+  adv.faulty = random_faulty(c.params.n, c.params.t, seed * 13 + 5);
+  adv.byzantine = adv.faulty;
+  switch (seed % 3) {
+    case 0:
+      adv.byzantine_factory = byz_silent();
+      break;
+    case 1:
+      adv.byzantine_factory = byz_equivocate_bits(30);
+      break;
+    default:
+      adv.byzantine_factory = byz_noise(seed, 30);
+      break;
+  }
+  std::vector<Value> proposals = bit_proposals(c.params.n, seed * 17 + 3);
+
+  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_agreement_and_termination(res.trace);
+  c.check_validity(res.trace);
+}
+
+TEST_P(ProtocolProperty, DeterministicReplay) {
+  // Same seed, same everything: two runs must produce identical traces.
+  const auto [case_idx, seed] = GetParam();
+  const ProtocolCase c = protocol_cases()[case_idx];
+
+  ProcessSet faulty = random_faulty(c.params.n, c.params.t, seed);
+  Adversary adv = random_omissions(faulty, seed, 250);
+  std::vector<Value> proposals = bit_proposals(c.params.n, seed);
+
+  RunResult a = run_execution(c.params, c.factory, proposals, adv);
+  RunResult b = run_execution(c.params, c.factory, proposals, adv);
+  ASSERT_EQ(a.trace.procs.size(), b.trace.procs.size());
+  for (ProcessId p = 0; p < c.params.n; ++p) {
+    EXPECT_EQ(a.trace.procs[p], b.trace.procs[p]) << c.name << " p" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolProperty,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 12),
+                       ::testing::Values(1, 2, 3, 5, 8, 13)),
+    [](const auto& info) {
+      std::string name = protocol_cases()[std::get<0>(info.param)].name;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,148 @@
+// Property tests over RANDOM validity properties: generate seeded random
+// val : I -> 2^{V_O} \ {emptyset} tables for small (n, t), and check the §5
+// pipeline end to end:
+//   * triviality / CC verdicts are consistent with each other;
+//   * whenever CC holds, the solver synthesized by Algorithm 2 over
+//     interactive consistency (a) terminates and agrees, (b) only ever
+//     decides values admissible for the actual input configuration
+//     (Lemma 7's guarantee), under fault-free AND Byzantine executions;
+//   * Γ really lies in the containment intersection at every configuration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba {
+namespace {
+
+constexpr std::uint32_t kN = 4;
+constexpr std::uint32_t kT = 1;
+
+/// A random validity property over binary proposals and decisions {0,1,2},
+/// seeded: each input configuration maps to a random non-empty subset of the
+/// output domain.
+validity::ValidityProperty random_property(std::uint64_t seed) {
+  validity::ValidityProperty p;
+  p.name = "random-" + std::to_string(seed);
+  p.input_domain = validity::binary_domain();
+  p.output_domain = validity::int_domain(3);
+
+  auto table = std::make_shared<std::map<Value, std::uint8_t>>();
+  validity::for_each_input_config(
+      kN, kT, p.input_domain, [&](const validity::InputConfig& c) {
+        const Bytes enc = encode_value(c.to_value());
+        std::uint8_t mask = static_cast<std::uint8_t>(
+            crypto::siphash24(crypto::derive_key(seed, 0x7ab1e), enc) % 7 +
+            1);  // 1..7: non-empty subset of 3 values
+        (*table)[c.to_value()] = mask;
+        return true;
+      });
+  p.admissible = [table](const validity::InputConfig& c, const Value& v) {
+    auto it = table->find(c.to_value());
+    if (it == table->end()) return true;  // out-of-model configs: anything
+    if (!v.is_int() || v.as_int() < 0 || v.as_int() > 2) return false;
+    return ((it->second >> v.as_int()) & 1) != 0;
+  };
+  return p;
+}
+
+class RandomValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomValidity, GammaLiesInContainmentIntersection) {
+  auto prop = random_property(GetParam());
+  validity::for_each_input_config(
+      kN, kT, prop.input_domain, [&](const validity::InputConfig& c) {
+        auto inter = validity::containment_intersection(prop, kT, c);
+        auto g = validity::gamma(prop, kT, c);
+        EXPECT_EQ(g.has_value(), !inter.empty());
+        if (g) {
+          EXPECT_NE(std::find(inter.begin(), inter.end(), *g), inter.end());
+          // Gamma's pick is admissible for c itself (containment is
+          // reflexive).
+          EXPECT_TRUE(prop.admissible(c, *g));
+        }
+        return true;
+      });
+}
+
+TEST_P(RandomValidity, VerdictInternallyConsistent) {
+  auto prop = random_property(GetParam());
+  auto v = validity::solvability(prop, kN, kT);
+  if (v.trivial) {
+    // An always-admissible value is in every containment intersection.
+    EXPECT_TRUE(v.cc);
+  }
+  EXPECT_EQ(v.authenticated_solvable, v.trivial || v.cc);
+  EXPECT_EQ(v.unauthenticated_solvable,
+            v.trivial || (v.cc && kN > 3 * kT));
+  if (!v.cc) {
+    ASSERT_TRUE(v.cc_witness.has_value());
+    EXPECT_TRUE(
+        validity::containment_intersection(prop, kT, *v.cc_witness).empty());
+  }
+}
+
+TEST_P(RandomValidity, SynthesizedSolverRespectsValidity) {
+  auto prop = random_property(GetParam());
+  AgreementProblem problem{SystemParams{kN, kT}, prop};
+  auto auth = std::make_shared<crypto::Authenticator>(GetParam(), kN);
+  auto solver = problem.make_solver(/*authenticated=*/true, auth);
+  auto verdict = problem.analyze();
+  ASSERT_EQ(solver.has_value(),
+            verdict.trivial || verdict.cc);  // Theorem 4
+  if (!solver) return;
+
+  // Fault-free: every full proposal vector.
+  for (int mask = 0; mask < (1 << kN); ++mask) {
+    std::vector<Value> proposals(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      proposals[i] = Value::bit((mask >> i) & 1);
+    }
+    RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
+                                  Adversary::none());
+    auto d = res.unanimous_correct_decision();
+    ASSERT_TRUE(d.has_value()) << "mask=" << mask;
+    EXPECT_EQ(problem.check_execution(res.trace), std::nullopt)
+        << "mask=" << mask;
+  }
+
+  // One Byzantine equivocator in every slot.
+  for (ProcessId byz = 0; byz < kN; ++byz) {
+    Adversary adv;
+    adv.faulty = ProcessSet{{byz}};
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_equivocate_bits(5);
+    std::vector<Value> proposals(kN, Value::bit(1));
+    RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
+                                  adv);
+    auto d = res.unanimous_correct_decision();
+    ASSERT_TRUE(d.has_value()) << "byz=" << byz;
+    EXPECT_EQ(problem.check_execution(res.trace), std::nullopt)
+        << "byz=" << byz;
+  }
+}
+
+TEST_P(RandomValidity, UnauthenticatedSolverViaEig) {
+  auto prop = random_property(GetParam());
+  AgreementProblem problem{SystemParams{kN, kT}, prop};
+  auto solver = problem.make_solver(/*authenticated=*/false);
+  auto verdict = problem.analyze();
+  // kN = 4 > 3 * kT = 3, so CC (or triviality) decides.
+  ASSERT_EQ(solver.has_value(), verdict.trivial || verdict.cc);
+  if (!solver) return;
+  std::vector<Value> proposals{Value::bit(0), Value::bit(1), Value::bit(1),
+                               Value::bit(0)};
+  RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
+                                Adversary::none());
+  ASSERT_TRUE(res.unanimous_correct_decision().has_value());
+  EXPECT_EQ(problem.check_execution(res.trace), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomValidity,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,163 @@
+#include "protocols/beyond_agreement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+constexpr std::int64_t kEps = 1;
+constexpr std::int64_t kBound = 1000;
+
+struct ApproxOutcome {
+  std::int64_t min_decided;
+  std::int64_t max_decided;
+  std::int64_t min_input;
+  std::int64_t max_input;
+};
+
+ApproxOutcome run_approx(const SystemParams& params,
+                         const std::vector<std::int64_t>& inputs,
+                         const Adversary& adv) {
+  std::vector<Value> proposals;
+  proposals.reserve(inputs.size());
+  for (std::int64_t v : inputs) proposals.push_back(Value{v});
+  RunResult res = run_execution(params, approximate_agreement(kEps, kBound),
+                                proposals, adv);
+  ApproxOutcome out{kBound + 1, -kBound - 1, kBound + 1, -kBound - 1};
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (adv.faulty.contains(p)) continue;
+    EXPECT_TRUE(res.decisions[p].has_value()) << "p" << p;
+    const std::int64_t d = res.decisions[p]->as_int();
+    out.min_decided = std::min(out.min_decided, d);
+    out.max_decided = std::max(out.max_decided, d);
+    out.min_input = std::min(out.min_input, inputs[p]);
+    out.max_input = std::max(out.max_input, inputs[p]);
+  }
+  return out;
+}
+
+TEST(ApproximateAgreement, FaultFreeConvergesWithinEpsilon) {
+  SystemParams params{7, 2};
+  auto out = run_approx(params, {-900, -300, 0, 10, 250, 600, 999},
+                        Adversary::none());
+  EXPECT_LE(out.max_decided - out.min_decided, kEps);
+  EXPECT_GE(out.min_decided, out.min_input);
+  EXPECT_LE(out.max_decided, out.max_input);
+}
+
+TEST(ApproximateAgreement, UnanimousInputIsFixedPoint) {
+  SystemParams params{4, 1};
+  auto out = run_approx(params, {123, 123, 123, 123}, Adversary::none());
+  EXPECT_EQ(out.min_decided, 123);
+  EXPECT_EQ(out.max_decided, 123);
+}
+
+TEST(ApproximateAgreement, ByzantineExtremesCannotDragOutOfRange) {
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{5, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(3, 40);  // garbage values
+  auto out = run_approx(params, {100, 110, 120, 130, 140, -999, 999}, adv);
+  // Validity: decisions inside the range of CORRECT inputs.
+  EXPECT_GE(out.min_decided, 100);
+  EXPECT_LE(out.max_decided, 140);
+  EXPECT_LE(out.max_decided - out.min_decided, kEps);
+}
+
+TEST(ApproximateAgreement, EquivocatingByzantineStillConverges) {
+  SystemParams params{10, 3};
+  Adversary adv;
+  adv.faulty = ProcessSet{{7, 8, 9}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(40);
+  std::vector<std::int64_t> inputs{-500, -400, -100, 0, 200, 300, 500,
+                                   0, 0, 0};
+  auto out = run_approx(params, inputs, adv);
+  EXPECT_LE(out.max_decided - out.min_decided, kEps);
+  EXPECT_GE(out.min_decided, -500);
+  EXPECT_LE(out.max_decided, 500);
+}
+
+TEST(ApproximateAgreement, OmissionFaultsHarmless) {
+  SystemParams params{7, 2};
+  Adversary adv = isolate_group(ProcessSet{{5, 6}}, 2);
+  auto out = run_approx(params, {-800, -200, -100, 0, 100, 200, 800}, adv);
+  EXPECT_LE(out.max_decided - out.min_decided, kEps);
+}
+
+TEST(ApproximateAgreement, RoundsFormula) {
+  EXPECT_EQ(approximate_agreement_rounds(1, 1), 2u);
+  EXPECT_EQ(approximate_agreement_rounds(1000, 500), 1u);
+  // 2*1000 / 1 needs 11 halvings: rounds = 12.
+  EXPECT_EQ(approximate_agreement_rounds(1, 1000), 12u);
+}
+
+TEST(KSetAgreement, AtMostKDecisionsUnderCrashes) {
+  // n = 6, t = 2, k = 2: 2 rounds. Exhaustive single+double crash schedules.
+  SystemParams params{6, 2};
+  std::vector<Value> proposals;
+  for (int i = 0; i < 6; ++i) proposals.push_back(Value{i});
+  for (ProcessId p = 0; p < 6; ++p) {
+    for (ProcessId q = 0; q < 6; ++q) {
+      if (q == p) continue;
+      for (Round r1 = 1; r1 <= 3; ++r1) {
+        for (Round r2 = 1; r2 <= 3; ++r2) {
+          Adversary adv = crash_schedule({{p, r1}, {q, r2}});
+          RunResult res = run_execution(params, k_set_agreement(2),
+                                        proposals, adv);
+          std::set<Value> decisions;
+          for (ProcessId i = 0; i < 6; ++i) {
+            if (adv.faulty.contains(i)) continue;
+            ASSERT_TRUE(res.decisions[i].has_value());
+            decisions.insert(*res.decisions[i]);
+          }
+          EXPECT_LE(decisions.size(), 2u)
+              << "crash p" << p << "@" << r1 << ", p" << q << "@" << r2;
+        }
+      }
+    }
+  }
+}
+
+TEST(KSetAgreement, FaultFreeIsPlainMinConsensus) {
+  SystemParams params{5, 2};
+  std::vector<Value> proposals{Value{9}, Value{4}, Value{7}, Value{6},
+                               Value{5}};
+  RunResult res = run_execution(params, k_set_agreement(2), proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{4});
+  }
+}
+
+TEST(KSetAgreement, RoundCountMatchesFormula) {
+  SystemParams params{8, 4};
+  RunResult res = run_all_correct(params, k_set_agreement(2), Value{1});
+  ASSERT_TRUE(res.quiesced);
+  for (const auto& pt : res.trace.procs) {
+    EXPECT_EQ(pt.decision_round, k_set_rounds(params, 2));
+  }
+}
+
+TEST(KSetAgreement, DecidedValueWasProposed) {
+  SystemParams params{6, 3};
+  std::vector<Value> proposals;
+  for (int i = 0; i < 6; ++i) proposals.push_back(Value{10 * i});
+  Adversary adv = crash_schedule({{0, 1}, {1, 2}, {2, 2}});
+  RunResult res = run_execution(params, k_set_agreement(3), proposals, adv);
+  for (ProcessId p = 3; p < 6; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    const std::int64_t d = res.decisions[p]->as_int();
+    EXPECT_TRUE(d % 10 == 0 && d >= 0 && d <= 50);
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

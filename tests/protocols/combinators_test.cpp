@@ -1,0 +1,138 @@
+// Tests for the protocol combinators: parallel_composition (bundling),
+// map_protocol (zero-message wrappers), delay_protocol (sequential offset).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/adapters.h"
+#include "protocols/common.h"
+#include "protocols/parallel.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+/// Echoes its proposal once in round `round` and decides the count of
+/// distinct senders heard by round 2.
+class PingAt final : public DecidingProcess {
+ public:
+  PingAt(const ProcessContext& ctx, Round round)
+      : ctx_(ctx), round_(round) {}
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == round_) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != ctx_.self) out.push_back(Outgoing{p, ctx_.proposal});
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    heard_ += static_cast<std::int64_t>(inbox.size());
+    if (r == round_ + 1) decide(Value{heard_});
+  }
+
+ private:
+  ProcessContext ctx_;
+  Round round_;
+  std::int64_t heard_{0};
+};
+
+ProtocolFactory ping_at(Round round) {
+  return [round](const ProcessContext& ctx) {
+    return std::make_unique<PingAt>(ctx, round);
+  };
+}
+
+TEST(Parallel, BundlesIntoOneMessagePerPairPerRound) {
+  // Three instances all sending in round 1 must produce exactly one wire
+  // message per ordered pair (the model's A.1.1 constraint).
+  SystemParams params{3, 1};
+  auto composite = parallel_composition(
+      3,
+      [](std::size_t, const ProcessContext& ctx) {
+        return ping_at(1)(ctx);
+      },
+      [](const std::vector<Value>& ds) {
+        std::int64_t sum = 0;
+        for (const Value& d : ds) sum += d.as_int();
+        return Value{sum};
+      });
+  RunResult res = run_all_correct(params, composite, Value::bit(1));
+  // Round 1: each process sends exactly 2 wire messages (one per peer).
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.trace.procs[p].rounds[0].sent.size(), 2u);
+  }
+  // Each instance heard 2 peers => combined decision 6.
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.decisions[p]->as_int(), 6);
+  }
+}
+
+TEST(Parallel, InstancesWithDisjointScheduleStayIndependent) {
+  SystemParams params{3, 1};
+  auto composite = parallel_composition(
+      2,
+      [](std::size_t i, const ProcessContext& ctx) {
+        return ping_at(static_cast<Round>(i + 1))(ctx);
+      },
+      [](const std::vector<Value>& ds) {
+        return Value{ValueVec(ds.begin(), ds.end())};
+      });
+  RunResult res = run_all_correct(params, composite, Value::bit(0));
+  for (ProcessId p = 0; p < 3; ++p) {
+    const ValueVec& v = res.decisions[p]->as_vec();
+    EXPECT_EQ(v[0].as_int(), 2);  // instance 0 heard round-1 pings
+    EXPECT_EQ(v[1].as_int(), 2);  // instance 1 heard round-2 pings
+  }
+}
+
+TEST(MapProtocol, TransformsProposalAndDecision) {
+  SystemParams params{3, 1};
+  auto mapped = map_protocol(
+      ping_at(1),
+      [](ProcessId, const Value&) { return Value{"ignored"}; },
+      [](const Value& d) { return Value{d.as_int() * 100}; });
+  RunResult res = run_all_correct(params, mapped, Value::bit(1));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.decisions[p]->as_int(), 200);
+  }
+}
+
+TEST(MapProtocol, AddsNoMessages) {
+  SystemParams params{4, 1};
+  RunResult plain = run_all_correct(params, ping_at(1), Value::bit(0));
+  RunResult mapped = run_all_correct(
+      params, map_protocol(ping_at(1), nullptr, nullptr), Value::bit(0));
+  EXPECT_EQ(plain.messages_sent_by_correct, mapped.messages_sent_by_correct);
+}
+
+TEST(DelayProtocol, ShiftsRounds) {
+  SystemParams params{3, 1};
+  auto delayed = delay_protocol(ping_at(1), /*offset=*/3);
+  RunResult res = run_all_correct(params, delayed, Value::bit(1));
+  // Pings land in wire round 4; decision at round 5.
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(res.trace.procs[p].rounds[0].sent.empty());
+    EXPECT_TRUE(res.trace.procs[p].rounds[2].sent.empty());
+    EXPECT_EQ(res.trace.procs[p].rounds[3].sent.size(), 2u);
+    EXPECT_EQ(res.trace.procs[p].decision_round, 5u);
+    EXPECT_EQ(res.decisions[p]->as_int(), 2);
+  }
+}
+
+TEST(DelayProtocol, ComposesWithMap) {
+  SystemParams params{3, 1};
+  auto stacked = map_protocol(delay_protocol(ping_at(1), 2), nullptr,
+                              [](const Value& d) {
+                                return Value{d.as_int() + 1};
+                              });
+  RunResult res = run_all_correct(params, stacked, Value::bit(0));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.decisions[p]->as_int(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

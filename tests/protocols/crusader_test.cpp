@@ -1,0 +1,145 @@
+#include "protocols/crusader.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+void expect_crusader_agreement(const RunResult& res, const ProcessSet& correct,
+                               const char* label) {
+  std::optional<Value> bit;
+  for (ProcessId p : correct) {
+    ASSERT_TRUE(res.decisions[p].has_value()) << label;
+    const Value& d = *res.decisions[p];
+    if (d == bottom()) continue;
+    if (!bit) {
+      bit = d;
+    } else {
+      EXPECT_EQ(d, *bit) << label << ": two different non-bottom decisions";
+    }
+  }
+}
+
+TEST(Crusader, CorrectSenderAllDecideItsBit) {
+  SystemParams params{4, 1};
+  for (int b : {0, 1}) {
+    std::vector<Value> proposals(4, Value::bit(1 - b));
+    proposals[1] = Value::bit(b);
+    RunResult res = run_execution(params, crusader_broadcast_bit(1),
+                                  proposals, Adversary::none());
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(*res.decisions[p], Value::bit(b)) << "b=" << b;
+    }
+  }
+}
+
+TEST(Crusader, SilentSenderYieldsBottomEverywhere) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  RunResult res = run_execution(params, crusader_broadcast_bit(0),
+                                std::vector<Value>(4, Value::bit(1)), adv);
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(*res.decisions[p], bottom());
+  }
+}
+
+TEST(Crusader, EquivocatingSenderNeverSplitsBits) {
+  // The sender sends 0 to half, 1 to half: correct processes may decide a
+  // bit or bottom, but never two different bits.
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    SystemParams params{n, (n - 1) / 3};
+    Adversary adv;
+    adv.faulty = ProcessSet{{0}};
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_equivocate_bits(2);
+    RunResult res = run_execution(params, crusader_broadcast_bit(0),
+                                  std::vector<Value>(n, Value::bit(0)), adv);
+    expect_crusader_agreement(res, adv.faulty.complement(n), "equivocate");
+  }
+}
+
+TEST(Crusader, ByzantineEchoersCannotForgeDecision) {
+  // t Byzantine echoers (not the sender) voting the wrong way cannot push a
+  // wrong bit to n - t echoes.
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{5, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(2);
+  std::vector<Value> proposals(7, Value::bit(0));
+  RunResult res = run_execution(params, crusader_broadcast_bit(0), proposals,
+                                adv);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value::bit(0)) << "p" << p;
+  }
+}
+
+TEST(Crusader, TwoRoundsQuadraticMessages) {
+  SystemParams params{10, 3};
+  RunResult res = run_all_correct(params, crusader_broadcast_bit(0),
+                                  Value::bit(1));
+  EXPECT_TRUE(res.quiesced);
+  EXPECT_EQ(res.rounds_executed, crusader_rounds() + 1);  // +1 silent round
+  // n-1 initial + n * (n-1) echoes.
+  EXPECT_EQ(res.messages_sent_by_correct, 9u + 10u * 9u);
+}
+
+// Exhaustive sweep: every (Byzantine) single-fault position and every
+// round-1 equivocation pattern for n = 4, t = 1 — crusader agreement and
+// sender validity must survive all of them.
+class CrusaderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrusaderSweep, AllEquivocationPatterns) {
+  const int pattern = GetParam();  // bit sent to receiver i = (pattern>>i)&1
+  SystemParams params{4, 1};
+
+  class PatternSender final : public Process {
+   public:
+    PatternSender(const ProcessContext& ctx, int pattern)
+        : n_(ctx.params.n), self_(ctx.self), pattern_(pattern) {}
+    Outbox outbox_for_round(Round r) override {
+      Outbox out;
+      if (r != 1) return out;
+      for (ProcessId p = 0; p < n_; ++p) {
+        if (p == self_) continue;
+        out.push_back(Outgoing{
+            p, tagged("cru-init", {Value::bit((pattern_ >> p) & 1)})});
+      }
+      return out;
+    }
+    void deliver(Round, const Inbox&) override {}
+    [[nodiscard]] std::optional<Value> decision() const override {
+      return std::nullopt;
+    }
+    [[nodiscard]] bool quiescent() const override { return true; }
+
+   private:
+    std::uint32_t n_;
+    ProcessId self_;
+    int pattern_;
+  };
+
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = [pattern](const ProcessContext& ctx) {
+    return std::make_unique<PatternSender>(ctx, pattern);
+  };
+  RunResult res = run_execution(params, crusader_broadcast_bit(0),
+                                std::vector<Value>(4, Value::bit(0)), adv);
+  expect_crusader_agreement(res, ProcessSet{{1, 2, 3}}, "pattern");
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, CrusaderSweep,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ba::protocols

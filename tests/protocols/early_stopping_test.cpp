@@ -1,0 +1,150 @@
+#include "protocols/early_stopping.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/omission.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+struct CrashCase {
+  SystemParams params;
+  std::vector<std::pair<ProcessId, Round>> crashes;
+};
+
+Round max_correct_decision_round(const RunResult& res,
+                                 const ProcessSet& faulty) {
+  Round last = 0;
+  for (ProcessId p = 0; p < res.trace.params.n; ++p) {
+    if (faulty.contains(p)) continue;
+    last = std::max(last, res.trace.procs[p].decision_round);
+  }
+  return last;
+}
+
+void check_consensus(const ProtocolFactory& proto, const CrashCase& cc,
+                     const std::vector<int>& bits, const char* label) {
+  std::vector<Value> proposals;
+  proposals.reserve(cc.params.n);
+  for (int b : bits) proposals.push_back(Value::bit(b));
+  Adversary adv = crash_schedule(cc.crashes);
+  RunResult res = run_execution(cc.params, proto, proposals, adv);
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < cc.params.n; ++p) {
+    if (adv.faulty.contains(p)) continue;
+    ASSERT_TRUE(res.decisions[p].has_value())
+        << label << " p" << p << " undecided";
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first) << label << " agreement";
+  }
+  ASSERT_TRUE(first.has_value());
+  // Crash-model validity: the decision is the proposal of SOME process
+  // (crashed processes' round-1 values legitimately flow into min()).
+  bool proposed = false;
+  bool all_same = true;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (Value::bit(bits[i]) == *first) proposed = true;
+    if (bits[i] != bits[0]) all_same = false;
+  }
+  EXPECT_TRUE(proposed) << label << " decided a never-proposed value";
+  if (all_same) {
+    EXPECT_EQ(*first, Value::bit(bits[0])) << label << " unanimous validity";
+  }
+}
+
+TEST(FloodSet, FaultFreeDecidesMin) {
+  SystemParams params{5, 2};
+  std::vector<Value> proposals{Value::bit(1), Value::bit(0), Value::bit(1),
+                               Value::bit(1), Value::bit(1)};
+  RunResult res = run_execution(params, floodset_consensus(), proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value::bit(0));
+    EXPECT_EQ(res.trace.procs[p].decision_round, params.t + 1);
+  }
+}
+
+TEST(FloodSet, ExhaustiveCrashSchedulesSmall) {
+  // n = 4, t = 2: crash up to two processes at every (process, round)
+  // combination, over several proposal vectors. Agreement + strong validity
+  // must hold in all of them — for both variants.
+  const SystemParams params{4, 2};
+  const std::vector<std::vector<int>> inputs{
+      {0, 0, 0, 0}, {1, 1, 1, 1}, {0, 1, 1, 1}, {1, 0, 0, 1}};
+  for (const auto& proto :
+       {floodset_consensus(), early_deciding_floodset()}) {
+    for (const auto& bits : inputs) {
+      // Zero crashes.
+      check_consensus(proto, {params, {}}, bits, "no-crash");
+      // One crash.
+      for (ProcessId p = 0; p < 4; ++p) {
+        for (Round r = 1; r <= 4; ++r) {
+          check_consensus(proto, {params, {{p, r}}}, bits, "one-crash");
+        }
+      }
+      // Two crashes (distinct processes, all round pairs).
+      for (ProcessId p = 0; p < 4; ++p) {
+        for (ProcessId q = p + 1; q < 4; ++q) {
+          for (Round r1 = 1; r1 <= 3; ++r1) {
+            for (Round r2 = 1; r2 <= 3; ++r2) {
+              check_consensus(proto, {params, {{p, r1}, {q, r2}}}, bits,
+                              "two-crash");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EarlyDeciding, FaultFreeDecidesInTwoRounds) {
+  SystemParams params{6, 4};
+  RunResult res = run_all_correct(params, early_deciding_floodset(),
+                                  Value::bit(1));
+  // heard sets are full and identical from round 2 on: decide at round 2,
+  // far below t + 1 = 5.
+  EXPECT_EQ(max_correct_decision_round(res, ProcessSet{}), 2u);
+}
+
+TEST(EarlyDeciding, DecisionRoundTracksActualFaults) {
+  SystemParams params{8, 5};
+  for (std::uint32_t f = 0; f <= 3; ++f) {
+    std::vector<std::pair<ProcessId, Round>> crashes;
+    for (std::uint32_t i = 0; i < f; ++i) {
+      crashes.emplace_back(static_cast<ProcessId>(7 - i),
+                           static_cast<Round>(i + 1));
+    }
+    Adversary adv = crash_schedule(crashes);
+    RunResult res = run_execution(params, early_deciding_floodset(),
+                                  std::vector<Value>(8, Value::bit(0)), adv);
+    Round last = max_correct_decision_round(res, adv.faulty);
+    EXPECT_LE(last, f + 2) << "f=" << f;
+    EXPECT_LE(last, params.t + 1);
+  }
+}
+
+TEST(EarlyDeciding, EarlyDecisionDoesNotSaveMessages) {
+  // The [50] phenomenon: deciding early while still flooding to t + 1.
+  SystemParams params{6, 4};
+  RunResult early = run_all_correct(params, early_deciding_floodset(),
+                                    Value::bit(0));
+  RunResult full = run_all_correct(params, floodset_consensus(),
+                                   Value::bit(0));
+  EXPECT_EQ(early.messages_sent_by_correct, full.messages_sent_by_correct);
+  EXPECT_LT(max_correct_decision_round(early, ProcessSet{}),
+            max_correct_decision_round(full, ProcessSet{}));
+}
+
+TEST(FloodSet, MultiValuedProposalsDecideMinimum) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value{7}, Value{3}, Value{9}, Value{5}};
+  RunResult res = run_execution(params, floodset_consensus(), proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{3});
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

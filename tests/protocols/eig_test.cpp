@@ -1,0 +1,156 @@
+#include "protocols/eig.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+TEST(Eig, FaultFreeVectorMatchesProposals) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value{"a"}, Value{"b"}, Value{"c"},
+                               Value{"d"}};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, Adversary::none());
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    ASSERT_EQ(vec.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(vec[i], proposals[i]);
+  }
+}
+
+TEST(Eig, IcValidityWithSilentByzantine) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{2}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  std::vector<Value> proposals{Value{1}, Value{2}, Value{3}, Value{4}};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, adv);
+  std::optional<Value> first;
+  for (ProcessId p : {0u, 1u, 3u}) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first);  // Agreement
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    EXPECT_EQ(vec[0], Value{1});  // IC-Validity on correct components
+    EXPECT_EQ(vec[1], Value{2});
+    EXPECT_EQ(vec[3], Value{4});
+  }
+}
+
+TEST(Eig, AgreementWithNoisyByzantine) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{1}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(77, 5);
+  std::vector<Value> proposals{Value{10}, Value{20}, Value{30}, Value{40}};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, adv);
+  for (ProcessId p : {0u, 2u, 3u}) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    EXPECT_EQ(*res.decisions[p], *res.decisions[0]);
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    EXPECT_EQ(vec[0], Value{10});
+    EXPECT_EQ(vec[2], Value{30});
+    EXPECT_EQ(vec[3], Value{40});
+  }
+}
+
+TEST(Eig, TwoFaultsAmongSeven) {
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(3);
+  std::vector<Value> proposals(7);
+  for (int i = 0; i < 7; ++i) proposals[i] = Value{i * 100};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, adv);
+  std::optional<Value> first;
+  for (ProcessId p = 1; p < 6; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first);
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    for (ProcessId q = 1; q < 6; ++q) {
+      EXPECT_EQ(vec[q], proposals[q]) << "component " << q;
+    }
+  }
+}
+
+TEST(Eig, LyingProposalIsItsOwnProblem) {
+  // A Byzantine process that consistently lies about its proposal just gets
+  // the lie into everyone's vector — consistently.
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{3}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory =
+      byz_lie_proposal(eig_interactive_consistency(), Value{"lie"});
+  std::vector<Value> proposals{Value{"p0"}, Value{"p1"}, Value{"p2"},
+                               Value{"truth"}};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, adv);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.decisions[p]->as_vec()[3], Value{"lie"});
+  }
+}
+
+TEST(Eig, StrongConsensusDecidesMajorityComponent) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value{"x"}, Value{"x"}, Value{"x"},
+                               Value{"y"}};
+  RunResult res = run_execution(params, eig_strong_consensus(), proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{"x"});
+  }
+}
+
+TEST(Eig, StrongConsensusStrongValidityUnderFaults) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{1}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(5, 3);
+  std::vector<Value> proposals(4, Value{"w"});
+  RunResult res = run_execution(params, eig_strong_consensus(), proposals,
+                                adv);
+  for (ProcessId p : {0u, 2u, 3u}) {
+    EXPECT_EQ(*res.decisions[p], Value{"w"});
+  }
+}
+
+TEST(Eig, OmissionIsolatedMemberDoesNotPoisonOthers) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value{1}, Value{2}, Value{3}, Value{4}};
+  RunResult res = run_execution(params, eig_interactive_consistency(),
+                                proposals, isolate_group(ProcessSet{{3}}, 1));
+  for (ProcessId p = 0; p < 3; ++p) {
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    EXPECT_EQ(vec[0], Value{1});
+    EXPECT_EQ(vec[1], Value{2});
+    EXPECT_EQ(vec[2], Value{3});
+    EXPECT_EQ(vec[3], Value{4});  // p3 still SENDS correctly
+  }
+}
+
+TEST(Eig, DecidesInTPlusOneRounds) {
+  SystemParams params{7, 2};
+  RunResult res = run_all_correct(params, eig_interactive_consistency(),
+                                  Value{"v"});
+  ASSERT_TRUE(res.quiesced);
+  for (const auto& pt : res.trace.procs) {
+    EXPECT_EQ(pt.decision_round, eig_rounds(params));
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

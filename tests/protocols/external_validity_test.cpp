@@ -1,0 +1,95 @@
+#include "protocols/external_validity.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/byzantine.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+bool looks_like_tx(const Value& v) {
+  return v.is_str() && v.as_str().starts_with("tx:");
+}
+
+struct TestEnv {
+  SystemParams params{5, 2};
+  std::shared_ptr<crypto::Authenticator> auth =
+      std::make_shared<crypto::Authenticator>(17, 5);
+  ProtocolFactory ev = external_validity_agreement(auth, looks_like_tx);
+};
+
+TEST(ExternalValidity, FaultFreeDecidesLeaderProposal) {
+  TestEnv s;
+  std::vector<Value> proposals{Value{"tx:a"}, Value{"tx:b"}, Value{"tx:c"},
+                               Value{"tx:d"}, Value{"tx:e"}};
+  RunResult res = run_execution(s.params, s.ev, proposals, Adversary::none());
+  for (ProcessId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    EXPECT_EQ(*res.decisions[p], Value{"tx:a"});  // view-0 leader is p0
+  }
+}
+
+TEST(ExternalValidity, TwoFaultFreeExecutionsDecideDifferently) {
+  // The Corollary 1 precondition: unanimous tx:x decides tx:x, unanimous
+  // tx:y decides tx:y.
+  TestEnv s;
+  RunResult rx = run_all_correct(s.params, s.ev, Value{"tx:x"});
+  RunResult ry = run_all_correct(s.params, s.ev, Value{"tx:y"});
+  EXPECT_EQ(*rx.unanimous_correct_decision(), Value{"tx:x"});
+  EXPECT_EQ(*ry.unanimous_correct_decision(), Value{"tx:y"});
+}
+
+TEST(ExternalValidity, InvalidLeaderProposalRotatesView) {
+  TestEnv s;
+  std::vector<Value> proposals{Value{"garbage"}, Value{"tx:b"}, Value{"tx:c"},
+                               Value{"tx:d"}, Value{"tx:e"}};
+  // p0 is honest but proposes an invalid value (violating the protocol's
+  // precondition for itself); the view rotates and p1's valid value wins.
+  RunResult res = run_execution(s.params, s.ev, proposals, Adversary::none());
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{"tx:b"});
+  }
+}
+
+TEST(ExternalValidity, SilentLeadersRotateUntilCorrectOne) {
+  TestEnv s;
+  Adversary adv;
+  adv.faulty = ProcessSet{{0, 1}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  std::vector<Value> proposals(5, Value{"tx:z"});
+  RunResult res = run_execution(s.params, s.ev, proposals, adv);
+  for (ProcessId p = 2; p < 5; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    EXPECT_EQ(*res.decisions[p], Value{"tx:z"});  // view 2, leader p2
+  }
+}
+
+TEST(ExternalValidity, DecisionAlwaysSatisfiesPredicate) {
+  TestEnv s;
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(9, 10);
+  std::vector<Value> proposals(5, Value{"tx:ok"});
+  RunResult res = run_execution(s.params, s.ev, proposals, adv);
+  for (ProcessId p = 1; p < 5; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    EXPECT_TRUE(looks_like_tx(*res.decisions[p]));
+    EXPECT_EQ(*res.decisions[p], *res.decisions[1]);  // Agreement
+  }
+}
+
+TEST(ExternalValidity, TerminatesWithinViewBound) {
+  TestEnv s;
+  RunResult res = run_all_correct(s.params, s.ev, Value{"tx:q"});
+  ASSERT_TRUE(res.quiesced);
+  EXPECT_LE(res.rounds_executed, external_validity_max_rounds(s.params) + 1);
+}
+
+}  // namespace
+}  // namespace ba::protocols

@@ -1,0 +1,161 @@
+#include "protocols/gradecast.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+struct GcRun {
+  std::vector<GradecastOutput> outputs;  // indexed by process
+  ProcessSet correct;
+};
+
+GcRun run_gc(const SystemParams& params, ProcessId sender,
+             const std::vector<Value>& proposals, const Adversary& adv) {
+  RunResult res = run_execution(params, gradecast_bit(sender), proposals,
+                                adv);
+  GcRun out;
+  out.correct = adv.faulty.complement(params.n);
+  out.outputs.resize(params.n);
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (!res.decisions[p]) continue;
+    auto parsed = parse_gradecast(*res.decisions[p]);
+    EXPECT_TRUE(parsed.has_value()) << "p" << p;
+    if (parsed) out.outputs[p] = *parsed;
+  }
+  return out;
+}
+
+void check_gradecast_properties(const GcRun& run) {
+  int min_grade = 3, max_grade = -1;
+  std::optional<Value> graded_value;
+  for (ProcessId p : run.correct) {
+    const GradecastOutput& o = run.outputs[p];
+    min_grade = std::min(min_grade, o.grade);
+    max_grade = std::max(max_grade, o.grade);
+    if (o.grade >= 1) {
+      if (!graded_value) {
+        graded_value = o.value;
+      } else {
+        EXPECT_EQ(o.value, *graded_value)
+            << "two correct processes graded different values";
+      }
+    }
+  }
+  EXPECT_LE(max_grade - min_grade, 1) << "grade gap exceeds 1";
+}
+
+TEST(Gradecast, CorrectSenderAllGradeTwo) {
+  SystemParams params{4, 1};
+  for (int b : {0, 1}) {
+    std::vector<Value> proposals(4, Value::bit(1 - b));
+    proposals[2] = Value::bit(b);
+    GcRun run = run_gc(params, 2, proposals, Adversary::none());
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(run.outputs[p].grade, 2);
+      EXPECT_EQ(run.outputs[p].value, Value::bit(b));
+    }
+  }
+}
+
+TEST(Gradecast, SilentSenderAllGradeZero) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  GcRun run = run_gc(params, 0, std::vector<Value>(4, Value::bit(1)), adv);
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(run.outputs[p].grade, 0);
+  }
+}
+
+TEST(Gradecast, EquivocationKeepsGradeGapAtMostOne) {
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    SystemParams params{n, (n - 1) / 3};
+    Adversary adv;
+    adv.faulty = ProcessSet{{0}};
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_equivocate_bits(3);
+    GcRun run = run_gc(params, 0, std::vector<Value>(n, Value::bit(0)), adv);
+    check_gradecast_properties(run);
+  }
+}
+
+// Exhaustive single-Byzantine-sender equivocation patterns at n = 4, t = 1:
+// each receiver gets an arbitrary bit (or nothing) in round 1.
+class GradecastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradecastSweep, AllRoundOnePatterns) {
+  const int pattern = GetParam();  // 2 bits per receiver: 0, 1, silent
+  SystemParams params{4, 1};
+
+  class PatternSender final : public Process {
+   public:
+    PatternSender(const ProcessContext& ctx, int pattern)
+        : n_(ctx.params.n), self_(ctx.self), pattern_(pattern) {}
+    Outbox outbox_for_round(Round r) override {
+      Outbox out;
+      if (r != 1) return out;
+      for (ProcessId p = 0; p < n_; ++p) {
+        if (p == self_) continue;
+        const int code = (pattern_ >> (2 * p)) & 3;
+        if (code == 2 || code == 3) continue;  // silent toward p
+        out.push_back(Outgoing{p, tagged("gc-init", {Value::bit(code)})});
+      }
+      return out;
+    }
+    void deliver(Round, const Inbox&) override {}
+    [[nodiscard]] std::optional<Value> decision() const override {
+      return std::nullopt;
+    }
+    [[nodiscard]] bool quiescent() const override { return true; }
+
+   private:
+    std::uint32_t n_;
+    ProcessId self_;
+    int pattern_;
+  };
+
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = [pattern](const ProcessContext& ctx) {
+    return std::make_unique<PatternSender>(ctx, pattern);
+  };
+  GcRun run = run_gc(params, 0, std::vector<Value>(4, Value::bit(0)), adv);
+  check_gradecast_properties(run);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, GradecastSweep,
+                         ::testing::Range(0, 256));
+
+TEST(Gradecast, ByzantineEchoersCannotForgeGradeTwo) {
+  // The sender is correct with bit 1; t echoers push bit 0. Grade-2 for 1
+  // must survive; no correct process may grade 0.
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{5, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(3);
+  std::vector<Value> proposals(7, Value::bit(1));
+  GcRun run = run_gc(params, 0, proposals, adv);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(run.outputs[p].value, Value::bit(1));
+    EXPECT_EQ(run.outputs[p].grade, 2);
+  }
+}
+
+TEST(Gradecast, ParseRejectsGarbage) {
+  EXPECT_EQ(parse_gradecast(Value{"junk"}), std::nullopt);
+  EXPECT_EQ(parse_gradecast(Value::vec({Value{"grade"}, Value{1}})),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace ba::protocols

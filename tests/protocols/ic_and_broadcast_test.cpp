@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "protocols/broadcast.h"
+#include "protocols/common.h"
+#include "protocols/interactive_consistency.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+TEST(UnauthBroadcast, CorrectSenderBitIsDecided) {
+  SystemParams params{4, 1};
+  for (int b : {0, 1}) {
+    std::vector<Value> proposals(4, Value::bit(1 - b));
+    proposals[2] = Value::bit(b);  // sender 2
+    RunResult res = run_execution(params, unauth_broadcast_bit(2), proposals,
+                                  Adversary::none());
+    for (ProcessId p = 0; p < 4; ++p) {
+      ASSERT_TRUE(res.decisions[p].has_value());
+      EXPECT_EQ(*res.decisions[p], Value::bit(b));
+    }
+  }
+}
+
+TEST(UnauthBroadcast, EquivocatingSenderStillYieldsAgreement) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(1);
+  RunResult res = run_execution(params, unauth_broadcast_bit(0),
+                                std::vector<Value>(4, Value::bit(0)), adv);
+  std::optional<Value> first;
+  for (ProcessId p = 1; p < 4; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first);
+  }
+}
+
+TEST(UnauthBroadcast, SilentSenderAgreesOnDefault) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{1}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  RunResult res = run_execution(params, unauth_broadcast_bit(1),
+                                std::vector<Value>(4, Value::bit(1)), adv);
+  for (ProcessId p : {0u, 2u, 3u}) {
+    EXPECT_EQ(*res.decisions[p], Value::bit(0));  // default when silent
+  }
+}
+
+TEST(AuthIC, FaultFreeVectorMatchesProposals) {
+  SystemParams params{4, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(3, 4);
+  std::vector<Value> proposals{Value{"a"}, Value{"b"}, Value{"c"},
+                               Value{"d"}};
+  RunResult res = run_execution(params, auth_interactive_consistency(auth),
+                                proposals, Adversary::none());
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    ASSERT_EQ(vec.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(vec[i], proposals[i]);
+  }
+}
+
+TEST(AuthIC, DishonestMajorityStillConsistent) {
+  // n = 5, t = 3: far beyond any unauthenticated bound.
+  SystemParams params{5, 3};
+  auto auth = std::make_shared<crypto::Authenticator>(4, 5);
+  Adversary adv;
+  adv.faulty = ProcessSet{{1, 2, 4}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_silent();
+  std::vector<Value> proposals{Value{"p0"}, Value{"x"}, Value{"x"},
+                               Value{"p3"}, Value{"x"}};
+  RunResult res = run_execution(params, auth_interactive_consistency(auth),
+                                proposals, adv);
+  for (ProcessId p : {0u, 3u}) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    EXPECT_EQ(vec[0], Value{"p0"});
+    EXPECT_EQ(vec[3], Value{"p3"});
+    EXPECT_EQ(vec[1], bottom());
+    EXPECT_EQ(vec[2], bottom());
+    EXPECT_EQ(vec[4], bottom());
+  }
+  EXPECT_EQ(*res.decisions[0], *res.decisions[3]);
+}
+
+TEST(AuthIC, ByzantineComponentsAgreeEvenIfGarbage) {
+  SystemParams params{4, 1};
+  auto auth = std::make_shared<crypto::Authenticator>(5, 4);
+  Adversary adv;
+  adv.faulty = ProcessSet{{2}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(11, 3);
+  std::vector<Value> proposals(4, Value{"v"});
+  RunResult res = run_execution(params, auth_interactive_consistency(auth),
+                                proposals, adv);
+  for (ProcessId p : {0u, 1u, 3u}) {
+    EXPECT_EQ(*res.decisions[p], *res.decisions[0]);
+  }
+}
+
+TEST(UnauthIC, BitVectorsAgreeUnderByzantineFault) {
+  SystemParams params{4, 1};
+  Adversary adv;
+  adv.faulty = ProcessSet{{3}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(30);
+  std::vector<Value> proposals{Value::bit(1), Value::bit(0), Value::bit(1),
+                               Value::bit(0)};
+  RunResult res = run_execution(params, unauth_interactive_consistency_bits(),
+                                proposals, adv);
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first);
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    EXPECT_EQ(vec[0], Value::bit(1));
+    EXPECT_EQ(vec[1], Value::bit(0));
+    EXPECT_EQ(vec[2], Value::bit(1));
+  }
+}
+
+TEST(UnauthIC, FaultFree) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals{Value::bit(0), Value::bit(1), Value::bit(1),
+                               Value::bit(0)};
+  RunResult res = run_execution(params, unauth_interactive_consistency_bits(),
+                                proposals, Adversary::none());
+  for (ProcessId p = 0; p < 4; ++p) {
+    const ValueVec& vec = res.decisions[p]->as_vec();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(vec[i], proposals[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

@@ -1,0 +1,162 @@
+#include "protocols/phase_king.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+struct Outcome {
+  std::vector<std::optional<Value>> decisions;
+  ProcessSet correct;
+  bool quiesced;
+};
+
+Outcome run_pk(std::uint32_t n, std::uint32_t t,
+               const std::vector<int>& bits, const Adversary& adv) {
+  SystemParams params{n, t};
+  std::vector<Value> proposals;
+  proposals.reserve(n);
+  for (int b : bits) proposals.push_back(Value::bit(b));
+  RunResult res = run_execution(params, phase_king_consensus(), proposals,
+                                adv);
+  return {res.decisions, adv.faulty.complement(n), res.quiesced};
+}
+
+void expect_agreement(const Outcome& o, const char* label) {
+  std::optional<Value> first;
+  for (ProcessId p : o.correct) {
+    ASSERT_TRUE(o.decisions[p].has_value()) << label << " p" << p;
+    if (!first) first = o.decisions[p];
+    EXPECT_EQ(*o.decisions[p], *first) << label << " p" << p;
+  }
+}
+
+TEST(PhaseKing, StrongValidityFaultFree) {
+  for (int b : {0, 1}) {
+    Outcome o = run_pk(4, 1, std::vector<int>(4, b), Adversary::none());
+    expect_agreement(o, "unanimous");
+    EXPECT_EQ(*o.decisions[0], Value::bit(b));
+  }
+}
+
+TEST(PhaseKing, MixedProposalsStillAgree) {
+  Outcome o = run_pk(4, 1, {0, 1, 0, 1}, Adversary::none());
+  expect_agreement(o, "mixed");
+}
+
+TEST(PhaseKing, StrongValidityWithSilentFaults) {
+  for (int b : {0, 1}) {
+    Adversary adv;
+    adv.faulty = ProcessSet{{3}};
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_silent();
+    Outcome o = run_pk(4, 1, std::vector<int>(4, b), adv);
+    expect_agreement(o, "silent fault");
+    EXPECT_EQ(*o.decisions[0], Value::bit(b));
+  }
+}
+
+TEST(PhaseKing, ToleratesEquivocatingByzantine) {
+  Adversary adv;
+  adv.faulty = ProcessSet{{2}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(20);
+  // All correct propose 1: must decide 1 regardless of the equivocator.
+  Outcome o = run_pk(4, 1, {1, 1, 0, 1}, adv);
+  expect_agreement(o, "equivocator");
+  EXPECT_EQ(*o.decisions[0], Value::bit(1));
+}
+
+TEST(PhaseKing, ByzantineKingCannotBreakAgreement) {
+  // p0 is the first king and Byzantine; agreement must still hold.
+  Adversary adv;
+  adv.faulty = ProcessSet{{0}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(20);
+  Outcome o = run_pk(7, 2, {0, 0, 1, 1, 0, 1, 0}, adv);
+  expect_agreement(o, "byzantine king");
+}
+
+TEST(PhaseKing, TwoByzantineAmongSeven) {
+  Adversary adv;
+  adv.faulty = ProcessSet{{1, 5}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(1234, 30);
+  for (int b : {0, 1}) {
+    Outcome o = run_pk(7, 2, std::vector<int>(7, b), adv);
+    expect_agreement(o, "noise");
+    EXPECT_EQ(*o.decisions[0], Value::bit(b)) << "b=" << b;
+  }
+}
+
+TEST(PhaseKing, OmissionFaultsAreHarmless) {
+  Outcome o = run_pk(7, 2, {1, 1, 1, 1, 1, 1, 1},
+                     isolate_group(ProcessSet{{5, 6}}, 2));
+  expect_agreement(o, "isolated");
+  EXPECT_EQ(*o.decisions[0], Value::bit(1));
+}
+
+TEST(PhaseKing, QuiescesAfterThreeTPlusOneRounds) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, phase_king_consensus(),
+                                  Value::bit(0));
+  ASSERT_TRUE(res.quiesced);
+  Round max_decision = 0;
+  for (const auto& pt : res.trace.procs) {
+    max_decision = std::max(max_decision, pt.decision_round);
+  }
+  EXPECT_EQ(max_decision, phase_king_rounds(params));
+}
+
+TEST(PhaseKing, NonBitProposalsCoerceToZero) {
+  SystemParams params{4, 1};
+  std::vector<Value> proposals(4, Value{"garbage"});
+  RunResult res = run_execution(params, phase_king_consensus(), proposals,
+                                Adversary::none());
+  EXPECT_EQ(*res.decisions[0], Value::bit(0));
+}
+
+// Exhaustive sweep over all proposal vectors for n = 4, t = 1 with each
+// possible silent-Byzantine slot: Agreement and Strong Validity must hold in
+// every single case.
+class PhaseKingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseKingSweep, AllProposalVectorsAllSilentFaultSlots) {
+  const int faulty_slot = GetParam();  // -1 = fault-free
+  for (int mask = 0; mask < 16; ++mask) {
+    std::vector<int> bits(4);
+    for (int i = 0; i < 4; ++i) bits[i] = (mask >> i) & 1;
+    Adversary adv;
+    if (faulty_slot >= 0) {
+      adv.faulty = ProcessSet{{static_cast<ProcessId>(faulty_slot)}};
+      adv.byzantine = adv.faulty;
+      adv.byzantine_factory = byz_silent();
+    }
+    Outcome o = run_pk(4, 1, bits, adv);
+    expect_agreement(o, "sweep");
+    // Strong validity among correct processes.
+    std::optional<int> unanimous;
+    bool same = true;
+    for (ProcessId p : o.correct) {
+      if (!unanimous) {
+        unanimous = bits[p];
+      } else if (*unanimous != bits[p]) {
+        same = false;
+      }
+    }
+    if (same && unanimous) {
+      EXPECT_EQ(*o.decisions[*o.correct.begin()], Value::bit(*unanimous))
+          << "mask=" << mask << " faulty=" << faulty_slot;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, PhaseKingSweep,
+                         ::testing::Values(-1, 0, 1, 2, 3));
+
+}  // namespace
+}  // namespace ba::protocols

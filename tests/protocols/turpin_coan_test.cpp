@@ -1,0 +1,105 @@
+#include "protocols/turpin_coan.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+void expect_agreement(const RunResult& res, const ProcessSet& correct) {
+  std::optional<Value> first;
+  for (ProcessId p : correct) {
+    ASSERT_TRUE(res.decisions[p].has_value()) << "p" << p;
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first) << "p" << p;
+  }
+}
+
+TEST(TurpinCoan, UnanimousArbitraryValueDecided) {
+  SystemParams params{4, 1};
+  for (const Value& v : {Value{"block#42"}, Value{17}, Value::vec({1, 2})}) {
+    RunResult res = run_all_correct(params, turpin_coan_multivalued(), v);
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(*res.decisions[p], v);
+    }
+  }
+}
+
+TEST(TurpinCoan, UnanimityHoldsUnderByzantineFault) {
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{1, 4}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(9, 40);
+  std::vector<Value> proposals(7, Value{"agreed"});
+  RunResult res = run_execution(params, turpin_coan_multivalued(), proposals,
+                                adv);
+  for (ProcessId p : adv.faulty.complement(7)) {
+    EXPECT_EQ(*res.decisions[p], Value{"agreed"});
+  }
+}
+
+TEST(TurpinCoan, SplitProposalsStillAgree) {
+  SystemParams params{7, 2};
+  std::vector<Value> proposals{Value{"a"}, Value{"a"}, Value{"a"},
+                               Value{"b"}, Value{"b"}, Value{"c"},
+                               Value{"d"}};
+  RunResult res = run_execution(params, turpin_coan_multivalued(), proposals,
+                                Adversary::none());
+  expect_agreement(res, ProcessSet::all(7));
+}
+
+TEST(TurpinCoan, NearUnanimousDecidesTheMajorityValue) {
+  // n - t = 5 of 7 propose "w": every correct process backs w, binary input
+  // is 1 everywhere, w is decided.
+  SystemParams params{7, 2};
+  std::vector<Value> proposals(7, Value{"w"});
+  proposals[5] = Value{"x"};
+  proposals[6] = Value{"y"};
+  RunResult res = run_execution(params, turpin_coan_multivalued(), proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < 7; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{"w"});
+  }
+}
+
+TEST(TurpinCoan, AgreementUnderEquivocationWithMixedInputs) {
+  SystemParams params{7, 2};
+  Adversary adv;
+  adv.faulty = ProcessSet{{0, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(40);
+  std::vector<Value> proposals{Value{"p"}, Value{"q"}, Value{"q"},
+                               Value{"q"}, Value{"r"}, Value{"q"},
+                               Value{"s"}};
+  RunResult res = run_execution(params, turpin_coan_multivalued(), proposals,
+                                adv);
+  expect_agreement(res, adv.faulty.complement(7));
+}
+
+TEST(TurpinCoan, OmissionFaultsHarmless) {
+  SystemParams params{7, 2};
+  std::vector<Value> proposals(7, Value{"v"});
+  RunResult res = run_execution(params, turpin_coan_multivalued(), proposals,
+                                isolate_group(ProcessSet{{5, 6}}, 2));
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*res.decisions[p], Value{"v"});
+  }
+}
+
+TEST(TurpinCoan, RoundCount) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, turpin_coan_multivalued(),
+                                  Value{"v"});
+  ASSERT_TRUE(res.quiesced);
+  for (const auto& pt : res.trace.procs) {
+    EXPECT_EQ(pt.decision_round, turpin_coan_rounds(params));
+  }
+}
+
+}  // namespace
+}  // namespace ba::protocols

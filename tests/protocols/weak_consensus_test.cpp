@@ -1,0 +1,113 @@
+#include "protocols/weak_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/omission.h"
+#include "crypto/signature.h"
+#include "runtime/sync_system.h"
+
+namespace ba::protocols {
+namespace {
+
+void expect_weak_validity(const ProtocolFactory& wc, std::uint32_t n,
+                          std::uint32_t t, const char* label) {
+  SystemParams params{n, t};
+  for (int b : {0, 1}) {
+    RunResult res = run_all_correct(params, wc, Value::bit(b));
+    for (ProcessId p = 0; p < n; ++p) {
+      ASSERT_TRUE(res.decisions[p].has_value()) << label;
+      EXPECT_EQ(*res.decisions[p], Value::bit(b)) << label << " b=" << b;
+    }
+  }
+}
+
+TEST(WeakConsensus, AuthSatisfiesWeakValidity) {
+  auto auth = std::make_shared<crypto::Authenticator>(1, 6);
+  expect_weak_validity(weak_consensus_auth(auth), 6, 3, "auth");
+}
+
+TEST(WeakConsensus, UnauthSatisfiesWeakValidity) {
+  expect_weak_validity(weak_consensus_unauth(), 7, 2, "unauth");
+}
+
+TEST(WeakConsensus, AuthAgreementUnderOmissionFaults) {
+  std::uint32_t n = 6, t = 3;
+  auto auth = std::make_shared<crypto::Authenticator>(2, n);
+  ProtocolFactory wc = weak_consensus_auth(auth);
+  SystemParams params{n, t};
+  // Isolate two groups at several rounds; correct processes must agree.
+  for (Round k = 1; k <= 4; ++k) {
+    RunResult res =
+        run_execution(params, wc, std::vector<Value>(n, Value::bit(0)),
+                      isolate_two_groups(ProcessSet{{4}}, k,
+                                         ProcessSet{{5}}, k + 1));
+    std::optional<Value> first;
+    for (ProcessId p = 0; p < 4; ++p) {
+      ASSERT_TRUE(res.decisions[p].has_value()) << "k=" << k;
+      if (!first) first = res.decisions[p];
+      EXPECT_EQ(*res.decisions[p], *first) << "k=" << k;
+    }
+  }
+}
+
+TEST(WeakConsensus, CandidatesAreCheapInFaultFreeRuns) {
+  SystemParams params{9, 8};
+  struct Case {
+    const char* name;
+    ProtocolFactory factory;
+    std::uint64_t max_messages;
+  };
+  const Case cases[] = {
+      {"silent", wc_candidate_silent(), 0},
+      {"beacon", wc_candidate_leader_beacon(), 8},
+      {"gossip", wc_candidate_gossip_ring(2, 3), 9 * 2 * 3},
+  };
+  for (const Case& c : cases) {
+    RunResult res = run_all_correct(params, c.factory, Value::bit(1));
+    EXPECT_LE(res.messages_sent_by_correct, c.max_messages) << c.name;
+  }
+}
+
+TEST(WeakConsensus, BeaconAndGossipSatisfyWeakValidityFaultFree) {
+  // The broken candidates DO look correct in fault-free unanimous runs —
+  // that is what makes them interesting attack targets.
+  expect_weak_validity(wc_candidate_leader_beacon(), 9, 8, "beacon");
+  expect_weak_validity(wc_candidate_gossip_ring(2, 3), 9, 8, "gossip");
+}
+
+TEST(WeakConsensus, SilentCandidateViolatesWeakValidityDirectly) {
+  SystemParams params{4, 2};
+  RunResult res =
+      run_all_correct(params, wc_candidate_silent(1), Value::bit(0));
+  EXPECT_EQ(*res.decisions[0], Value::bit(1));  // proposal ignored
+}
+
+TEST(WeakConsensus, OneShotEchoBreaksUnderSendOmission) {
+  // Demonstrates that quadratic cost alone is not enough: the one-shot echo
+  // sends n(n-1) messages yet a single send-omission splits the decisions.
+  SystemParams params{4, 1};
+  // p3 send-omits only its message to p0 in round 1.
+  Adversary adv = send_omit_messages(ProcessSet{{3}}, {MsgKey{3, 0, 1}});
+  RunResult res = run_execution(params, wc_candidate_one_shot_echo(),
+                                std::vector<Value>(4, Value::bit(0)), adv);
+  // p0 misses one bit -> decides 1; p1, p2 see all zeros -> decide 0.
+  EXPECT_EQ(*res.decisions[0], Value::bit(1));
+  EXPECT_EQ(*res.decisions[1], Value::bit(0));
+  EXPECT_EQ(*res.decisions[2], Value::bit(0));
+}
+
+TEST(WeakConsensus, AuthHasQuadraticWorstCase) {
+  std::uint32_t n = 9, t = 8;
+  auto auth = std::make_shared<crypto::Authenticator>(3, n);
+  SystemParams params{n, t};
+  RunResult res = run_all_correct(params, weak_consensus_auth(auth),
+                                  Value::bit(0));
+  // Relay round alone is (n-1)^2.
+  EXPECT_GE(res.messages_sent_by_correct,
+            static_cast<std::uint64_t>(t) * t / 32);
+}
+
+}  // namespace
+}  // namespace ba::protocols

@@ -1,0 +1,222 @@
+// Tests for Algorithm 1 (weak consensus from any non-trivial problem),
+// Algorithm 2 (any CC problem from interactive consistency), the classical
+// reductions, and the zero-extra-message property (Lemma 18).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "protocols/dolev_strong.h"
+#include "protocols/eig.h"
+#include "protocols/interactive_consistency.h"
+#include "protocols/phase_king.h"
+#include "reductions/classic.h"
+#include "reductions/from_ic.h"
+#include "reductions/weak_from_any.h"
+#include "runtime/sync_system.h"
+#include "validity/properties.h"
+#include "validity/solvability.h"
+
+namespace ba::reductions {
+namespace {
+
+void expect_weak_consensus_fault_free(const ProtocolFactory& wc,
+                                      const SystemParams& params,
+                                      const char* label) {
+  for (int b : {0, 1}) {
+    RunResult res = run_all_correct(params, wc, Value::bit(b));
+    for (ProcessId p = 0; p < params.n; ++p) {
+      ASSERT_TRUE(res.decisions[p].has_value()) << label;
+      EXPECT_EQ(*res.decisions[p], Value::bit(b)) << label << " b=" << b;
+    }
+  }
+}
+
+TEST(Algorithm1, WeakFromStrongConsensus) {
+  SystemParams params{4, 1};
+  auto problem = validity::strong_validity(4, 1);
+  std::string error;
+  auto rp = derive_reduction_params(problem, params,
+                                    protocols::phase_king_consensus(),
+                                    &error);
+  ASSERT_TRUE(rp.has_value()) << error;
+  EXPECT_EQ(rp->v0, Value::bit(0));
+  // c_1* forces something other than v0: a uniform-1-ish config.
+  EXPECT_FALSE(problem.admissible(rp->c1_star, rp->v0));
+
+  auto wc = weak_consensus_from_any(protocols::phase_king_consensus(), *rp);
+  expect_weak_consensus_fault_free(wc, params, "weak-from-strong");
+}
+
+TEST(Algorithm1, WeakFromInteractiveConsistency) {
+  SystemParams params{4, 1};
+  auto problem = validity::ic_validity(4, 1);
+  std::string error;
+  auto rp = derive_reduction_params(problem, params,
+                                    protocols::eig_interactive_consistency(),
+                                    &error);
+  ASSERT_TRUE(rp.has_value()) << error;
+  auto wc = weak_consensus_from_any(protocols::eig_interactive_consistency(),
+                                    *rp);
+  expect_weak_consensus_fault_free(wc, params, "weak-from-ic");
+}
+
+TEST(Algorithm1, WeakFromByzantineBroadcast) {
+  SystemParams params{4, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(31, 4);
+  auto bb = protocols::dolev_strong_broadcast(auth, 0);
+  auto problem = validity::sender_validity(4, 2, 0);
+  std::string error;
+  auto rp = derive_reduction_params(problem, params, bb, &error);
+  ASSERT_TRUE(rp.has_value()) << error;
+  auto wc = weak_consensus_from_any(bb, *rp);
+  expect_weak_consensus_fault_free(wc, params, "weak-from-bb");
+}
+
+TEST(Algorithm1, ZeroExtraMessages) {
+  // Lemma 18: the reduction's message complexity equals the solver's.
+  SystemParams params{4, 1};
+  auto problem = validity::strong_validity(4, 1);
+  auto rp = derive_reduction_params(problem, params,
+                                    protocols::phase_king_consensus());
+  ASSERT_TRUE(rp.has_value());
+  auto wc = weak_consensus_from_any(protocols::phase_king_consensus(), *rp);
+
+  for (int b : {0, 1}) {
+    const validity::InputConfig& c = b == 0 ? rp->c0 : rp->c1;
+    std::vector<Value> direct_proposals(params.n);
+    for (ProcessId p = 0; p < params.n; ++p) direct_proposals[p] = *c[p];
+    RunResult direct =
+        run_execution(params, protocols::phase_king_consensus(),
+                      direct_proposals, Adversary::none());
+    RunResult reduced = run_all_correct(params, wc, Value::bit(b));
+    EXPECT_EQ(reduced.messages_sent_by_correct,
+              direct.messages_sent_by_correct);
+  }
+}
+
+TEST(Algorithm1, AgreementInheritedUnderFaults) {
+  SystemParams params{7, 2};
+  auto problem = validity::strong_validity(7, 2);
+  auto rp = derive_reduction_params(problem, params,
+                                    protocols::phase_king_consensus());
+  ASSERT_TRUE(rp.has_value());
+  auto wc = weak_consensus_from_any(protocols::phase_king_consensus(), *rp);
+
+  Adversary adv;
+  adv.faulty = ProcessSet{{3, 6}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_noise(55, 30);
+  std::vector<Value> proposals{Value::bit(0), Value::bit(1), Value::bit(0),
+                               Value::bit(1), Value::bit(1), Value::bit(0),
+                               Value::bit(0)};
+  RunResult res = run_execution(params, wc, proposals, adv);
+  std::optional<Value> first;
+  for (ProcessId p : adv.faulty.complement(7)) {
+    ASSERT_TRUE(res.decisions[p].has_value());
+    if (!first) first = res.decisions[p];
+    EXPECT_EQ(*res.decisions[p], *first);
+  }
+}
+
+TEST(Algorithm1, RejectsTrivialProblem) {
+  SystemParams params{4, 1};
+  auto trivial = validity::constant_validity(4, 1);
+  // A solver for the trivial problem: phase king works (its decisions are
+  // always admissible).
+  std::string error;
+  auto rp = derive_reduction_params(trivial, params,
+                                    protocols::phase_king_consensus(),
+                                    &error);
+  // Phase king decides 0 in E_0, and 0 is admissible everywhere under the
+  // constant property, so no c_1* exists.
+  EXPECT_FALSE(rp.has_value());
+  EXPECT_NE(error.find("trivial"), std::string::npos);
+}
+
+TEST(Algorithm2, StrongConsensusFromAuthIC) {
+  SystemParams params{4, 1};
+  auto auth = std::make_shared<crypto::Authenticator>(8, 4);
+  auto solver = agreement_from_ic(
+      validity::strong_validity(4, 1), params,
+      protocols::auth_interactive_consistency(auth));
+
+  // Strong validity fault-free: unanimous value decided.
+  for (int b : {0, 1}) {
+    RunResult res = run_all_correct(params, solver, Value::bit(b));
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(*res.decisions[p], Value::bit(b));
+    }
+  }
+}
+
+TEST(Algorithm2, StrongValidityHoldsWithByzantineFault) {
+  SystemParams params{4, 1};
+  auto auth = std::make_shared<crypto::Authenticator>(9, 4);
+  auto solver = agreement_from_ic(
+      validity::strong_validity(4, 1), params,
+      protocols::auth_interactive_consistency(auth));
+  Adversary adv;
+  adv.faulty = ProcessSet{{2}};
+  adv.byzantine = adv.faulty;
+  adv.byzantine_factory = byz_equivocate_bits(3);
+  RunResult res = run_execution(params, solver,
+                                std::vector<Value>(4, Value::bit(1)), adv);
+  for (ProcessId p : {0u, 1u, 3u}) {
+    EXPECT_EQ(*res.decisions[p], Value::bit(1));
+  }
+}
+
+TEST(Algorithm2, UnauthenticatedViaEig) {
+  SystemParams params{4, 1};
+  auto solver = agreement_from_ic(validity::strong_validity(4, 1), params,
+                                  protocols::eig_interactive_consistency());
+  for (int b : {0, 1}) {
+    RunResult res = run_all_correct(params, solver, Value::bit(b));
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(*res.decisions[p], Value::bit(b));
+    }
+  }
+}
+
+TEST(Algorithm2, AnyProposedValidityEndToEnd) {
+  SystemParams params{5, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(10, 5);
+  auto problem = validity::any_proposed_validity(5, 2);
+  ASSERT_TRUE(validity::satisfies_cc(problem, 5, 2));
+  auto solver = agreement_from_ic(
+      problem, params, protocols::auth_interactive_consistency(auth));
+  std::vector<Value> proposals{Value::bit(0), Value::bit(0), Value::bit(1),
+                               Value::bit(0), Value::bit(1)};
+  RunResult res = run_execution(params, solver, proposals, Adversary::none());
+  auto d = res.unanimous_correct_decision();
+  ASSERT_TRUE(d.has_value());
+  // Must be a value someone proposed — both bits were, so just agreement +
+  // admissibility.
+  EXPECT_TRUE(*d == Value::bit(0) || *d == Value::bit(1));
+}
+
+TEST(ClassicReductions, WeakFromStrongIsIdentity) {
+  SystemParams params{4, 1};
+  auto wc = weak_from_strong(protocols::phase_king_consensus());
+  expect_weak_consensus_fault_free(wc, params, "weak-from-strong-classic");
+}
+
+TEST(ClassicReductions, StrongFromBroadcasts) {
+  SystemParams params{4, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(12, 4);
+  auto strong = strong_from_broadcasts([auth](ProcessId sender) {
+    return protocols::dolev_strong_broadcast(auth, sender, sender);
+  });
+  for (int b : {0, 1}) {
+    RunResult res = run_all_correct(params, strong, Value::bit(b));
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(*res.decisions[p], Value::bit(b)) << "b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ba::reductions

@@ -1,0 +1,73 @@
+#include "runtime/message.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "protocols/common.h"
+
+namespace ba {
+namespace {
+
+TEST(MsgKey, OrderingAndEquality) {
+  MsgKey a{0, 1, 1};
+  MsgKey b{0, 1, 2};
+  MsgKey c{0, 2, 1};
+  MsgKey d{1, 0, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+  EXPECT_EQ(a, (MsgKey{0, 1, 1}));
+}
+
+TEST(MsgKey, HashSpreadsAcrossFields) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<MsgKey> h;
+  for (ProcessId s = 0; s < 4; ++s) {
+    for (ProcessId r = 0; r < 4; ++r) {
+      for (Round k = 1; k <= 4; ++k) {
+        hashes.insert(h(MsgKey{s, r, k}));
+      }
+    }
+  }
+  EXPECT_GE(hashes.size(), 60u);  // 64 keys, near-collision-free
+}
+
+TEST(Message, KeyProjectionIgnoresPayload) {
+  Message m1{2, 3, 5, Value{"a"}};
+  Message m2{2, 3, 5, Value{"b"}};
+  EXPECT_EQ(m1.key(), m2.key());
+  EXPECT_NE(m1, m2);
+  EXPECT_LT(m1, m2);  // tie broken by payload
+}
+
+TEST(Message, StreamFormat) {
+  std::ostringstream os;
+  os << Message{1, 2, 3, Value::bit(1)};
+  EXPECT_EQ(os.str(), "msg(p1->p2@r3: 1)");
+}
+
+TEST(PayloadHelpers, TaggedFieldRoundTrip) {
+  using protocols::field;
+  using protocols::has_tag;
+  using protocols::tagged;
+  Value v = tagged("hello", {Value{1}, Value{"x"}});
+  EXPECT_TRUE(has_tag(v, "hello"));
+  EXPECT_FALSE(has_tag(v, "world"));
+  EXPECT_FALSE(has_tag(Value{"hello"}, "hello"));
+  ASSERT_NE(field(v, 0), nullptr);
+  EXPECT_EQ(*field(v, 0), Value{1});
+  ASSERT_NE(field(v, 1), nullptr);
+  EXPECT_EQ(*field(v, 1), Value{"x"});
+  EXPECT_EQ(field(v, 2), nullptr);  // out of range
+}
+
+TEST(PayloadHelpers, EmptyTagged) {
+  Value v = protocols::tagged("empty", {});
+  EXPECT_TRUE(protocols::has_tag(v, "empty"));
+  EXPECT_EQ(protocols::field(v, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,113 @@
+#include "runtime/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/omission.h"
+#include "lowerbound/attack.h"
+#include "lowerbound/certificate_io.h"
+#include "protocols/phase_king.h"
+#include "protocols/weak_consensus.h"
+#include "runtime/sync_system.h"
+
+namespace ba {
+namespace {
+
+ExecutionTrace sample_trace() {
+  SystemParams params{5, 2};
+  return run_execution(params, protocols::phase_king_consensus(),
+                       std::vector<Value>(5, Value::bit(1)),
+                       isolate_group(ProcessSet{{3, 4}}, 2))
+      .trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  ExecutionTrace original = sample_trace();
+  auto restored = trace_from_value(trace_to_value(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->params.n, original.params.n);
+  EXPECT_EQ(restored->params.t, original.params.t);
+  EXPECT_EQ(restored->faulty, original.faulty);
+  EXPECT_EQ(restored->rounds, original.rounds);
+  EXPECT_EQ(restored->quiesced, original.quiesced);
+  ASSERT_EQ(restored->procs.size(), original.procs.size());
+  for (std::size_t p = 0; p < original.procs.size(); ++p) {
+    EXPECT_EQ(restored->procs[p], original.procs[p]) << "p" << p;
+  }
+  // A round-tripped trace still validates.
+  EXPECT_EQ(restored->validate(), std::nullopt);
+}
+
+TEST(TraceIo, BytesRoundTrip) {
+  ExecutionTrace original = sample_trace();
+  Bytes bytes = encode_trace(original);
+  auto restored = decode_trace(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->procs[0], original.procs[0]);
+  EXPECT_EQ(restored->message_complexity(), original.message_complexity());
+}
+
+TEST(TraceIo, GarbageRejected) {
+  EXPECT_EQ(trace_from_value(Value{"nope"}), std::nullopt);
+  EXPECT_EQ(decode_trace(Bytes{1, 2, 3}), std::nullopt);
+  Bytes truncated = encode_trace(sample_trace());
+  truncated.resize(truncated.size() / 2);
+  EXPECT_EQ(decode_trace(truncated), std::nullopt);
+}
+
+TEST(CertificateIo, RoundTrippedCertificateStillVerifies) {
+  SystemParams params{12, 8};
+  auto protocol = protocols::wc_candidate_leader_beacon();
+  auto report = lowerbound::attack_weak_consensus(params, protocol);
+  ASSERT_TRUE(report.certificate.has_value());
+
+  Bytes bytes = lowerbound::encode_certificate(*report.certificate);
+  auto restored = lowerbound::decode_certificate(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->kind, report.certificate->kind);
+  EXPECT_EQ(restored->witness_a, report.certificate->witness_a);
+  EXPECT_EQ(restored->narrative, report.certificate->narrative);
+
+  auto check = lowerbound::verify_certificate(*restored, protocol);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(CertificateIo, TamperedBytesDoNotVerify) {
+  SystemParams params{12, 8};
+  auto protocol = protocols::wc_candidate_gossip_ring(2, 3);
+  auto report = lowerbound::attack_weak_consensus(params, protocol);
+  ASSERT_TRUE(report.certificate.has_value());
+
+  Value v = lowerbound::certificate_to_value(*report.certificate);
+  // Swap the witnesses.
+  std::swap(v.as_vec()[3], v.as_vec()[4]);
+  auto tampered = lowerbound::certificate_from_value(v);
+  // Either the decode rejects it or the verification does.
+  if (tampered) {
+    auto check = lowerbound::verify_certificate(*tampered, protocol);
+    // witness_a/b swap keeps an Agreement pair valid (symmetric), so allow
+    // ok here — but a kind flip must fail:
+    Value v2 = lowerbound::certificate_to_value(*report.certificate);
+    v2.as_vec()[1] = Value{static_cast<std::int64_t>(
+        report.certificate->kind == lowerbound::ViolationKind::kAgreement
+            ? 2
+            : 0)};
+    auto flipped = lowerbound::certificate_from_value(v2);
+    ASSERT_TRUE(flipped.has_value());
+    EXPECT_FALSE(lowerbound::verify_certificate(*flipped, protocol).ok);
+  }
+}
+
+TEST(BitComplexity, CountsPayloadBytes) {
+  SystemParams params{4, 1};
+  RunResult res = run_all_correct(params, protocols::phase_king_consensus(),
+                                  Value::bit(0));
+  const std::uint64_t bytes = res.trace.payload_bytes_sent_by_correct();
+  const std::uint64_t msgs = res.trace.message_complexity();
+  // Every message carries at least one payload byte, and phase-king payloads
+  // are small tagged vectors (well under 64 bytes).
+  EXPECT_GE(bytes, msgs);
+  EXPECT_LE(bytes, msgs * 64);
+}
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,124 @@
+#include "runtime/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/omission.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba {
+namespace {
+
+class Broadcaster final : public protocols::DecidingProcess {
+ public:
+  explicit Broadcaster(const ProcessContext& ctx) : ctx_(ctx) {}
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r <= 2) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != ctx_.self) out.push_back(Outgoing{p, ctx_.proposal});
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 2) {
+      decide(Value{static_cast<std::int64_t>(inbox.size())});
+    }
+  }
+
+ private:
+  ProcessContext ctx_;
+};
+
+ProtocolFactory broadcaster() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<Broadcaster>(ctx);
+  };
+}
+
+ExecutionTrace make_trace(const Adversary& adv, std::uint32_t n = 4,
+                          std::uint32_t t = 2) {
+  SystemParams params{n, t};
+  return run_execution(params, broadcaster(),
+                       std::vector<Value>(n, Value::bit(0)), adv)
+      .trace;
+}
+
+TEST(Trace, MessageComplexityExcludesFaulty) {
+  ExecutionTrace e = make_trace(mute_group(ProcessSet{{0}}, 1));
+  // 3 correct processes, 3 receivers each, 2 rounds.
+  EXPECT_EQ(e.message_complexity(), 18u);
+  EXPECT_EQ(e.total_messages_sent(), 18u);  // p0's sends were all omitted
+}
+
+TEST(Trace, ReceiveOmittedFromFiltersSenders) {
+  ExecutionTrace e = make_trace(isolate_group(ProcessSet{{3}}, 2));
+  // Round 1 delivered; round 2 messages from {0,1,2} to p3 are omitted.
+  auto from_01 = e.receive_omitted_from(3, ProcessSet{{0, 1}});
+  EXPECT_EQ(from_01.size(), 2u);
+  auto from_all = e.receive_omitted_from(3, ProcessSet::all(4));
+  EXPECT_EQ(from_all.size(), 3u);
+}
+
+TEST(Trace, IndistinguishabilityDetectsDifferentInboxes) {
+  ExecutionTrace a = make_trace(Adversary::none());
+  ExecutionTrace b = make_trace(isolate_group(ProcessSet{{3}}, 2));
+  EXPECT_TRUE(a.indistinguishable_for(0, a));
+  // p0's received messages are identical in both runs (isolation only
+  // affects what p3 receives; p3 sends the same things either way).
+  EXPECT_TRUE(a.indistinguishable_for(0, b));
+  // p3 receives strictly less in b.
+  EXPECT_FALSE(a.indistinguishable_for(3, b));
+}
+
+TEST(Trace, UnanimousCorrectDecision) {
+  ExecutionTrace e = make_trace(Adversary::none());
+  auto d = e.unanimous_correct_decision();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->as_int(), 3);
+}
+
+TEST(Trace, ValidateCatchesCorruptedTraces) {
+  ExecutionTrace e = make_trace(Adversary::none());
+  ASSERT_EQ(e.validate(), std::nullopt);
+
+  {
+    ExecutionTrace bad = e;
+    // Claim a message that was never sent.
+    bad.procs[0].rounds[0].received.push_back(
+        Message{2, 0, 1, Value{"forged"}});
+    EXPECT_NE(bad.validate(), std::nullopt);
+  }
+  {
+    ExecutionTrace bad = e;
+    // A correct process cannot receive-omit.
+    Message m = bad.procs[0].rounds[0].received.back();
+    bad.procs[0].rounds[0].received.pop_back();
+    bad.procs[0].rounds[0].receive_omitted.push_back(m);
+    EXPECT_NE(bad.validate(), std::nullopt);
+  }
+  {
+    ExecutionTrace bad = e;
+    // Tamper with a payload on the receive side.
+    bad.procs[1].rounds[0].received[0].payload = Value{"tampered"};
+    EXPECT_NE(bad.validate(), std::nullopt);
+  }
+  {
+    ExecutionTrace bad = e;
+    bad.faulty = ProcessSet{{0, 1, 2}};  // exceeds t = 2
+    EXPECT_NE(bad.validate(), std::nullopt);
+  }
+}
+
+TEST(Trace, ValidateAcceptsOmissionFaults) {
+  EXPECT_EQ(make_trace(isolate_group(ProcessSet{{2, 3}}, 1)).validate(),
+            std::nullopt);
+  EXPECT_EQ(make_trace(mute_group(ProcessSet{{1}}, 2)).validate(),
+            std::nullopt);
+  EXPECT_EQ(make_trace(partition_from(ProcessSet{{2, 3}}, 2)).validate(),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace ba

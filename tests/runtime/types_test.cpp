@@ -1,0 +1,64 @@
+#include "runtime/types.h"
+
+#include <gtest/gtest.h>
+
+namespace ba {
+namespace {
+
+TEST(ProcessSet, RangeAndContains) {
+  ProcessSet s = ProcessSet::range(2, 5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(ProcessSet, ConstructorDedupsAndSorts) {
+  ProcessSet s{{5, 1, 3, 1, 5}};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<ProcessId>{1, 3, 5}));
+}
+
+TEST(ProcessSet, InsertEraseIdempotent) {
+  ProcessSet s;
+  s.insert(4);
+  s.insert(4);
+  EXPECT_EQ(s.size(), 1u);
+  s.erase(4);
+  s.erase(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  ProcessSet a{{0, 1, 2, 3}};
+  ProcessSet b{{2, 3, 4}};
+  EXPECT_EQ(a.set_union(b).ids(), (std::vector<ProcessId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(a.set_intersection(b).ids(), (std::vector<ProcessId>{2, 3}));
+  EXPECT_EQ(a.set_difference(b).ids(), (std::vector<ProcessId>{0, 1}));
+}
+
+TEST(ProcessSet, Complement) {
+  ProcessSet b{{1, 3}};
+  EXPECT_EQ(b.complement(5).ids(), (std::vector<ProcessId>{0, 2, 4}));
+  EXPECT_EQ(b.complement(5).complement(5), b);
+}
+
+TEST(ProcessSet, SubsetRelation) {
+  ProcessSet a{{1, 2}};
+  ProcessSet b{{0, 1, 2, 3}};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(ProcessSet{}.is_subset_of(a));
+}
+
+TEST(SystemParams, Validity) {
+  EXPECT_TRUE((SystemParams{4, 1}).valid());
+  EXPECT_TRUE((SystemParams{4, 3}).valid());
+  EXPECT_FALSE((SystemParams{4, 4}).valid());
+  EXPECT_FALSE((SystemParams{0, 0}).valid());
+}
+
+}  // namespace
+}  // namespace ba

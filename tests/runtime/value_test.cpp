@@ -1,0 +1,94 @@
+#include "runtime/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace ba {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v, Value::null());
+}
+
+TEST(Value, BitConstruction) {
+  EXPECT_EQ(Value::bit(0).try_bit(), 0);
+  EXPECT_EQ(Value::bit(1).try_bit(), 1);
+  EXPECT_EQ(Value::bit(7).try_bit(), 1);  // nonzero coerces to 1
+}
+
+TEST(Value, TryBitOnInts) {
+  EXPECT_EQ(Value{0}.try_bit(), 0);
+  EXPECT_EQ(Value{1}.try_bit(), 1);
+  EXPECT_EQ(Value{2}.try_bit(), std::nullopt);
+  EXPECT_EQ(Value{"x"}.try_bit(), std::nullopt);
+  EXPECT_EQ(Value::null().try_bit(), std::nullopt);
+}
+
+TEST(Value, KindsAreDistinct) {
+  EXPECT_NE(Value::null(), Value{false});
+  EXPECT_NE(Value{false}, Value{0});
+  EXPECT_NE(Value{0}, Value{"0"});
+  EXPECT_NE(Value{"0"}, Value{ValueVec{Value{"0"}}});
+}
+
+TEST(Value, OrderingIsTotalAndConsistent) {
+  std::vector<Value> vs{
+      Value::null(),        Value{false},       Value{true},
+      Value{-3},            Value{0},           Value{42},
+      Value{""},            Value{"abc"},       Value{"abd"},
+      Value{ValueVec{}},    Value::vec({1, 2}), Value::vec({1, 2, 3}),
+      Value::vec({1, 3}),
+  };
+  for (const Value& a : vs) {
+    EXPECT_EQ(a <=> a, std::strong_ordering::equal);
+    for (const Value& b : vs) {
+      const bool lt = a < b;
+      const bool gt = b < a;
+      const bool eq = a == b;
+      EXPECT_EQ(lt + gt + eq, 1) << a << " vs " << b;
+    }
+  }
+  std::set<Value> s(vs.begin(), vs.end());
+  EXPECT_EQ(s.size(), vs.size());
+}
+
+TEST(Value, HashDistinguishesCommonValues) {
+  std::unordered_set<std::size_t> hashes;
+  hashes.insert(Value::null().hash());
+  hashes.insert(Value{false}.hash());
+  hashes.insert(Value{true}.hash());
+  hashes.insert(Value{0}.hash());
+  hashes.insert(Value{1}.hash());
+  hashes.insert(Value{"a"}.hash());
+  hashes.insert(Value::vec({0, 1}).hash());
+  EXPECT_GE(hashes.size(), 6u);  // no mass collision
+}
+
+TEST(Value, EqualValuesHashEqual) {
+  const Value a = Value::vec({Value{"x"}, Value{3}, Value::vec({0})});
+  const Value b = Value::vec({Value{"x"}, Value{3}, Value::vec({0})});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value::null().to_string(), "_");
+  EXPECT_EQ(Value{true}.to_string(), "1");
+  EXPECT_EQ(Value{42}.to_string(), "42");
+  EXPECT_EQ(Value{"hi"}.to_string(), "\"hi\"");
+  EXPECT_EQ(Value::vec({1, 2}).to_string(), "[1,2]");
+}
+
+TEST(Value, NestedVectorAccess) {
+  Value v = Value::vec({Value{"tag"}, Value::vec({7, 8})});
+  ASSERT_TRUE(v.is_vec());
+  ASSERT_EQ(v.as_vec().size(), 2u);
+  EXPECT_EQ(v.as_vec()[1].as_vec()[0].as_int(), 7);
+}
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,125 @@
+// Tests for the validity-property algebra: the pointwise weaker-than order
+// (weak consensus sits at the bottom of the non-trivial binary problems),
+// conjunction, and the operational reduction order of §4.2.
+
+#include "validity/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "protocols/dolev_strong.h"
+#include "protocols/phase_king.h"
+#include "runtime/sync_system.h"
+#include "reductions/weak_from_any.h"
+#include "validity/properties.h"
+#include "validity/solvability.h"
+
+namespace ba::validity {
+namespace {
+
+constexpr std::uint32_t kN = 4;
+constexpr std::uint32_t kT = 1;
+
+TEST(Algebra, WeakIsWeakerThanStrong) {
+  auto weak = weak_validity(kN, kT);
+  auto strong = strong_validity(kN, kT);
+  EXPECT_TRUE(is_weaker_equal(weak, strong, kN, kT));
+  EXPECT_FALSE(is_weaker_equal(strong, weak, kN, kT));
+}
+
+TEST(Algebra, WeakIsWeakerThanSenderAndAnyProposed) {
+  auto weak = weak_validity(kN, kT);
+  // Sender validity has an extra bottom symbol in V_O; compare over the
+  // shared binary core by constructing sender validity on the bit domain
+  // only when the sender slot forces a bit.
+  auto any = any_proposed_validity(kN, kT);
+  EXPECT_TRUE(is_weaker_equal(weak, any, kN, kT));
+  EXPECT_FALSE(is_weaker_equal(any, weak, kN, kT));
+}
+
+TEST(Algebra, ConstantIsWeakestOfAll) {
+  auto constant = constant_validity(kN, kT);
+  for (const auto& p :
+       {weak_validity(kN, kT), strong_validity(kN, kT),
+        any_proposed_validity(kN, kT)}) {
+    EXPECT_TRUE(is_weaker_equal(constant, p, kN, kT)) << p.name;
+    EXPECT_FALSE(is_weaker_equal(p, constant, kN, kT)) << p.name;
+  }
+}
+
+TEST(Algebra, OrderIsReflexive) {
+  for (const auto& p :
+       {weak_validity(kN, kT), strong_validity(kN, kT),
+        constant_validity(kN, kT)}) {
+    EXPECT_TRUE(is_weaker_equal(p, p, kN, kT)) << p.name;
+  }
+}
+
+TEST(Algebra, ConjunctionOfWeakAndAnyProposed) {
+  auto conj = conjunction(weak_validity(kN, kT),
+                          any_proposed_validity(kN, kT));
+  // Still a proper validity property (nonempty everywhere): any-proposed
+  // always offers a proposed value, and weak only constrains the unanimous
+  // full configuration — where the unanimous value IS proposed.
+  EXPECT_FALSE(has_empty_admissible_set(conj, kN, kT));
+  // The conjunction is at least as strong as both conjuncts.
+  EXPECT_TRUE(is_weaker_equal(weak_validity(kN, kT), conj, kN, kT));
+  EXPECT_TRUE(is_weaker_equal(any_proposed_validity(kN, kT), conj, kN, kT));
+  // And it is solvable: CC holds at n = 4 > 2t = 2.
+  EXPECT_TRUE(satisfies_cc(conj, kN, kT));
+}
+
+TEST(Algebra, ContradictoryConjunctionDetected) {
+  // "always decide 0" AND "always decide 1" has empty admissible sets.
+  ValidityProperty zero;
+  zero.name = "always-0";
+  zero.input_domain = binary_domain();
+  zero.output_domain = binary_domain();
+  zero.admissible = [](const InputConfig&, const Value& v) {
+    return v == Value::bit(0);
+  };
+  ValidityProperty one = zero;
+  one.name = "always-1";
+  one.admissible = [](const InputConfig&, const Value& v) {
+    return v == Value::bit(1);
+  };
+  InputConfig witness;
+  EXPECT_TRUE(has_empty_admissible_set(conjunction(zero, one), kN, kT,
+                                       &witness));
+}
+
+TEST(Algebra, PointwiseWeakerImpliesSolverReuse) {
+  // strong consensus solver (phase king) IS a weak consensus solver: every
+  // execution's decisions stay admissible under the weaker property.
+  // (Spot check over all full binary proposal vectors.)
+  auto weak = weak_validity(kN, kT);
+  SystemParams params{kN, kT};
+  for (int mask = 0; mask < 16; ++mask) {
+    std::vector<Value> proposals(4);
+    for (int i = 0; i < 4; ++i) proposals[i] = Value::bit((mask >> i) & 1);
+    ba::RunResult res = ba::run_execution(params, protocols::phase_king_consensus(),
+                                  proposals, Adversary::none());
+    InputConfig c = InputConfig::full(proposals);
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_TRUE(weak.admissible(c, *res.decisions[p])) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(Algebra, ReductionOrderCoversIncomparableProblems) {
+  // Sender validity (with its bottom symbol) is not pointwise comparable to
+  // weak consensus — but Algorithm 1 still reduces weak consensus to it
+  // (§4.2: weak consensus is the weakest in the REDUCTION order).
+  SystemParams params{4, 2};
+  auto auth = std::make_shared<crypto::Authenticator>(11, 4);
+  auto bb = protocols::dolev_strong_broadcast(auth, 0);
+  std::string error;
+  auto rp = reductions::derive_reduction_params(sender_validity(4, 2, 0),
+                                                params, bb, &error);
+  EXPECT_TRUE(rp.has_value()) << error;
+}
+
+}  // namespace
+}  // namespace ba::validity

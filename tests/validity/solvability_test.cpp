@@ -1,0 +1,163 @@
+// Tests for §5: the containment condition, triviality, the general
+// solvability theorem (Theorem 4), and the Theorem 5 corollary for strong
+// consensus. Also cross-checks every canned property's closed-form Γ against
+// the generic enumerator.
+
+#include "validity/solvability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "validity/properties.h"
+
+namespace ba::validity {
+namespace {
+
+void cross_check_gamma(const ValidityProperty& p, std::uint32_t n,
+                       std::uint32_t t) {
+  for_each_input_config(n, t, p.input_domain, [&](const InputConfig& c) {
+    auto slow = gamma(p, t, c);
+    auto fast = p.gamma_fast(c);
+    EXPECT_EQ(slow.has_value(), fast.has_value())
+        << p.name << " at " << c.to_value();
+    if (slow && fast) {
+      // Both picks must lie in the containment intersection (they may be
+      // different members).
+      auto inter = containment_intersection(p, t, c);
+      EXPECT_NE(std::find(inter.begin(), inter.end(), *fast), inter.end())
+          << p.name << " fast-gamma outside intersection at " << c.to_value();
+    }
+    return true;
+  });
+}
+
+TEST(Gamma, FastPathsAgreeWithEnumeration) {
+  cross_check_gamma(weak_validity(4, 2), 4, 2);
+  cross_check_gamma(strong_validity(4, 2), 4, 2);
+  cross_check_gamma(strong_validity(5, 2), 5, 2);
+  cross_check_gamma(sender_validity(4, 2, 0), 4, 2);
+  cross_check_gamma(sender_validity(4, 2, 3), 4, 2);
+  cross_check_gamma(ic_validity(3, 1), 3, 1);
+  cross_check_gamma(any_proposed_validity(4, 1), 4, 1);
+  cross_check_gamma(any_proposed_validity(4, 2), 4, 2);
+  cross_check_gamma(any_proposed_validity(5, 2, int_domain(3)), 5, 2);
+  cross_check_gamma(constant_validity(4, 2), 4, 2);
+}
+
+TEST(Triviality, ConstantIsTrivialOthersAreNot) {
+  EXPECT_TRUE(is_trivial(constant_validity(4, 1), 4, 1));
+  EXPECT_FALSE(is_trivial(weak_validity(4, 1), 4, 1));
+  EXPECT_FALSE(is_trivial(strong_validity(4, 1), 4, 1));
+  EXPECT_FALSE(is_trivial(sender_validity(4, 1, 0), 4, 1));
+  EXPECT_FALSE(is_trivial(ic_validity(3, 1), 3, 1));
+  EXPECT_FALSE(is_trivial(any_proposed_validity(4, 1), 4, 1));
+}
+
+TEST(ContainmentCondition, WeakValidityAlwaysSatisfiesCC) {
+  EXPECT_TRUE(satisfies_cc(weak_validity(4, 1), 4, 1));
+  EXPECT_TRUE(satisfies_cc(weak_validity(4, 3), 4, 3));  // even n <= 2t
+  EXPECT_TRUE(satisfies_cc(weak_validity(5, 4), 5, 4));
+}
+
+TEST(ContainmentCondition, SenderAndIcAlwaysSatisfyCC) {
+  EXPECT_TRUE(satisfies_cc(sender_validity(4, 3, 0), 4, 3));
+  EXPECT_TRUE(satisfies_cc(sender_validity(4, 3, 2), 4, 3));
+  EXPECT_TRUE(satisfies_cc(ic_validity(3, 2), 3, 2));
+  EXPECT_TRUE(satisfies_cc(ic_validity(4, 3), 4, 3));
+}
+
+TEST(ContainmentCondition, StrongConsensusThresholdAtTwoT) {
+  // Theorem 5: strong consensus satisfies CC iff n > 2t.
+  EXPECT_TRUE(satisfies_cc(strong_validity(5, 2), 5, 2));
+  EXPECT_TRUE(satisfies_cc(strong_validity(3, 1), 3, 1));
+  EXPECT_FALSE(satisfies_cc(strong_validity(4, 2), 4, 2));
+  EXPECT_FALSE(satisfies_cc(strong_validity(2, 1), 2, 1));
+  EXPECT_FALSE(satisfies_cc(strong_validity(6, 3), 6, 3));
+}
+
+TEST(ContainmentCondition, Theorem5WitnessIsTheHalfHalfSplit) {
+  InputConfig witness;
+  ASSERT_FALSE(satisfies_cc(strong_validity(4, 2), 4, 2, &witness));
+  // The failing configuration must contain both a uniform-0 and a uniform-1
+  // contained configuration of size >= n - t = 2.
+  std::size_t zeros = 0, ones = 0;
+  for (std::size_t i = 0; i < witness.n(); ++i) {
+    if (witness[i].has_value()) {
+      (*witness[i] == Value::bit(0) ? zeros : ones) += 1;
+    }
+  }
+  EXPECT_GE(zeros, 2u);
+  EXPECT_GE(ones, 2u);
+}
+
+TEST(ContainmentCondition, AnyProposedThresholds) {
+  // Binary: CC iff n > 2t.
+  EXPECT_TRUE(satisfies_cc(any_proposed_validity(5, 2), 5, 2));
+  EXPECT_FALSE(satisfies_cc(any_proposed_validity(4, 2), 4, 2));
+  // Ternary domain at n = 6, t = 2: the 2/2/2 full configuration defeats Γ
+  // even though n > 2t.
+  EXPECT_FALSE(
+      satisfies_cc(any_proposed_validity(6, 2, int_domain(3)), 6, 2));
+  // ... but n = 7, t = 2 ternary is fine (some value always survives).
+  EXPECT_TRUE(satisfies_cc(any_proposed_validity(7, 2, int_domain(3)), 7, 2));
+}
+
+TEST(Solvability, Theorem4Verdicts) {
+  // Strong consensus n = 7, t = 2: CC holds, n > 3t: solvable everywhere.
+  auto v = solvability(strong_validity(7, 2), 7, 2);
+  EXPECT_FALSE(v.trivial);
+  EXPECT_TRUE(v.cc);
+  EXPECT_TRUE(v.authenticated_solvable);
+  EXPECT_TRUE(v.unauthenticated_solvable);
+
+  // Strong consensus n = 5, t = 2: CC holds, n <= 3t: authenticated only.
+  v = solvability(strong_validity(5, 2), 5, 2);
+  EXPECT_TRUE(v.cc);
+  EXPECT_TRUE(v.authenticated_solvable);
+  EXPECT_FALSE(v.unauthenticated_solvable);
+
+  // Strong consensus n = 4, t = 2: CC fails: unsolvable everywhere.
+  v = solvability(strong_validity(4, 2), 4, 2);
+  EXPECT_FALSE(v.cc);
+  EXPECT_FALSE(v.authenticated_solvable);
+  EXPECT_FALSE(v.unauthenticated_solvable);
+  EXPECT_TRUE(v.cc_witness.has_value());
+
+  // Byzantine broadcast n = 4, t = 3: any resilience, authenticated.
+  v = solvability(sender_validity(4, 3, 0), 4, 3);
+  EXPECT_TRUE(v.authenticated_solvable);
+  EXPECT_FALSE(v.unauthenticated_solvable);  // n <= 3t
+
+  // Trivial problem: solvable everywhere (zero messages).
+  v = solvability(constant_validity(4, 3), 4, 3);
+  EXPECT_TRUE(v.trivial);
+  EXPECT_TRUE(v.authenticated_solvable);
+  EXPECT_TRUE(v.unauthenticated_solvable);
+}
+
+TEST(Solvability, SummaryStringsReadable) {
+  auto v = solvability(strong_validity(4, 2), 4, 2);
+  EXPECT_NE(v.summary().find("CC fails"), std::string::npos);
+  EXPECT_NE(v.summary().find("UNSOLVABLE"), std::string::npos);
+}
+
+TEST(ContainmentIntersection, MatchesLemma7Shape) {
+  // Weak validity, full uniform-0 configuration: only 0 survives.
+  auto p = weak_validity(4, 1);
+  auto inter =
+      containment_intersection(p, 1, InputConfig::uniform(4, Value::bit(0)));
+  ASSERT_EQ(inter.size(), 1u);
+  EXPECT_EQ(inter[0], Value::bit(0));
+
+  // Weak validity, full mixed configuration: everything survives (only the
+  // full uniform execution is constrained, and it is not contained here).
+  inter = containment_intersection(
+      p, 1,
+      InputConfig::full({Value::bit(0), Value::bit(1), Value::bit(0),
+                         Value::bit(0)}));
+  EXPECT_EQ(inter.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ba::validity

@@ -1,0 +1,264 @@
+// ba_cli — command-line front end for the library.
+//
+//   ba_cli bound <t>
+//       print the Lemma 1 threshold t^2/32
+//   ba_cli attack <protocol> [n] [t] [--save FILE]
+//       run the Theorem 2 engine against a weak-consensus protocol;
+//       optionally save the violation certificate to FILE
+//   ba_cli verify <FILE> <protocol> [n] [t]
+//       load a certificate and re-verify it by full state-machine replay
+//   ba_cli solvability <property> <n> <t>
+//       Theorem 4 verdict for a canned validity property
+//   ba_cli run <protocol> <n> <t> <bit...>
+//       run a protocol on explicit proposals and print decisions
+//
+// protocols: silent | beacon | gossip | one-shot-echo | ds-weak | phase-king
+// properties: weak | strong | sender | ic | any-proposed | constant
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ba.h"
+
+namespace {
+
+using namespace ba;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ba_cli bound <t>\n"
+               "  ba_cli attack <protocol> [n] [t] [--save FILE]\n"
+               "  ba_cli dr-attack <direct|relay-ring|dolev-strong> [n] [t]\n"
+               "  ba_cli verify <FILE> <protocol> [n] [t]\n"
+               "  ba_cli solvability <property> <n> <t>\n"
+               "  ba_cli run <protocol> <n> <t> <bit...>\n"
+               "protocols: silent beacon gossip one-shot-echo ds-weak "
+               "phase-king\n"
+               "properties: weak strong sender ic any-proposed constant\n");
+  return 2;
+}
+
+std::optional<ProtocolFactory> make_protocol(const std::string& name,
+                                             std::uint32_t n) {
+  if (name == "silent") return protocols::wc_candidate_silent(1);
+  if (name == "beacon") return protocols::wc_candidate_leader_beacon();
+  if (name == "gossip") return protocols::wc_candidate_gossip_ring(2, 3);
+  if (name == "one-shot-echo") return protocols::wc_candidate_one_shot_echo();
+  if (name == "ds-weak") {
+    auto auth = std::make_shared<crypto::Authenticator>(0xc11, n);
+    return protocols::weak_consensus_auth(auth);
+  }
+  if (name == "phase-king") return protocols::weak_consensus_unauth();
+  return std::nullopt;
+}
+
+std::optional<validity::ValidityProperty> make_property(
+    const std::string& name, std::uint32_t n, std::uint32_t t) {
+  if (name == "weak") return validity::weak_validity(n, t);
+  if (name == "strong") return validity::strong_validity(n, t);
+  if (name == "sender") return validity::sender_validity(n, t, 0);
+  if (name == "ic") return validity::ic_validity(n, t);
+  if (name == "any-proposed") return validity::any_proposed_validity(n, t);
+  if (name == "constant") return validity::constant_validity(n, t);
+  return std::nullopt;
+}
+
+bool write_file(const std::string& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+int cmd_bound(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto t = static_cast<std::uint32_t>(std::atoi(argv[0]));
+  std::printf("t = %u  =>  t^2/32 = %llu messages\n", t,
+              static_cast<unsigned long long>(lowerbound::lemma1_bound(t)));
+  return 0;
+}
+
+int cmd_attack(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  std::uint32_t n = 12, t = 8;
+  std::string save;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save = argv[++i];
+    } else if (n == 12) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    } else {
+      t = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
+  }
+  if (n != 12 && t == 8) t = n - 1;
+  auto protocol = make_protocol(name, n);
+  if (!protocol) return usage();
+
+  auto report = lowerbound::attack_weak_consensus(SystemParams{n, t},
+                                                  *protocol);
+  std::printf("%s", report.narrative.c_str());
+  std::printf("max message complexity observed: %llu (bound t^2/32 = %llu)\n",
+              static_cast<unsigned long long>(report.max_message_complexity),
+              static_cast<unsigned long long>(report.bound));
+  if (!report.violation_found) {
+    std::printf("no violation constructed: protocol survives the attack\n");
+    return 0;
+  }
+  auto check = lowerbound::verify_certificate(*report.certificate, *protocol);
+  std::printf("violation: %s (replay verification: %s)\n",
+              to_string(report.certificate->kind).c_str(),
+              check.ok ? "OK" : check.error.c_str());
+  if (!save.empty()) {
+    if (write_file(save, lowerbound::encode_certificate(
+                             *report.certificate))) {
+      std::printf("certificate saved to %s\n", save.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", save.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string file = argv[0];
+  const std::string name = argv[1];
+  auto bytes = read_file(file);
+  if (!bytes) {
+    std::fprintf(stderr, "cannot read %s\n", file.c_str());
+    return 1;
+  }
+  auto cert = lowerbound::decode_certificate(*bytes);
+  if (!cert) {
+    std::fprintf(stderr, "not a valid certificate file\n");
+    return 1;
+  }
+  const std::uint32_t n = argc > 2
+                              ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                              : cert->execution.params.n;
+  auto protocol = make_protocol(name, n);
+  if (!protocol) return usage();
+  auto check = lowerbound::verify_certificate(*cert, *protocol);
+  std::printf("certificate: %s violation on n=%u t=%u execution (%u rounds)\n",
+              to_string(cert->kind).c_str(), cert->execution.params.n,
+              cert->execution.params.t, cert->execution.rounds);
+  std::printf("narrative: %s\n", cert->narrative.c_str());
+  std::printf("verification: %s\n", check.ok ? "OK" : check.error.c_str());
+  return check.ok ? 0 : 1;
+}
+
+int cmd_dr_attack(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  const auto n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                          : 12u;
+  const auto t = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                          : n / 2;
+  ProtocolFactory protocol;
+  if (name == "direct") {
+    protocol = protocols::bb_candidate_direct(0);
+  } else if (name == "relay-ring") {
+    protocol = protocols::bb_candidate_relay_ring(0, 2);
+  } else if (name == "dolev-strong") {
+    auto auth = std::make_shared<crypto::Authenticator>(0xd12, n);
+    protocol = protocols::dolev_strong_broadcast(auth, 0);
+  } else {
+    std::fprintf(stderr,
+                 "dr-attack protocols: direct relay-ring dolev-strong\n");
+    return 2;
+  }
+  auto report = lowerbound::attack_broadcast(
+      SystemParams{n, t}, protocol, 0, Value::bit(0), Value::bit(1));
+  std::printf("%s", report.narrative.c_str());
+  if (report.violation_found) {
+    auto check = lowerbound::verify_certificate(*report.certificate,
+                                                protocol);
+    std::printf("violation: %s (replay verification: %s)\n",
+                to_string(report.certificate->kind).c_str(),
+                check.ok ? "OK" : check.error.c_str());
+  } else {
+    std::printf("protocol survives the cut attack (min in-neighbourhood "
+                "%zu > t = %u, or victim stayed consistent)\n",
+                report.min_in_neighbourhood, t);
+  }
+  return 0;
+}
+
+int cmd_solvability(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string name = argv[0];
+  const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  auto prop = make_property(name, n, t);
+  if (!prop || n == 0 || t >= n) return usage();
+  auto verdict = validity::solvability(*prop, n, t);
+  std::printf("%s at n=%u, t=%u: %s\n", prop->name.c_str(), n, t,
+              verdict.summary().c_str());
+  if (verdict.cc_witness) {
+    std::printf("CC fails at configuration %s\n",
+                verdict.cc_witness->to_value().to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string name = argv[0];
+  const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  if (static_cast<std::uint32_t>(argc - 3) != n) {
+    std::fprintf(stderr, "need exactly n proposal bits\n");
+    return 2;
+  }
+  auto protocol = make_protocol(name, n);
+  if (!protocol) return usage();
+  std::vector<Value> proposals;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proposals.push_back(Value::bit(std::atoi(argv[3 + i])));
+  }
+  RunResult res = run_execution(SystemParams{n, t}, *protocol, proposals,
+                                Adversary::none());
+  for (ProcessId p = 0; p < n; ++p) {
+    std::printf("p%u: proposes %s decides %s (round %u)\n", p,
+                proposals[p].to_string().c_str(),
+                res.decisions[p] ? res.decisions[p]->to_string().c_str()
+                                 : "<none>",
+                res.trace.procs[p].decision_round);
+  }
+  std::printf("messages (correct senders): %llu, payload bytes: %llu\n",
+              static_cast<unsigned long long>(res.messages_sent_by_correct),
+              static_cast<unsigned long long>(
+                  res.trace.payload_bytes_sent_by_correct()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "bound") return cmd_bound(argc - 2, argv + 2);
+  if (cmd == "attack") return cmd_attack(argc - 2, argv + 2);
+  if (cmd == "dr-attack") return cmd_dr_attack(argc - 2, argv + 2);
+  if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
+  if (cmd == "solvability") return cmd_solvability(argc - 2, argv + 2);
+  if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,11 @@
+# Saves an attack certificate with the CLI, then re-verifies it from disk.
+set(cert "${WORKDIR}/beacon.cert")
+execute_process(COMMAND ${CLI} attack beacon 12 8 --save ${cert}
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "attack --save failed: ${rc1}")
+endif()
+execute_process(COMMAND ${CLI} verify ${cert} beacon RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "verify failed: ${rc2}")
+endif()
