@@ -1,0 +1,116 @@
+#pragma once
+
+// Execution-invariant linter (the analysis subsystem).
+//
+// `ExecutionTrace::validate()` answers "is this trace well-formed?" with a
+// single yes/no and the first failure found. The linter answers the stronger
+// auditing question — *which* invariants of the Appendix A.1 execution
+// vocabulary hold, and exactly where the trace breaks them — as structured
+// per-violation diagnostics over five invariant families:
+//
+//   * structure     (A.1.1/A.1.4): every message identity is well-formed for
+//     the slot it occupies (right sender/receiver/round, no self-messages,
+//     at most one message per ordered pair and round, canonical inbox order);
+//   * conservation  (A.1.6 send-/receive-validity): every received or
+//     receive-omitted message was actually sent by its claimed sender in the
+//     same round with an identical payload, no message is both received and
+//     receive-omitted, and every sent message is accounted for at its
+//     receiver;
+//   * budget        (§2 static adversary): |F| <= t and every omission event
+//     is attributable to a declared-faulty endpoint — correct processes never
+//     omit;
+//   * determinism   (A.1.3): replaying each correct process's receive history
+//     through the protocol's state machine reproduces its recorded sends,
+//     decision, and decision round;
+//   * quiescence    (A.1.6 finite prefixes): a trace claiming quiescence has
+//     a silent final round and, under replay, state machines that report they
+//     will stay silent forever.
+//
+// The linter is the machine-checkable counterpart of the paper's exact
+// message accounting: Lemma 1 and Theorem 3 count every message a correct
+// process sends, so a trace that fabricates or loses messages silently would
+// invalidate the executable proofs. Property tests and the certificate
+// pipeline (tools/lint_trace) run the linter on every trace they produce.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/process.h"
+#include "runtime/trace.h"
+#include "runtime/types.h"
+
+namespace ba::analysis {
+
+/// The invariant family a violation belongs to.
+enum class LintCheck : std::uint8_t {
+  kStructure,
+  kConservation,
+  kBudget,
+  kDeterminism,
+  kQuiescence,
+};
+
+[[nodiscard]] std::string_view to_string(LintCheck check);
+
+/// One diagnosed invariant violation, attributed to a process/round when the
+/// violation is local (kNoProcess / kNoRound mean "whole trace").
+struct LintViolation {
+  LintCheck check{LintCheck::kStructure};
+  ProcessId process{kNoProcess};
+  Round round{kNoRound};
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Work accounting, so reports can state how much evidence backs a clean
+/// verdict (a lint of an empty trace is vacuous, and should look vacuous).
+struct LintStats {
+  std::uint64_t messages_checked{0};
+  std::uint64_t rounds_checked{0};
+  std::uint64_t processes_replayed{0};
+};
+
+struct LintReport {
+  std::vector<LintViolation> violations;
+  LintStats stats;
+  /// True when max_violations was hit and later checks were cut short.
+  bool truncated{false};
+  /// True when the determinism replay ran (a protocol factory was supplied).
+  bool replayed{false};
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] std::size_t count(LintCheck check) const;
+  /// One-line human summary ("clean: ..." or "N violations: ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const LintReport& report);
+
+struct LintOptions {
+  bool conservation{true};
+  bool budget{true};
+  /// Effective only when a protocol factory is supplied (lint_execution).
+  bool determinism{true};
+  bool quiescence{true};
+  /// Stop collecting after this many violations (the report is marked
+  /// truncated). A corrupt trace can break one invariant per message.
+  std::size_t max_violations{64};
+};
+
+/// Lints everything that can be checked from the trace alone: structure,
+/// conservation, budget, and the structural half of quiescence.
+[[nodiscard]] LintReport lint_trace(const ExecutionTrace& trace,
+                                    const LintOptions& options = {});
+
+/// Full lint: everything `lint_trace` checks plus the determinism replay of
+/// every correct process against `protocol` and the replay half of the
+/// quiescence check.
+[[nodiscard]] LintReport lint_execution(const ExecutionTrace& trace,
+                                        const ProtocolFactory& protocol,
+                                        const LintOptions& options = {});
+
+}  // namespace ba::analysis

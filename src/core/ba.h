@@ -16,6 +16,7 @@
 #include <string>
 
 #include "adversary/byzantine.h"
+#include "analysis/lint.h"
 #include "adversary/omission.h"
 #include "calculus/formal.h"
 #include "calculus/isolation.h"

@@ -24,11 +24,25 @@ std::optional<ViolationCertificate> certificate_from_value(const Value& v) {
   if (kind < 0 || kind > 2) return std::nullopt;
   auto trace = trace_from_value(f[2]);
   if (!trace) return std::nullopt;
+  // Witnesses must name processes of the certified execution (or carry the
+  // kNoProcess sentinel for kinds with fewer witnesses); anything else is a
+  // malformed certificate, not a weird-but-usable one.
+  auto checked_witness = [&](const Value& w) -> std::optional<ProcessId> {
+    const std::int64_t i = w.as_int();
+    if (i == static_cast<std::int64_t>(kNoProcess)) return kNoProcess;
+    if (i < 0 || i >= static_cast<std::int64_t>(trace->params.n)) {
+      return std::nullopt;
+    }
+    return static_cast<ProcessId>(i);
+  };
+  const auto wa = checked_witness(f[3]);
+  const auto wb = checked_witness(f[4]);
+  if (!wa || !wb) return std::nullopt;
   ViolationCertificate cert;
   cert.kind = static_cast<ViolationKind>(kind);
   cert.execution = std::move(*trace);
-  cert.witness_a = static_cast<ProcessId>(f[3].as_int());
-  cert.witness_b = static_cast<ProcessId>(f[4].as_int());
+  cert.witness_a = *wa;
+  cert.witness_b = *wb;
   cert.narrative = f[5].as_str();
   return cert;
 }

@@ -105,6 +105,7 @@ class GradecastProcess final : public DecidingProcess {
  private:
   Outbox multicast(const Value& payload) const {
     Outbox out;
+    out.reserve(params_.n);
     for (ProcessId p = 0; p < params_.n; ++p) {
       if (p != self_) out.push_back(Outgoing{p, payload});
     }

@@ -134,6 +134,11 @@ RunResult run_execution(const SystemParams& params,
       }
     }
   }
+  if (options.lint_trace && options.record_trace) {
+    // Correct processes are replayed with the honest factory; faulty ones
+    // (possibly Byzantine) are exempt from the determinism check.
+    result.lint = analysis::lint_execution(result.trace, protocol);
+  }
   return result;
 }
 

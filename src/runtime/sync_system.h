@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "runtime/fault.h"
 #include "runtime/message.h"
 #include "runtime/process.h"
@@ -27,6 +28,10 @@ struct RunOptions {
   /// Stop once the system is quiescent: all replicas report quiescent() and
   /// no message was sent this round.
   bool stop_on_quiescence{true};
+  /// Lint the recorded trace against the execution-invariant checks of
+  /// src/analysis (conservation, budget, determinism replay, quiescence) and
+  /// attach the report to RunResult::lint. Requires record_trace.
+  bool lint_trace{false};
 };
 
 struct RunResult {
@@ -36,6 +41,12 @@ struct RunResult {
   std::uint64_t messages_sent_total{0};
   Round rounds_executed{0};
   bool quiesced{false};
+  /// Present iff RunOptions::lint_trace was set: the invariant-lint verdict
+  /// for this execution, so callers (benches, tests) can assert clean traces
+  /// without re-running the linter.
+  std::optional<analysis::LintReport> lint;
+
+  [[nodiscard]] bool lint_clean() const { return !lint || lint->clean(); }
 
   [[nodiscard]] std::optional<Value> unanimous_correct_decision() const {
     return trace.unanimous_correct_decision();

@@ -1,7 +1,41 @@
 #include "runtime/trace_io.h"
 
+#include <limits>
+#include <sstream>
+
 namespace ba {
 namespace {
+
+/// Records the first decode failure; later failures keep the original
+/// diagnostic (the root cause is what the caller wants to see).
+class Diag {
+ public:
+  explicit Diag(std::string* out) : out_(out) {}
+
+  template <typename... Parts>
+  std::nullopt_t fail(Parts&&... parts) {
+    if (out_ != nullptr && out_->empty()) {
+      std::ostringstream os;
+      (os << ... << parts);
+      *out_ = os.str();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Narrow an int field to uint32, rejecting negatives and overflow instead
+/// of letting the cast wrap.
+std::optional<std::uint32_t> checked_u32(const Value& v) {
+  if (!v.is_int()) return std::nullopt;
+  const std::int64_t i = v.as_int();
+  if (i < 0 || i > std::numeric_limits<std::uint32_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(i);
+}
 
 Value message_to_value(const Message& m) {
   return Value{ValueVec{Value{static_cast<std::int64_t>(m.sender)},
@@ -10,13 +44,25 @@ Value message_to_value(const Message& m) {
                         m.payload}};
 }
 
-std::optional<Message> message_from_value(const Value& v) {
-  if (!v.is_vec() || v.as_vec().size() != 4) return std::nullopt;
+/// Decodes one message. `n` bounds the process ids: a trace can only carry
+/// messages between processes of its own system.
+std::optional<Message> message_from_value(const Value& v, std::uint32_t n,
+                                          Diag& diag) {
+  if (!v.is_vec() || v.as_vec().size() != 4) {
+    return diag.fail("message: expected a 4-field vector");
+  }
   const ValueVec& f = v.as_vec();
-  if (!f[0].is_int() || !f[1].is_int() || !f[2].is_int()) return std::nullopt;
-  return Message{static_cast<ProcessId>(f[0].as_int()),
-                 static_cast<ProcessId>(f[1].as_int()),
-                 static_cast<Round>(f[2].as_int()), f[3]};
+  const auto sender = checked_u32(f[0]);
+  const auto receiver = checked_u32(f[1]);
+  const auto round = checked_u32(f[2]);
+  if (!sender || !receiver || !round) {
+    return diag.fail("message: sender/receiver/round must be in [0, 2^32)");
+  }
+  if (*sender >= n) return diag.fail("message: sender ", *sender, " >= n=", n);
+  if (*receiver >= n) {
+    return diag.fail("message: receiver ", *receiver, " >= n=", n);
+  }
+  return Message{*sender, *receiver, *round, f[3]};
 }
 
 Value messages_to_value(const std::vector<Message>& ms) {
@@ -26,12 +72,14 @@ Value messages_to_value(const std::vector<Message>& ms) {
   return Value{std::move(out)};
 }
 
-std::optional<std::vector<Message>> messages_from_value(const Value& v) {
-  if (!v.is_vec()) return std::nullopt;
+std::optional<std::vector<Message>> messages_from_value(const Value& v,
+                                                        std::uint32_t n,
+                                                        Diag& diag) {
+  if (!v.is_vec()) return diag.fail("message set: expected a vector");
   std::vector<Message> out;
   out.reserve(v.as_vec().size());
   for (const Value& e : v.as_vec()) {
-    auto m = message_from_value(e);
+    auto m = message_from_value(e, n, diag);
     if (!m) return std::nullopt;
     out.push_back(std::move(*m));
   }
@@ -70,41 +118,72 @@ Value trace_to_value(const ExecutionTrace& trace) {
                         Value{trace.quiesced}, Value{std::move(procs)}}};
 }
 
-std::optional<ExecutionTrace> trace_from_value(const Value& v) {
-  if (!v.is_vec() || v.as_vec().size() != 7) return std::nullopt;
+std::optional<ExecutionTrace> trace_from_value(const Value& v,
+                                               std::string* error) {
+  Diag diag(error);
+  if (!v.is_vec() || v.as_vec().size() != 7) {
+    return diag.fail("trace: expected a 7-field vector");
+  }
   const ValueVec& f = v.as_vec();
-  if (!f[0].is_str() || f[0].as_str() != "trace" || !f[1].is_int() ||
-      !f[2].is_int() || !f[3].is_vec() || !f[4].is_int() || !f[5].is_bool() ||
-      !f[6].is_vec()) {
-    return std::nullopt;
+  if (!f[0].is_str() || f[0].as_str() != "trace") {
+    return diag.fail("trace: missing 'trace' tag");
+  }
+  if (!f[3].is_vec() || !f[5].is_bool() || !f[6].is_vec()) {
+    return diag.fail("trace: malformed field types");
   }
   ExecutionTrace trace;
-  trace.params.n = static_cast<std::uint32_t>(f[1].as_int());
-  trace.params.t = static_cast<std::uint32_t>(f[2].as_int());
-  for (const Value& e : f[3].as_vec()) {
-    if (!e.is_int()) return std::nullopt;
-    trace.faulty.insert(static_cast<ProcessId>(e.as_int()));
+  const auto n = checked_u32(f[1]);
+  const auto t = checked_u32(f[2]);
+  if (!n || !t) return diag.fail("trace: n/t must be in [0, 2^32)");
+  trace.params.n = *n;
+  trace.params.t = *t;
+  if (!trace.params.valid()) {
+    return diag.fail("trace: invalid params n=", *n, " t=", *t,
+                     " (need n > 0 and t < n)");
   }
-  trace.rounds = static_cast<Round>(f[4].as_int());
+  for (const Value& e : f[3].as_vec()) {
+    const auto p = checked_u32(e);
+    if (!p) return diag.fail("trace: faulty id must be in [0, 2^32)");
+    if (*p >= *n) return diag.fail("trace: faulty id ", *p, " >= n=", *n);
+    trace.faulty.insert(*p);
+  }
+  const auto rounds = checked_u32(f[4]);
+  if (!rounds) return diag.fail("trace: round count must be in [0, 2^32)");
+  trace.rounds = *rounds;
   trace.quiesced = f[5].as_bool();
 
+  if (f[6].as_vec().size() != *n) {
+    return diag.fail("trace: ", f[6].as_vec().size(),
+                     " process trace(s) for n=", *n);
+  }
   for (const Value& pv : f[6].as_vec()) {
-    if (!pv.is_vec() || pv.as_vec().size() != 4) return std::nullopt;
+    if (!pv.is_vec() || pv.as_vec().size() != 4) {
+      return diag.fail("process trace: expected a 4-field vector");
+    }
     const ValueVec& pf = pv.as_vec();
     ProcessTrace pt;
     pt.proposal = pf[0];
-    if (!pf[1].is_vec()) return std::nullopt;
+    if (!pf[1].is_vec() || pf[1].as_vec().size() > 1) {
+      return diag.fail("process trace: decision must be a 0/1-element vector");
+    }
     if (!pf[1].as_vec().empty()) pt.decision = pf[1].as_vec()[0];
-    if (!pf[2].is_int()) return std::nullopt;
-    pt.decision_round = static_cast<Round>(pf[2].as_int());
-    if (!pf[3].is_vec()) return std::nullopt;
+    const auto decision_round = checked_u32(pf[2]);
+    if (!decision_round) {
+      return diag.fail("process trace: decision round must be in [0, 2^32)");
+    }
+    pt.decision_round = *decision_round;
+    if (!pf[3].is_vec()) {
+      return diag.fail("process trace: rounds must be a vector");
+    }
     for (const Value& rv : pf[3].as_vec()) {
-      if (!rv.is_vec() || rv.as_vec().size() != 4) return std::nullopt;
+      if (!rv.is_vec() || rv.as_vec().size() != 4) {
+        return diag.fail("round events: expected a 4-field vector");
+      }
       RoundEvents re;
-      auto sent = messages_from_value(rv.as_vec()[0]);
-      auto send_omitted = messages_from_value(rv.as_vec()[1]);
-      auto received = messages_from_value(rv.as_vec()[2]);
-      auto receive_omitted = messages_from_value(rv.as_vec()[3]);
+      auto sent = messages_from_value(rv.as_vec()[0], *n, diag);
+      auto send_omitted = messages_from_value(rv.as_vec()[1], *n, diag);
+      auto received = messages_from_value(rv.as_vec()[2], *n, diag);
+      auto receive_omitted = messages_from_value(rv.as_vec()[3], *n, diag);
       if (!sent || !send_omitted || !received || !receive_omitted) {
         return std::nullopt;
       }
@@ -116,7 +195,6 @@ std::optional<ExecutionTrace> trace_from_value(const Value& v) {
     }
     trace.procs.push_back(std::move(pt));
   }
-  if (trace.procs.size() != trace.params.n) return std::nullopt;
   return trace;
 }
 
@@ -124,11 +202,14 @@ Bytes encode_trace(const ExecutionTrace& trace) {
   return encode_value(trace_to_value(trace));
 }
 
-std::optional<ExecutionTrace> decode_trace(
-    std::span<const std::uint8_t> bytes) {
+std::optional<ExecutionTrace> decode_trace(std::span<const std::uint8_t> bytes,
+                                           std::string* error) {
   try {
-    return trace_from_value(decode_value(bytes));
-  } catch (const SerdeError&) {
+    return trace_from_value(decode_value(bytes), error);
+  } catch (const SerdeError& e) {
+    if (error != nullptr && error->empty()) {
+      *error = std::string("serde: ") + e.what();
+    }
     return std::nullopt;
   }
 }

@@ -5,8 +5,15 @@
 // counterexample found by the attack engine be stored, shipped, and
 // re-verified elsewhere — the certificate is meaningful precisely because
 // anyone can replay it.
+//
+// Decoding is defensive: traces arrive from disk or the network, so every
+// integer field is range-checked before it is narrowed and every structural
+// claim (process counts, set membership) is verified. Malformed input yields
+// nullopt plus, when requested, a diagnostic naming the offending field —
+// never undefined behaviour or a silently wrapped value.
 
 #include <optional>
+#include <string>
 
 #include "runtime/serde.h"
 #include "runtime/trace.h"
@@ -16,10 +23,15 @@ namespace ba {
 /// Encodes the full trace (params, faulty set, per-process proposals,
 /// per-round event sets, decisions, quiescence flag).
 Value trace_to_value(const ExecutionTrace& trace);
-std::optional<ExecutionTrace> trace_from_value(const Value& v);
+
+/// Decodes a trace, rejecting out-of-range ids/rounds and shape mismatches.
+/// On rejection returns nullopt and, if `error` is non-null, stores a
+/// one-line explanation.
+std::optional<ExecutionTrace> trace_from_value(const Value& v,
+                                               std::string* error = nullptr);
 
 Bytes encode_trace(const ExecutionTrace& trace);
-std::optional<ExecutionTrace> decode_trace(
-    std::span<const std::uint8_t> bytes);
+std::optional<ExecutionTrace> decode_trace(std::span<const std::uint8_t> bytes,
+                                           std::string* error = nullptr);
 
 }  // namespace ba

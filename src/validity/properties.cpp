@@ -27,7 +27,7 @@ std::vector<Value> int_domain(std::size_t k) {
   return d;
 }
 
-ValidityProperty weak_validity(std::uint32_t n, std::uint32_t t,
+ValidityProperty weak_validity(std::uint32_t n, std::uint32_t /*t*/,
                                std::vector<Value> domain) {
   ValidityProperty p;
   p.name = "weak-validity";

@@ -1,0 +1,317 @@
+// Unit tests for the execution-invariant linter (src/analysis/lint.h).
+//
+// Strategy: start from a genuine execution of a tiny deterministic protocol
+// (which must lint clean, replay included), then corrupt one invariant at a
+// time — forged receive, payload tampering, vanished send, budget overflow,
+// unattributable omission, non-deterministic replay, bogus quiescence claim —
+// and assert the linter pins the violation to the right check, process, and
+// round.
+
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "adversary/omission.h"
+#include "protocols/common.h"
+#include "runtime/sync_system.h"
+
+namespace ba::analysis {
+namespace {
+
+/// Broadcast the proposal in round 1, then decide on the number of round-1
+/// messages heard. Round 2 is silent on the wire, so the run quiesces at
+/// round 2 and the trace has a round with no legitimate traffic — handy for
+/// planting forgeries.
+class Flooder final : public protocols::DecidingProcess {
+ public:
+  explicit Flooder(const ProcessContext& ctx) : ctx_(ctx) {}
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != ctx_.self) out.push_back(Outgoing{p, ctx_.proposal});
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 1) heard_ = static_cast<std::int64_t>(inbox.size());
+    if (r == 2) decide(Value{heard_});
+  }
+
+ private:
+  ProcessContext ctx_;
+  std::int64_t heard_{0};
+};
+
+ProtocolFactory flooder() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<Flooder>(ctx);
+  };
+}
+
+/// Like Flooder but with a second broadcast pulse in round 3: silent in
+/// round 2 yet provably not quiescent there.
+class PulseFlooder final : public protocols::DecidingProcess {
+ public:
+  explicit PulseFlooder(const ProcessContext& ctx) : ctx_(ctx) {}
+  Outbox outbox_for_round(Round r) override {
+    Outbox out;
+    if (r == 1 || r == 3) {
+      for (ProcessId p = 0; p < ctx_.params.n; ++p) {
+        if (p != ctx_.self) out.push_back(Outgoing{p, ctx_.proposal});
+      }
+    }
+    return out;
+  }
+  void deliver(Round r, const Inbox& inbox) override {
+    if (r == 3) decide(Value{static_cast<std::int64_t>(inbox.size())});
+  }
+
+ private:
+  ProcessContext ctx_;
+};
+
+ProtocolFactory pulse_flooder() {
+  return [](const ProcessContext& ctx) {
+    return std::make_unique<PulseFlooder>(ctx);
+  };
+}
+
+RunResult run_flooder(const Adversary& adv, std::uint32_t n = 4,
+                      std::uint32_t t = 1) {
+  std::vector<Value> proposals;
+  for (ProcessId p = 0; p < n; ++p) {
+    proposals.push_back(Value::bit(static_cast<int>(p % 2)));
+  }
+  return run_execution(SystemParams{n, t}, flooder(), proposals, adv);
+}
+
+bool has_violation(const LintReport& report, LintCheck check) {
+  return report.count(check) > 0;
+}
+
+TEST(TraceLint, CleanExecutionLintsClean) {
+  RunResult res = run_flooder(Adversary::none());
+  ASSERT_TRUE(res.quiesced);
+  LintReport report = lint_execution(res.trace, flooder());
+  EXPECT_TRUE(report.clean()) << report;
+  EXPECT_TRUE(report.replayed);
+  EXPECT_GT(report.stats.messages_checked, 0u);
+  EXPECT_EQ(report.stats.processes_replayed, 4u);
+}
+
+TEST(TraceLint, CleanOmissionExecutionLintsClean) {
+  ProcessSet faulty;
+  faulty.insert(3);
+  RunResult res = run_flooder(isolate_group(faulty, 1));
+  LintReport report = lint_execution(res.trace, flooder());
+  EXPECT_TRUE(report.clean()) << report;
+  // The faulty process is exempt from the determinism replay.
+  EXPECT_EQ(report.stats.processes_replayed, 3u);
+}
+
+TEST(TraceLint, RunOptionsThreadReportThroughRunResult) {
+  RunOptions opts;
+  opts.lint_trace = true;
+  RunResult res = run_all_correct(SystemParams{4, 1}, flooder(),
+                                  Value::bit(1), opts);
+  ASSERT_TRUE(res.lint.has_value());
+  EXPECT_TRUE(res.lint->clean()) << *res.lint;
+  EXPECT_TRUE(res.lint->replayed);
+  EXPECT_TRUE(res.lint_clean());
+}
+
+TEST(TraceLint, LintFlagWithoutTraceRecordingProducesNoReport) {
+  RunOptions opts;
+  opts.lint_trace = true;
+  opts.record_trace = false;
+  RunResult res = run_all_correct(SystemParams{4, 1}, flooder(),
+                                  Value::bit(1), opts);
+  EXPECT_FALSE(res.lint.has_value());
+  EXPECT_TRUE(res.lint_clean());
+}
+
+TEST(TraceLint, DetectsForgedReceive) {
+  RunResult res = run_flooder(Adversary::none());
+  // p2 claims a round-2 message from p1; nobody sends in round 2.
+  res.trace.procs[2].rounds[1].received.push_back(
+      Message{1, 2, 2, Value{"never-sent"}});
+  LintReport report = lint_trace(res.trace);
+  ASSERT_TRUE(has_violation(report, LintCheck::kConservation)) << report;
+  bool found = false;
+  for (const LintViolation& v : report.violations) {
+    if (v.check == LintCheck::kConservation && v.process == 2 &&
+        v.round == 2) {
+      found = true;
+      EXPECT_NE(v.detail.find("forged"), std::string::npos) << v.to_string();
+    }
+  }
+  EXPECT_TRUE(found) << report;
+}
+
+TEST(TraceLint, DetectsPayloadTampering) {
+  RunResult res = run_flooder(Adversary::none());
+  res.trace.procs[2].rounds[0].received[0].payload = Value{"tampered"};
+  LintReport report = lint_trace(res.trace);
+  EXPECT_TRUE(has_violation(report, LintCheck::kConservation)) << report;
+}
+
+TEST(TraceLint, DetectsVanishedSend) {
+  RunResult res = run_flooder(Adversary::none());
+  // p0's round-1 message to p3 disappears from p3's receiver-side view
+  // without a receive-omission entry.
+  auto& received = res.trace.procs[3].rounds[0].received;
+  ASSERT_EQ(received.front().sender, 0u);
+  received.erase(received.begin());
+  LintReport report = lint_trace(res.trace);
+  ASSERT_TRUE(has_violation(report, LintCheck::kConservation)) << report;
+  bool found = false;
+  for (const LintViolation& v : report.violations) {
+    if (v.check == LintCheck::kConservation &&
+        v.detail.find("vanished") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(v.process, 3u);
+      EXPECT_EQ(v.round, 1u);
+    }
+  }
+  EXPECT_TRUE(found) << report;
+}
+
+TEST(TraceLint, DetectsBudgetOverflow) {
+  ProcessSet faulty;
+  faulty.insert(3);
+  RunResult res = run_flooder(isolate_group(faulty, 1));
+  // Declare more faulty processes than the budget t = 1 allows.
+  res.trace.faulty.insert(2);
+  LintReport report = lint_trace(res.trace);
+  EXPECT_TRUE(has_violation(report, LintCheck::kBudget)) << report;
+}
+
+TEST(TraceLint, DetectsUnattributableOmission) {
+  ProcessSet faulty;
+  faulty.insert(3);
+  RunResult res = run_flooder(isolate_group(faulty, 1));
+  // Blame-shift: p3 committed the omissions but the trace claims p3 correct.
+  res.trace.faulty = ProcessSet{};
+  LintReport report = lint_trace(res.trace);
+  ASSERT_TRUE(has_violation(report, LintCheck::kBudget)) << report;
+  bool attributed = false;
+  for (const LintViolation& v : report.violations) {
+    if (v.check == LintCheck::kBudget && v.process == 3) attributed = true;
+  }
+  EXPECT_TRUE(attributed) << report;
+}
+
+TEST(TraceLint, DetectsNonDeterministicReplay) {
+  RunResult res = run_flooder(Adversary::none());
+  // Tamper with p1's recorded proposal: its round-1 sends (which carried the
+  // original proposal) are no longer explained by replaying the machine.
+  res.trace.procs[1].proposal = Value{"not-what-was-sent"};
+  LintReport report = lint_execution(res.trace, flooder());
+  EXPECT_TRUE(has_violation(report, LintCheck::kDeterminism)) << report;
+}
+
+TEST(TraceLint, DetectsTamperedDecision) {
+  RunResult res = run_flooder(Adversary::none());
+  res.trace.procs[2].decision = Value{"wrong"};
+  LintReport report = lint_execution(res.trace, flooder());
+  EXPECT_TRUE(has_violation(report, LintCheck::kDeterminism)) << report;
+}
+
+TEST(TraceLint, DetectsBadQuiescenceClaim) {
+  RunResult res = run_flooder(Adversary::none());
+  ASSERT_TRUE(res.quiesced);
+  // Chop the trace to the round in which messages were still flying, but
+  // keep the quiescence claim.
+  for (auto& proc : res.trace.procs) {
+    proc.rounds.resize(1);
+    proc.decision.reset();
+    proc.decision_round = kNoRound;
+  }
+  res.trace.rounds = 1;
+  res.trace.quiesced = true;
+  LintReport report = lint_trace(res.trace);
+  EXPECT_TRUE(has_violation(report, LintCheck::kQuiescence)) << report;
+}
+
+TEST(TraceLint, DetectsNonQuiescentMachineUnderReplay) {
+  // Cut a pulse protocol off during its silent round 2: the wire is quiet,
+  // so only the replay half of the quiescence check can expose the bogus
+  // claim that the execution was over.
+  RunOptions opts;
+  opts.max_rounds = 2;
+  RunResult res = run_all_correct(SystemParams{4, 1}, pulse_flooder(),
+                                  Value::bit(0), opts);
+  ASSERT_FALSE(res.quiesced);
+  ExecutionTrace trace = res.trace;
+  trace.quiesced = true;
+  EXPECT_TRUE(lint_trace(trace).clean()) << "wire-level checks see nothing";
+  LintReport report = lint_execution(trace, pulse_flooder());
+  EXPECT_TRUE(has_violation(report, LintCheck::kQuiescence)) << report;
+}
+
+TEST(TraceLint, DetectsStructuralDamage) {
+  RunResult res = run_flooder(Adversary::none());
+  // Self-message in p0's sent set.
+  res.trace.procs[0].rounds[0].sent.push_back(Message{0, 0, 1, Value::bit(0)});
+  LintReport report = lint_trace(res.trace);
+  EXPECT_TRUE(has_violation(report, LintCheck::kStructure)) << report;
+}
+
+TEST(TraceLint, ShapeErrorsAreFatalButReported) {
+  ExecutionTrace trace;
+  trace.params = SystemParams{4, 1};
+  trace.procs.resize(2);  // wrong process count
+  LintReport report = lint_trace(trace);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_violation(report, LintCheck::kStructure)) << report;
+}
+
+TEST(TraceLint, ViolationCapTruncatesReport) {
+  RunResult res = run_flooder(Adversary::none());
+  // Tamper every round-1 payload on the receiver side: 12 violations
+  // against a cap of 3.
+  for (ProcessId p = 0; p < 4; ++p) {
+    for (Message& m : res.trace.procs[p].rounds[0].received) {
+      m.payload = Value{"mass-tamper"};
+    }
+  }
+  LintOptions opts;
+  opts.max_violations = 3;
+  LintReport report = lint_trace(res.trace, opts);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(TraceLint, ReportFormatsReadably) {
+  RunResult res = run_flooder(Adversary::none());
+  res.trace.procs[2].rounds[0].received[0].payload = Value{"tampered"};
+  LintReport report = lint_trace(res.trace);
+  std::ostringstream os;
+  os << report;
+  EXPECT_NE(os.str().find("conservation"), std::string::npos);
+  EXPECT_NE(os.str().find("p2"), std::string::npos);
+  EXPECT_NE(report.summary().find("violation"), std::string::npos);
+
+  LintReport clean =
+      lint_execution(run_flooder(Adversary::none()).trace, flooder());
+  EXPECT_NE(clean.summary().find("clean"), std::string::npos);
+}
+
+TEST(TraceLint, ChecksCanBeDisabledIndividually) {
+  ProcessSet faulty;
+  faulty.insert(3);
+  RunResult res = run_flooder(isolate_group(faulty, 1));
+  res.trace.faulty = ProcessSet{};  // unattributable omissions
+  LintOptions opts;
+  opts.budget = false;
+  LintReport report = lint_trace(res.trace, opts);
+  EXPECT_FALSE(has_violation(report, LintCheck::kBudget)) << report;
+}
+
+}  // namespace
+}  // namespace ba::analysis

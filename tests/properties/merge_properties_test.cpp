@@ -62,8 +62,11 @@ TEST_P(MergeProperty, Lemma16HoldsAcrossRoundPairs) {
 
   ExecutionTrace merged = merge(c.params, c.factory, eb, ec);
 
-  // Lemma 16 (1): a valid execution.
+  // Lemma 16 (1): a valid execution — well-formed per validate() and clean
+  // under the full invariant lint, determinism replay included.
   EXPECT_EQ(merged.validate(), std::nullopt) << c.name;
+  analysis::LintReport lint = analysis::lint_execution(merged, c.factory);
+  EXPECT_TRUE(lint.clean()) << c.name << ": " << lint;
   // Lemma 16 (2): indistinguishability for the isolated groups.
   EXPECT_TRUE(merged.indistinguishable_for(6, eb.trace)) << c.name;
   EXPECT_TRUE(merged.indistinguishable_for(7, ec.trace)) << c.name;
@@ -110,6 +113,9 @@ TEST_P(SwapProperty, Lemma15OnGossipIsolations) {
     if (!pre.ok) continue;  // e.g. no omissions at late k
     SwapResult swapped = swap_omission(res.trace, subject);
     EXPECT_EQ(swapped.execution.validate(), std::nullopt) << "k=" << k;
+    analysis::LintReport lint =
+        analysis::lint_execution(swapped.execution, factory);
+    EXPECT_TRUE(lint.clean()) << "k=" << k << ": " << lint;
     EXPECT_FALSE(swapped.execution.faulty.contains(subject));
     for (ProcessId p = 0; p < 8; ++p) {
       EXPECT_TRUE(res.trace.indistinguishable_for(p, swapped.execution))

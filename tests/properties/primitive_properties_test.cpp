@@ -51,6 +51,18 @@ Adversary seeded_adversary(const SystemParams& params, std::uint64_t seed,
   }
 }
 
+/// All primitive sweeps run with the execution-invariant linter attached.
+RunOptions linted_run() {
+  RunOptions opts;
+  opts.lint_trace = true;
+  return opts;
+}
+
+void check_lint_clean(const RunResult& res, std::uint64_t seed) {
+  ASSERT_TRUE(res.lint.has_value()) << "seed=" << seed;
+  EXPECT_TRUE(res.lint->clean()) << "seed=" << seed << ": " << *res.lint;
+}
+
 class PrimitiveProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(PrimitiveProperty, CrusaderNeverSplitsBits) {
@@ -59,8 +71,9 @@ TEST_P(PrimitiveProperty, CrusaderNeverSplitsBits) {
   Adversary adv = seeded_adversary(params, seed, /*keep_correct=*/0);
   std::vector<Value> proposals(10, Value::bit(static_cast<int>(seed & 1)));
   RunResult res = run_execution(params, protocols::crusader_broadcast_bit(0),
-                                proposals, adv);
+                                proposals, adv, linted_run());
   ASSERT_EQ(res.trace.validate(), std::nullopt);
+  check_lint_clean(res, seed);
   std::optional<Value> bit;
   for (ProcessId p = 0; p < 10; ++p) {
     if (adv.faulty.contains(p)) continue;
@@ -81,7 +94,8 @@ TEST_P(PrimitiveProperty, GradecastGradeGapAndValueConsistency) {
   Adversary adv = seeded_adversary(params, seed, /*keep_correct=*/0);
   std::vector<Value> proposals(10, Value::bit(1));
   RunResult res = run_execution(params, protocols::gradecast_bit(0),
-                                proposals, adv);
+                                proposals, adv, linted_run());
+  check_lint_clean(res, seed);
   int min_grade = 3, max_grade = -1;
   std::optional<Value> graded;
   for (ProcessId p = 0; p < 10; ++p) {
@@ -130,7 +144,8 @@ TEST_P(PrimitiveProperty, ApproximateAgreementValidityAndConvergence) {
   }
   RunResult res = run_execution(params,
                                 protocols::approximate_agreement(1, 1000),
-                                proposals, adv);
+                                proposals, adv, linted_run());
+  check_lint_clean(res, seed);
   std::int64_t dmin = 2000, dmax = -2000;
   for (ProcessId p = 0; p < 10; ++p) {
     if (adv.faulty.contains(p)) continue;
@@ -150,7 +165,8 @@ TEST_P(PrimitiveProperty, TurpinCoanAgreementUnderSeededAdversaries) {
   Adversary adv = seeded_adversary(params, seed, /*keep_correct=*/1);
   std::vector<Value> proposals(10, Value{"blk-" + std::to_string(seed % 4)});
   RunResult res = run_execution(params, protocols::turpin_coan_multivalued(),
-                                proposals, adv);
+                                proposals, adv, linted_run());
+  check_lint_clean(res, seed);
   std::optional<Value> first;
   for (ProcessId p = 0; p < 10; ++p) {
     if (adv.faulty.contains(p)) continue;

@@ -52,6 +52,21 @@ ProcessSet random_faulty(std::uint32_t n, std::uint32_t t,
   return f;
 }
 
+/// Every property-test execution runs with the invariant linter on: the
+/// trace of every protocol in the zoo, under every adversary schedule, must
+/// pass conservation, budget, determinism-replay, and quiescence checks.
+RunOptions linted_run() {
+  RunOptions opts;
+  opts.lint_trace = true;
+  return opts;
+}
+
+void check_lint_clean(const RunResult& res, const std::string& name) {
+  ASSERT_TRUE(res.lint.has_value()) << name;
+  EXPECT_TRUE(res.lint->clean()) << name << ": " << *res.lint;
+  EXPECT_TRUE(res.lint->replayed) << name;
+}
+
 void check_agreement_and_termination(const ExecutionTrace& trace) {
   std::optional<Value> first;
   for (ProcessId p = 0; p < trace.params.n; ++p) {
@@ -165,8 +180,10 @@ TEST_P(ProtocolProperty, RandomOmissionSchedules) {
   Adversary adv = random_omissions(faulty, seed, /*drop_permille=*/300);
   std::vector<Value> proposals = bit_proposals(c.params.n, seed);
 
-  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  RunResult res = run_execution(c.params, c.factory, proposals, adv,
+                                linted_run());
   EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_lint_clean(res, c.name);
   check_agreement_and_termination(res.trace);
   c.check_validity(res.trace);
 }
@@ -183,8 +200,10 @@ TEST_P(ProtocolProperty, RandomIsolationSchedules) {
       ProcessSet::range(c.params.n - gsz, c.params.n), from);
   std::vector<Value> proposals = bit_proposals(c.params.n, seed * 31 + 7);
 
-  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  RunResult res = run_execution(c.params, c.factory, proposals, adv,
+                                linted_run());
   EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_lint_clean(res, c.name);
   check_agreement_and_termination(res.trace);
   c.check_validity(res.trace);
 }
@@ -210,8 +229,10 @@ TEST_P(ProtocolProperty, RandomByzantinePlacements) {
   }
   std::vector<Value> proposals = bit_proposals(c.params.n, seed * 17 + 3);
 
-  RunResult res = run_execution(c.params, c.factory, proposals, adv);
+  RunResult res = run_execution(c.params, c.factory, proposals, adv,
+                                linted_run());
   EXPECT_EQ(res.trace.validate(), std::nullopt) << c.name;
+  check_lint_clean(res, c.name);
   check_agreement_and_termination(res.trace);
   c.check_validity(res.trace);
 }

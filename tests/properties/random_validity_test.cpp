@@ -101,8 +101,11 @@ TEST_P(RandomValidity, SynthesizedSolverRespectsValidity) {
     for (std::uint32_t i = 0; i < kN; ++i) {
       proposals[i] = Value::bit((mask >> i) & 1);
     }
+    RunOptions lint_opts;
+    lint_opts.lint_trace = true;
     RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
-                                  Adversary::none());
+                                  Adversary::none(), lint_opts);
+    ASSERT_TRUE(res.lint_clean()) << "mask=" << mask << ": " << *res.lint;
     auto d = res.unanimous_correct_decision();
     ASSERT_TRUE(d.has_value()) << "mask=" << mask;
     EXPECT_EQ(problem.check_execution(res.trace), std::nullopt)
@@ -116,8 +119,11 @@ TEST_P(RandomValidity, SynthesizedSolverRespectsValidity) {
     adv.byzantine = adv.faulty;
     adv.byzantine_factory = byz_equivocate_bits(5);
     std::vector<Value> proposals(kN, Value::bit(1));
+    RunOptions lint_opts;
+    lint_opts.lint_trace = true;
     RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
-                                  adv);
+                                  adv, lint_opts);
+    ASSERT_TRUE(res.lint_clean()) << "byz=" << byz << ": " << *res.lint;
     auto d = res.unanimous_correct_decision();
     ASSERT_TRUE(d.has_value()) << "byz=" << byz;
     EXPECT_EQ(problem.check_execution(res.trace), std::nullopt)
@@ -135,8 +141,11 @@ TEST_P(RandomValidity, UnauthenticatedSolverViaEig) {
   if (!solver) return;
   std::vector<Value> proposals{Value::bit(0), Value::bit(1), Value::bit(1),
                                Value::bit(0)};
+  RunOptions lint_opts;
+  lint_opts.lint_trace = true;
   RunResult res = run_execution(SystemParams{kN, kT}, *solver, proposals,
-                                Adversary::none());
+                                Adversary::none(), lint_opts);
+  ASSERT_TRUE(res.lint_clean()) << *res.lint;
   ASSERT_TRUE(res.unanimous_correct_decision().has_value());
   EXPECT_EQ(problem.check_execution(res.trace), std::nullopt);
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/omission.h"
+#include "analysis/lint.h"
 #include "lowerbound/attack.h"
 #include "lowerbound/certificate_io.h"
 #include "protocols/phase_king.h"
@@ -52,6 +53,79 @@ TEST(TraceIo, GarbageRejected) {
   Bytes truncated = encode_trace(sample_trace());
   truncated.resize(truncated.size() / 2);
   EXPECT_EQ(decode_trace(truncated), std::nullopt);
+}
+
+TEST(TraceIo, RejectionsComeWithDiagnostics) {
+  std::string error;
+  EXPECT_EQ(trace_from_value(Value{"nope"}, &error), std::nullopt);
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  EXPECT_EQ(decode_trace(Bytes{9, 9, 9}, &error), std::nullopt);
+  EXPECT_NE(error.find("serde"), std::string::npos) << error;
+}
+
+TEST(TraceIo, RejectsOutOfRangeIntegers) {
+  Value good = trace_to_value(sample_trace());
+
+  // Negative n.
+  Value bad = good;
+  bad.as_vec()[1] = Value{static_cast<std::int64_t>(-5)};
+  std::string error;
+  EXPECT_EQ(trace_from_value(bad, &error), std::nullopt);
+  EXPECT_FALSE(error.empty());
+
+  // t >= n (invalid system parameters).
+  bad = good;
+  bad.as_vec()[2] = Value{static_cast<std::int64_t>(99)};
+  error.clear();
+  EXPECT_EQ(trace_from_value(bad, &error), std::nullopt);
+  EXPECT_NE(error.find("invalid params"), std::string::npos) << error;
+
+  // Faulty id beyond n: previously this wrapped silently.
+  bad = good;
+  bad.as_vec()[3] = Value{ValueVec{Value{static_cast<std::int64_t>(1) << 40}}};
+  error.clear();
+  EXPECT_EQ(trace_from_value(bad, &error), std::nullopt);
+  EXPECT_FALSE(error.empty());
+
+  bad = good;
+  bad.as_vec()[3] = Value{ValueVec{Value{static_cast<std::int64_t>(7)}}};
+  EXPECT_EQ(trace_from_value(bad), std::nullopt) << "faulty id 7 in an n=5 system";
+}
+
+TEST(TraceIo, RejectsMessagesNamingForeignProcesses) {
+  ExecutionTrace trace = sample_trace();
+  Value v = trace_to_value(trace);
+  // Reach into p0's first recorded round and corrupt a sent message's
+  // receiver to a process outside the system.
+  ValueVec& procs = v.as_vec()[6].as_vec();
+  ValueVec& rounds = procs[0].as_vec()[3].as_vec();
+  ASSERT_FALSE(rounds.empty());
+  ValueVec& sent = rounds[0].as_vec()[0].as_vec();
+  ASSERT_FALSE(sent.empty());
+  sent[0].as_vec()[1] = Value{static_cast<std::int64_t>(12345)};
+  std::string error;
+  EXPECT_EQ(trace_from_value(v, &error), std::nullopt);
+  EXPECT_NE(error.find("receiver"), std::string::npos) << error;
+}
+
+TEST(TraceIo, RejectsWrongProcessCount) {
+  Value v = trace_to_value(sample_trace());
+  v.as_vec()[6].as_vec().pop_back();
+  std::string error;
+  EXPECT_EQ(trace_from_value(v, &error), std::nullopt);
+  EXPECT_NE(error.find("process trace"), std::string::npos) << error;
+}
+
+TEST(TraceIo, DecodedTraceSurvivesTheLinter) {
+  // Decode-then-lint is the tools/lint_trace pipeline; a round-tripped
+  // genuine trace must lint clean structurally.
+  Bytes bytes = encode_trace(sample_trace());
+  auto restored = decode_trace(bytes);
+  ASSERT_TRUE(restored.has_value());
+  auto report = analysis::lint_trace(*restored);
+  EXPECT_TRUE(report.clean()) << report;
 }
 
 TEST(CertificateIo, RoundTrippedCertificateStillVerifies) {

@@ -46,9 +46,12 @@ class ValueGen {
         return Value::null();
       case 1:
         return Value{(r & 8) != 0};
-      case 2:
-        return Value{static_cast<std::int64_t>(roll()) -
-                     static_cast<std::int64_t>(roll())};
+      case 2: {
+        // Difference of two full-range rolls; wrap in uint64 first — the
+        // subtraction overflows int64 for about half of all pairs.
+        const std::uint64_t d = roll() - roll();
+        return Value{static_cast<std::int64_t>(d)};
+      }
       default: {
         std::string s;
         const std::size_t len = roll() % 9;

@@ -9,10 +9,11 @@
 //       load a certificate and re-verify it by full state-machine replay
 //   ba_cli solvability <property> <n> <t>
 //       Theorem 4 verdict for a canned validity property
-//   ba_cli run <protocol> <n> <t> <bit...>
-//       run a protocol on explicit proposals and print decisions
+//   ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]
+//       run a protocol on explicit proposals and print decisions;
+//       optionally save the execution trace for later auditing (lint_trace)
 //
-// protocols: silent | beacon | gossip | one-shot-echo | ds-weak | phase-king
+// protocols: see tool_protocols.h
 // properties: weak | strong | sender | ic | any-proposed | constant
 
 #include <cstdio>
@@ -23,10 +24,12 @@
 #include <vector>
 
 #include "core/ba.h"
+#include "tool_protocols.h"
 
 namespace {
 
 using namespace ba;
+using tools::make_protocol;
 
 int usage() {
   std::fprintf(stderr,
@@ -36,25 +39,11 @@ int usage() {
                "  ba_cli dr-attack <direct|relay-ring|dolev-strong> [n] [t]\n"
                "  ba_cli verify <FILE> <protocol> [n] [t]\n"
                "  ba_cli solvability <property> <n> <t>\n"
-               "  ba_cli run <protocol> <n> <t> <bit...>\n"
-               "protocols: silent beacon gossip one-shot-echo ds-weak "
-               "phase-king\n"
-               "properties: weak strong sender ic any-proposed constant\n");
+               "  ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]\n"
+               "protocols: %s\n"
+               "properties: weak strong sender ic any-proposed constant\n",
+               tools::protocol_names());
   return 2;
-}
-
-std::optional<ProtocolFactory> make_protocol(const std::string& name,
-                                             std::uint32_t n) {
-  if (name == "silent") return protocols::wc_candidate_silent(1);
-  if (name == "beacon") return protocols::wc_candidate_leader_beacon();
-  if (name == "gossip") return protocols::wc_candidate_gossip_ring(2, 3);
-  if (name == "one-shot-echo") return protocols::wc_candidate_one_shot_echo();
-  if (name == "ds-weak") {
-    auto auth = std::make_shared<crypto::Authenticator>(0xc11, n);
-    return protocols::weak_consensus_auth(auth);
-  }
-  if (name == "phase-king") return protocols::weak_consensus_unauth();
-  return std::nullopt;
 }
 
 std::optional<validity::ValidityProperty> make_property(
@@ -223,7 +212,13 @@ int cmd_run(int argc, char** argv) {
   const std::string name = argv[0];
   const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
   const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
-  if (static_cast<std::uint32_t>(argc - 3) != n) {
+  std::string save_trace;
+  int bits = argc - 3;
+  if (bits >= 2 && std::strcmp(argv[argc - 2], "--save-trace") == 0) {
+    save_trace = argv[argc - 1];
+    bits -= 2;
+  }
+  if (bits < 0 || static_cast<std::uint32_t>(bits) != n) {
     std::fprintf(stderr, "need exactly n proposal bits\n");
     return 2;
   }
@@ -233,8 +228,10 @@ int cmd_run(int argc, char** argv) {
   for (std::uint32_t i = 0; i < n; ++i) {
     proposals.push_back(Value::bit(std::atoi(argv[3 + i])));
   }
+  RunOptions opts;
+  opts.lint_trace = true;
   RunResult res = run_execution(SystemParams{n, t}, *protocol, proposals,
-                                Adversary::none());
+                                Adversary::none(), opts);
   for (ProcessId p = 0; p < n; ++p) {
     std::printf("p%u: proposes %s decides %s (round %u)\n", p,
                 proposals[p].to_string().c_str(),
@@ -246,7 +243,16 @@ int cmd_run(int argc, char** argv) {
               static_cast<unsigned long long>(res.messages_sent_by_correct),
               static_cast<unsigned long long>(
                   res.trace.payload_bytes_sent_by_correct()));
-  return 0;
+  if (res.lint) std::printf("trace lint: %s\n", res.lint->summary().c_str());
+  if (!save_trace.empty()) {
+    if (write_file(save_trace, encode_trace(res.trace))) {
+      std::printf("trace saved to %s\n", save_trace.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", save_trace.c_str());
+      return 1;
+    }
+  }
+  return res.lint_clean() ? 0 : 1;
 }
 
 }  // namespace

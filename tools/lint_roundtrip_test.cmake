@@ -1,0 +1,30 @@
+# Saves an execution trace with ba_cli, audits it with lint_trace (clean and
+# with the determinism replay), then checks that a corrupted file is rejected.
+set(trace "${WORKDIR}/phase_king.trace")
+execute_process(COMMAND ${CLI} run phase-king 4 1 0 1 1 1
+                        --save-trace ${trace}
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "run --save-trace failed: ${rc1}")
+endif()
+
+execute_process(COMMAND ${LINTER} ${trace} RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "lint_trace on a genuine trace failed: ${rc2}")
+endif()
+
+execute_process(COMMAND ${LINTER} ${trace} --protocol phase-king
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "lint_trace with replay failed: ${rc3}")
+endif()
+
+# Corrupting the file must produce a decode error (exit 3), not a crash or a
+# silently clean report. The canonical serde rejects trailing bytes.
+set(corrupt "${WORKDIR}/phase_king.corrupt")
+file(COPY_FILE ${trace} ${corrupt})
+file(APPEND ${corrupt} "garbage-tail")
+execute_process(COMMAND ${LINTER} ${corrupt} RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 3)
+  message(FATAL_ERROR "lint_trace on a corrupted trace: want 3, got ${rc4}")
+endif()

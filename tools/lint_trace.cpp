@@ -1,0 +1,103 @@
+// lint_trace — standalone auditor for serialized execution traces.
+//
+//   lint_trace <FILE> [--protocol NAME] [--quiet]
+//
+// Decodes a trace written in the library's canonical byte format (see
+// runtime/trace_io.h) and runs the execution-invariant linter over it:
+// structure, message conservation, adversary-budget accounting, quiescence —
+// plus the determinism replay when --protocol names the state machine the
+// trace claims to be an execution of. This lets certificate artifacts
+// produced by the lower-bound engine be audited independently of the process
+// that produced them.
+//
+// Exit codes: 0 = trace lints clean; 1 = violations found; 2 = usage error;
+// 3 = the file cannot be read or decoded.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "analysis/lint.h"
+#include "tool_protocols.h"
+
+namespace {
+
+using namespace ba;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lint_trace <FILE> [--protocol NAME] [--quiet]\n"
+               "protocols: %s\n",
+               tools::protocol_names());
+  return 2;
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string protocol_name;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--protocol") == 0 && i + 1 < argc) {
+      protocol_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (file.empty() && argv[i][0] != '-') {
+      file = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  auto bytes = read_file(file);
+  if (!bytes) {
+    std::fprintf(stderr, "lint_trace: cannot read %s\n", file.c_str());
+    return 3;
+  }
+  std::string decode_error;
+  auto trace = decode_trace(*bytes, &decode_error);
+  if (!trace) {
+    std::fprintf(stderr, "lint_trace: %s is not a valid trace: %s\n",
+                 file.c_str(), decode_error.c_str());
+    return 3;
+  }
+
+  analysis::LintReport report;
+  if (!protocol_name.empty()) {
+    auto protocol = tools::make_protocol(protocol_name, trace->params.n);
+    if (!protocol) {
+      std::fprintf(stderr, "lint_trace: unknown protocol %s\n",
+                   protocol_name.c_str());
+      return usage();
+    }
+    report = analysis::lint_execution(*trace, *protocol);
+  } else {
+    report = analysis::lint_trace(*trace);
+  }
+
+  if (!quiet) {
+    std::printf("trace: n=%u t=%u rounds=%u |F|=%zu quiesced=%s\n",
+                trace->params.n, trace->params.t, trace->rounds,
+                trace->faulty.size(), trace->quiesced ? "yes" : "no");
+    std::printf("messages (correct senders): %llu\n",
+                static_cast<unsigned long long>(trace->message_complexity()));
+    std::cout << report << '\n';
+  } else {
+    std::cout << report.summary() << '\n';
+  }
+  return report.clean() ? 0 : 1;
+}
