@@ -1,0 +1,59 @@
+// E-sweep — parallel scaling of the Theorem 2 attack sweep: the standard
+// candidate set over the standard grid, fanned across the deterministic
+// experiment pool at jobs in {1, 2, 4, 8}.
+//
+// Expected shape: points_per_sec scales with jobs up to the machine's core
+// count (the grid points are independent and the pool adds no barriers
+// beyond ordered collection), while rows_match = 1 certifies the parallel
+// result is bit-identical to the serial reference at every width. The
+// jobs = 8 run also drops BENCH_sweep.json next to the binary — the repo's
+// machine-readable perf-trajectory artifact (also produced by
+// `ba_cli sweep --json`).
+
+#include "bench_util.h"
+
+#include <fstream>
+
+namespace ba::bench {
+namespace {
+
+void SweepScaling(benchmark::State& state) {
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  const auto entries = lowerbound::standard_sweep_entries();
+  const auto grid = lowerbound::standard_sweep_grid();
+  const lowerbound::SweepResult serial =
+      lowerbound::run_attack_sweep(entries, grid);
+
+  lowerbound::SweepOptions options;
+  options.jobs = jobs;
+  lowerbound::SweepResult result;
+  for (auto _ : state) {
+    result = lowerbound::run_attack_sweep(entries, grid, options);
+  }
+
+  state.counters["jobs"] = jobs;
+  state.counters["points"] = static_cast<double>(result.rows.size());
+  state.counters["wall_s"] =
+      static_cast<double>(result.wall_micros) / 1e6;
+  state.counters["points_per_sec"] =
+      result.wall_micros == 0
+          ? 0
+          : static_cast<double>(result.rows.size()) * 1e6 /
+                static_cast<double>(result.wall_micros);
+  state.counters["rows_match"] = result.rows == serial.rows ? 1 : 0;
+  state.counters["consistent"] = result.theorem2_consistent() ? 1 : 0;
+
+  if (jobs == 8) {
+    std::ofstream out("BENCH_sweep.json");
+    lowerbound::write_bench_json(out, result);
+  }
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::SweepScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -29,7 +29,8 @@ void UpperBoundDolevStrongBroadcast(benchmark::State& state) {
   auto bb = protocols::dolev_strong_broadcast(auth, 0);
   std::uint64_t msgs = 0;
   for (auto _ : state) {
-    msgs = worst_observed_messages(params, bb, Value::bit(0));
+    msgs = worst_observed_messages(params, bb, Value::bit(0),
+                                   lowerbound::default_probe_schedule(params));
   }
   report(state, params, msgs);
 }
@@ -41,7 +42,8 @@ void UpperBoundWeakConsensusAuth(benchmark::State& state) {
   auto wc = protocols::weak_consensus_auth(auth);
   std::uint64_t msgs = 0;
   for (auto _ : state) {
-    msgs = worst_observed_messages(params, wc, Value::bit(0));
+    msgs = worst_observed_messages(params, wc, Value::bit(0),
+                                   lowerbound::default_probe_schedule(params));
   }
   report(state, params, msgs);
 }
@@ -52,7 +54,8 @@ void UpperBoundPhaseKing(benchmark::State& state) {
   std::uint64_t msgs = 0;
   for (auto _ : state) {
     msgs = worst_observed_messages(params, protocols::phase_king_consensus(),
-                                   Value::bit(0));
+                                   Value::bit(0),
+                                   lowerbound::default_probe_schedule(params));
   }
   report(state, params, msgs);
 }

@@ -29,26 +29,16 @@ inline std::uint64_t fault_free_messages(const SystemParams& params,
   return run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
 }
 
-/// Worst message complexity over a small schedule of isolation adversaries
-/// (the paper counts messages *sent*, so isolation cannot reduce the count
-/// of other executions it reveals — this is a probe, not an exact max).
-inline std::uint64_t worst_observed_messages(const SystemParams& params,
-                                             const ProtocolFactory& protocol,
-                                             const Value& v) {
-  RunOptions opts;
-  opts.record_trace = false;
-  std::uint64_t worst =
-      run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
-  const std::uint32_t g = std::max<std::uint32_t>(1, params.t / 4);
-  for (Round k : {1u, 2u, 3u}) {
-    Adversary adv = isolate_group(
-        ProcessSet::range(params.n - g, params.n), k);
-    std::vector<Value> proposals(params.n, v);
-    worst = std::max(worst, run_execution(params, protocol, proposals, adv,
-                                          opts)
-                                .messages_sent_by_correct);
-  }
-  return worst;
+/// Worst message complexity over an explicit adversary schedule (the paper
+/// counts messages *sent*, so isolation cannot reduce the count of other
+/// executions it reveals — this is a probe, not an exact max). The probe
+/// itself lives in src/lowerbound/probe.h so benches and the test battery
+/// share one definition; pass `lowerbound::default_probe_schedule(params)`
+/// for the standard isolation schedule.
+inline std::uint64_t worst_observed_messages(
+    const SystemParams& params, const ProtocolFactory& protocol,
+    const Value& v, const std::vector<Adversary>& schedule) {
+  return lowerbound::worst_observed_messages(params, protocol, v, schedule);
 }
 
 }  // namespace ba::bench

@@ -28,7 +28,10 @@
 #include "lowerbound/certificate_io.h"
 #include "lowerbound/dolev_reischuk.h"
 #include "lowerbound/lemma2.h"
+#include "lowerbound/probe.h"
 #include "lowerbound/sweep.h"
+#include "parallel/experiment_pool.h"
+#include "parallel/seed.h"
 #include "protocols/adapters.h"
 #include "protocols/beyond_agreement.h"
 #include "protocols/broadcast.h"

@@ -1,0 +1,38 @@
+#include "lowerbound/probe.h"
+
+#include <algorithm>
+
+#include "adversary/omission.h"
+#include "runtime/sync_system.h"
+
+namespace ba::lowerbound {
+
+std::vector<Adversary> default_probe_schedule(const SystemParams& params) {
+  const std::uint32_t g = std::max<std::uint32_t>(1, params.t / 4);
+  std::vector<Adversary> schedule;
+  schedule.reserve(3);
+  for (Round k : {1u, 2u, 3u}) {
+    schedule.push_back(
+        isolate_group(ProcessSet::range(params.n - g, params.n), k));
+  }
+  return schedule;
+}
+
+std::uint64_t worst_observed_messages(const SystemParams& params,
+                                      const ProtocolFactory& protocol,
+                                      const Value& v,
+                                      const std::vector<Adversary>& schedule) {
+  RunOptions opts;
+  opts.record_trace = false;
+  std::uint64_t worst =
+      run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
+  const std::vector<Value> proposals(params.n, v);
+  for (const Adversary& adv : schedule) {
+    worst = std::max(worst,
+                     run_execution(params, protocol, proposals, adv, opts)
+                         .messages_sent_by_correct);
+  }
+  return worst;
+}
+
+}  // namespace ba::lowerbound

@@ -1,0 +1,34 @@
+#pragma once
+
+// The shared message-complexity probe: one definition of "worst observed
+// messages" used by both the benches (bench/bench_util.h forwards here) and
+// the test battery, so the two can never drift apart.
+//
+// The paper counts messages *sent by correct processes*, so omitting
+// deliveries cannot lower the count an adversary reveals — probing a small
+// schedule of isolation adversaries under-approximates the true worst case
+// but never overshoots it. Callers pick the schedule explicitly (or take
+// `default_probe_schedule`), which keeps the probe a pure function of its
+// arguments — a requirement for fanning probes across the experiment pool.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/process.h"
+#include "runtime/value.h"
+
+namespace ba::lowerbound {
+
+/// The standard probe schedule: isolate the suffix group of max(1, t/4)
+/// processes from round k, for k in {1, 2, 3}.
+std::vector<Adversary> default_probe_schedule(const SystemParams& params);
+
+/// Largest message complexity (messages sent by correct processes) over the
+/// fault-free unanimous-`v` execution plus every adversary in `schedule`.
+std::uint64_t worst_observed_messages(const SystemParams& params,
+                                      const ProtocolFactory& protocol,
+                                      const Value& v,
+                                      const std::vector<Adversary>& schedule);
+
+}  // namespace ba::lowerbound

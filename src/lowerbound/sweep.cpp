@@ -1,13 +1,48 @@
 #include "lowerbound/sweep.h"
 
+#include <chrono>
 #include <memory>
 #include <ostream>
 
 #include "crypto/signature.h"
 #include "lowerbound/certificate.h"
+#include "lowerbound/certificate_io.h"
+#include "parallel/experiment_pool.h"
 #include "protocols/weak_consensus.h"
 
 namespace ba::lowerbound {
+namespace {
+
+/// Evaluates one grid point. A pure function of (entry, params, options):
+/// this is what makes the parallel fan-out trivially deterministic.
+SweepRow sweep_point(const SweepEntry& entry, const SystemParams& params,
+                     const AttackOptions& options) {
+  ProtocolFactory protocol = entry.make(params);
+  AttackReport report = attack_weak_consensus(params, protocol, options);
+  SweepRow row;
+  row.protocol_name = entry.protocol_name;
+  row.params = params;
+  row.violation = report.violation_found;
+  row.max_messages = report.max_message_complexity;
+  row.bound = report.bound;
+  row.critical_round = report.critical_round;
+  if (report.certificate) {
+    row.violation_kind = to_string(report.certificate->kind);
+    row.certificate_verified =
+        verify_certificate(*report.certificate, protocol).ok;
+    row.certificate = encode_certificate(*report.certificate);
+  }
+  return row;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
 
 bool SweepResult::theorem2_consistent() const {
   for (const SweepRow& row : rows) {
@@ -22,29 +57,41 @@ bool SweepResult::theorem2_consistent() const {
 
 SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
                              const std::vector<SystemParams>& grid,
-                             const AttackOptions& options) {
+                             const SweepOptions& options) {
   SweepResult result;
-  for (const SweepEntry& entry : entries) {
-    for (const SystemParams& params : grid) {
-      ProtocolFactory protocol = entry.make(params);
-      AttackReport report =
-          attack_weak_consensus(params, protocol, options);
-      SweepRow row;
-      row.protocol_name = entry.protocol_name;
-      row.params = params;
-      row.violation = report.violation_found;
-      row.max_messages = report.max_message_complexity;
-      row.bound = report.bound;
-      row.critical_round = report.critical_round;
-      if (report.certificate) {
-        row.violation_kind = to_string(report.certificate->kind);
-        row.certificate_verified =
-            verify_certificate(*report.certificate, protocol).ok;
+  const std::size_t points = entries.size() * grid.size();
+  const auto start = std::chrono::steady_clock::now();
+  if (options.jobs == 1) {
+    // Serial reference path: the parallel path must match it bit-for-bit.
+    result.rows.reserve(points);
+    for (const SweepEntry& entry : entries) {
+      for (const SystemParams& params : grid) {
+        result.rows.push_back(sweep_point(entry, params, options.attack));
       }
-      result.rows.push_back(std::move(row));
     }
+    result.jobs_used = 1;
+  } else {
+    parallel::ExperimentPool pool(options.jobs);
+    result.rows = pool.map<SweepRow>(points, [&](std::size_t index) {
+      const SweepEntry& entry = entries[index / grid.size()];
+      const SystemParams& params = grid[index % grid.size()];
+      return sweep_point(entry, params, options.attack);
+    });
+    result.jobs_used = pool.jobs();
   }
+  result.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return result;
+}
+
+SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
+                             const std::vector<SystemParams>& grid,
+                             const AttackOptions& options) {
+  SweepOptions sweep_options;
+  sweep_options.attack = options;
+  return run_attack_sweep(entries, grid, sweep_options);
 }
 
 void write_markdown(std::ostream& os, const SweepResult& result) {
@@ -64,6 +111,39 @@ void write_markdown(std::ostream& os, const SweepResult& result) {
   }
 }
 
+void write_bench_json(std::ostream& os, const SweepResult& result) {
+  const double wall_seconds =
+      static_cast<double>(result.wall_micros) / 1e6;
+  const double points_per_sec =
+      result.wall_micros == 0
+          ? 0.0
+          : static_cast<double>(result.rows.size()) / wall_seconds;
+  os << "{\n"
+     << "  \"experiment\": \"theorem2_attack_sweep\",\n"
+     << "  \"jobs\": " << result.jobs_used << ",\n"
+     << "  \"points\": " << result.rows.size() << ",\n"
+     << "  \"wall_seconds\": " << wall_seconds << ",\n"
+     << "  \"points_per_sec\": " << points_per_sec << ",\n"
+     << "  \"theorem2_consistent\": "
+     << (result.theorem2_consistent() ? "true" : "false") << ",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const SweepRow& row = result.rows[i];
+    os << "    {\"protocol\": \"";
+    json_escape(os, row.protocol_name);
+    os << "\", \"n\": " << row.params.n << ", \"t\": " << row.params.t
+       << ", \"messages\": " << row.max_messages
+       << ", \"bound\": " << row.bound << ", \"violation\": "
+       << (row.violation ? "true" : "false") << ", \"kind\": \"";
+    json_escape(os, row.violation_kind);
+    os << "\", \"certificate_verified\": "
+       << (row.certificate_verified ? "true" : "false")
+       << ", \"certificate_bytes\": " << row.certificate.size() << "}"
+       << (i + 1 < result.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
 std::vector<SweepEntry> standard_sweep_entries() {
   std::vector<SweepEntry> entries;
   entries.push_back({"silent-default", [](const SystemParams&) {
@@ -81,6 +161,10 @@ std::vector<SweepEntry> standard_sweep_entries() {
                        return protocols::weak_consensus_auth(auth);
                      }});
   return entries;
+}
+
+std::vector<SystemParams> standard_sweep_grid() {
+  return {{12, 11}, {16, 15}};
 }
 
 }  // namespace ba::lowerbound

@@ -4,6 +4,13 @@
 // of (protocol, n, t) points and collects one structured row per point —
 // the machinery behind `examples/paper_report` and reusable by downstream
 // evaluation scripts.
+//
+// Grid points are independent, so the sweep fans them across the
+// deterministic experiment pool (parallel/experiment_pool.h) when
+// SweepOptions::jobs != 1. The contract — asserted by
+// tests/parallel/sweep_determinism_test.cpp — is that the produced rows,
+// including the encoded violation certificates, are bit-identical to the
+// serial path for every worker count.
 
 #include <functional>
 #include <iosfwd>
@@ -12,13 +19,15 @@
 
 #include "lowerbound/attack.h"
 #include "runtime/process.h"
+#include "runtime/serde.h"
 
 namespace ba::lowerbound {
 
 struct SweepEntry {
   std::string protocol_name;
   /// Builds the protocol for a given system size (may capture shared state
-  /// such as an Authenticator per n).
+  /// such as an Authenticator per n). Must be pure: the sweep calls it once
+  /// per grid point, possibly concurrently from pool workers.
   std::function<ProtocolFactory(const SystemParams&)> make;
 };
 
@@ -31,10 +40,27 @@ struct SweepRow {
   std::uint64_t max_messages{0};
   std::uint64_t bound{0};
   std::optional<Round> critical_round;
+  /// Serialized violation certificate (certificate_io), empty when no
+  /// violation. Kept in encoded form so "parallel == serial" can be
+  /// asserted byte-for-byte and rows can be re-verified offline.
+  Bytes certificate;
+
+  friend bool operator==(const SweepRow&, const SweepRow&) = default;
+};
+
+struct SweepOptions {
+  AttackOptions attack;
+  /// Worker threads to fan grid points across: 1 (default) runs the serial
+  /// reference path in the calling thread; 0 means hardware concurrency.
+  unsigned jobs{1};
 };
 
 struct SweepResult {
   std::vector<SweepRow> rows;
+  /// Resolved worker count the sweep ran with (1 for the serial path).
+  unsigned jobs_used{1};
+  /// Wall-clock time of the grid evaluation, microseconds.
+  std::uint64_t wall_micros{0};
 
   /// True iff every sub-threshold protocol was broken with a verified
   /// certificate and every surviving protocol clears the bound.
@@ -45,12 +71,25 @@ struct SweepResult {
 /// re-verified by replay before a row claims `certificate_verified`.
 SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
                              const std::vector<SystemParams>& grid,
+                             const SweepOptions& options);
+
+/// Back-compat overload: serial sweep with the given attack options.
+SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
+                             const std::vector<SystemParams>& grid,
                              const AttackOptions& options = {});
 
 /// Renders the rows as a GitHub-flavored markdown table.
 void write_markdown(std::ostream& os, const SweepResult& result);
 
+/// Renders the sweep as the machine-readable BENCH_sweep.json document:
+/// wall time, throughput, and one object per grid point (messages, bound,
+/// verdict, certificate size). The perf-trajectory artifact CI uploads.
+void write_bench_json(std::ostream& os, const SweepResult& result);
+
 /// The library's standard candidate + reference protocol set.
 std::vector<SweepEntry> standard_sweep_entries();
+
+/// The standard (n, t) grid the paper report and the benches sweep.
+std::vector<SystemParams> standard_sweep_grid();
 
 }  // namespace ba::lowerbound

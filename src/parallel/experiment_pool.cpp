@@ -1,0 +1,84 @@
+#include "parallel/experiment_pool.h"
+
+#include <utility>
+
+namespace ba::parallel {
+
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ExperimentPool::ExperimentPool(unsigned jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExperimentPool::~ExperimentPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ExperimentPool::submit(std::function<void()> task) {
+  std::size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = tasks_.size();
+    tasks_.push_back(std::move(task));
+    errors_.emplace_back();
+  }
+  work_cv_.notify_one();
+  return index;
+}
+
+void ExperimentPool::collect() {
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
+    for (const std::exception_ptr& e : errors_) {
+      if (e) {
+        first_error = e;
+        break;
+      }
+    }
+    tasks_.clear();
+    errors_.clear();
+    next_ = 0;
+    completed_ = 0;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ExperimentPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || next_ < tasks_.size(); });
+    if (stop_) return;
+    const std::size_t index = next_++;
+    // The task reference stays valid while unlocked: tasks_ only grows
+    // during a batch and collect() clears it only after completed_ catches
+    // up — but submit() may reallocate the vector, so take a copy.
+    std::function<void()> task = tasks_[index];
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error) errors_[index] = error;
+    ++completed_;
+    if (completed_ == tasks_.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace ba::parallel

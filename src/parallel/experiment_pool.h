@@ -1,0 +1,92 @@
+#pragma once
+
+// Deterministic thread-pool experiment runner.
+//
+// Every evaluation artifact in this repo (the Theorem 2 attack sweep, the
+// figure benches, the property campaigns) is a grid of *independent* pure
+// tasks: a task is a function of its grid index only, never of the
+// scheduling order. ExperimentPool exploits that shape:
+//
+//   * a FIXED worker count (no work stealing, no dynamic resizing): workers
+//     pull task indices from a single monotone ticket counter, so which
+//     thread runs a task is the only nondeterminism — and tasks are barred
+//     from caring by construction;
+//   * ORDERED collection: results are written into a slot preallocated per
+//     task index, so the collected vector is index-ordered regardless of
+//     completion order;
+//   * per-task SEEDS (parallel/seed.h) are derived from the task index
+//     alone, never from thread ids, clocks, or scheduling.
+//
+// Together these give the contract the reproducibility battery in
+// tests/parallel/ asserts mechanically: running a grid with jobs = 1 and
+// jobs = N produces bit-identical result vectors. See docs/PARALLEL.md.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ba::parallel {
+
+/// Resolves a user-facing jobs knob: 0 means "hardware concurrency"
+/// (at least 1); any other value is taken literally.
+unsigned resolve_jobs(unsigned jobs);
+
+class ExperimentPool {
+ public:
+  /// Spawns `resolve_jobs(jobs)` worker threads immediately; they idle until
+  /// tasks are submitted.
+  explicit ExperimentPool(unsigned jobs = 0);
+  ~ExperimentPool();
+
+  ExperimentPool(const ExperimentPool&) = delete;
+  ExperimentPool& operator=(const ExperimentPool&) = delete;
+
+  /// The resolved worker count.
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Enqueues one task of the current batch and returns its index. Tasks
+  /// must be independent: they may not observe scheduling order or other
+  /// tasks' effects. Must not be called from inside a task.
+  std::size_t submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has run, then resets the batch. If
+  /// any tasks threw, the exception of the LOWEST task index is rethrown
+  /// (deterministic regardless of completion order); the pool remains
+  /// usable for further batches either way.
+  void collect();
+
+  /// Runs `fn(i)` for every i in [0, count) across the workers and returns
+  /// the results in index order. T must be default-constructible (slots are
+  /// preallocated so writes are ordered by index, not by completion).
+  template <typename T>
+  std::vector<T> map(std::size_t count,
+                     const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&out, &fn, i] { out[i] = fn(i); });
+    }
+    collect();
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  unsigned jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks or shutdown
+  std::condition_variable done_cv_;  // collect() waits for batch completion
+  std::vector<std::function<void()>> tasks_;
+  std::vector<std::exception_ptr> errors_;  // slot per task, null when clean
+  std::size_t next_{0};       // next task index to hand out
+  std::size_t completed_{0};  // tasks finished in the current batch
+  bool stop_{false};
+};
+
+}  // namespace ba::parallel

@@ -1,0 +1,29 @@
+#include "parallel/seed.h"
+
+#include <array>
+
+#include "crypto/siphash.h"
+
+namespace ba::parallel {
+
+std::uint64_t derive_task_seed(std::uint64_t master_seed,
+                               std::uint64_t task_index) {
+  // Domain-separate from the other derive_key contexts in the tree.
+  const crypto::SipKey key = crypto::derive_key(master_seed, 0x7a5c5eedULL);
+  std::array<std::uint8_t, 8> le{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    le[i] = static_cast<std::uint8_t>((task_index >> (8 * i)) & 0xff);
+  }
+  return crypto::siphash24(key, le);
+}
+
+std::vector<std::uint64_t> derive_task_seeds(std::uint64_t master_seed,
+                                             std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds[i] = derive_task_seed(master_seed, i);
+  }
+  return seeds;
+}
+
+}  // namespace ba::parallel

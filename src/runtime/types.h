@@ -29,6 +29,8 @@ struct SystemParams {
   std::uint32_t t{0};
 
   [[nodiscard]] bool valid() const { return n > 0 && t < n; }
+
+  friend bool operator==(const SystemParams&, const SystemParams&) = default;
 };
 
 /// A set of process ids, kept sorted and unique. Small systems dominate the

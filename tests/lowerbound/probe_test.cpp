@@ -1,0 +1,72 @@
+// The shared message-complexity probe (lowerbound/probe.h): the single
+// definition both the benches and this battery use. Checks the schedule's
+// shape, the probe's monotonicity in the schedule, and its determinism —
+// the properties the "parallel == serial" contract leans on when probes are
+// fanned across the experiment pool.
+
+#include "lowerbound/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba.h"
+
+namespace ba::lowerbound {
+namespace {
+
+TEST(Probe, DefaultScheduleShape) {
+  const SystemParams params{12, 8};
+  const auto schedule = default_probe_schedule(params);
+  ASSERT_EQ(schedule.size(), 3u);
+  for (const Adversary& adv : schedule) {
+    // Isolates the suffix group of t/4 = 2 processes; never exceeds t.
+    EXPECT_EQ(adv.faulty.size(), 2u);
+    EXPECT_LE(adv.faulty.size(), params.t);
+    EXPECT_TRUE(adv.faulty.contains(10));
+    EXPECT_TRUE(adv.faulty.contains(11));
+  }
+}
+
+TEST(Probe, GroupSizeAtLeastOne) {
+  const SystemParams params{4, 1};  // t/4 == 0: clamps to 1
+  const auto schedule = default_probe_schedule(params);
+  for (const Adversary& adv : schedule) {
+    EXPECT_EQ(adv.faulty.size(), 1u);
+  }
+}
+
+TEST(Probe, WorstDominatesFaultFreeAndGrowsWithSchedule) {
+  const SystemParams params{7, 4};
+  auto auth = std::make_shared<crypto::Authenticator>(0xab, params.n);
+  const ProtocolFactory wc = protocols::weak_consensus_auth(auth);
+
+  RunOptions opts;
+  opts.record_trace = false;
+  const std::uint64_t fault_free =
+      run_all_correct(params, wc, Value::bit(0), opts)
+          .messages_sent_by_correct;
+
+  const std::uint64_t empty_schedule =
+      worst_observed_messages(params, wc, Value::bit(0), {});
+  EXPECT_EQ(empty_schedule, fault_free);
+
+  const std::uint64_t full = worst_observed_messages(
+      params, wc, Value::bit(0), default_probe_schedule(params));
+  EXPECT_GE(full, fault_free);  // max over a superset of executions
+}
+
+TEST(Probe, Deterministic) {
+  const SystemParams params{7, 4};
+  auto auth = std::make_shared<crypto::Authenticator>(0xcd, params.n);
+  const ProtocolFactory wc = protocols::weak_consensus_auth(auth);
+  const auto schedule = default_probe_schedule(params);
+  const std::uint64_t a =
+      worst_observed_messages(params, wc, Value::bit(1), schedule);
+  const std::uint64_t b =
+      worst_observed_messages(params, wc, Value::bit(1), schedule);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ba::lowerbound

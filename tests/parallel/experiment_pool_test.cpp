@@ -1,0 +1,125 @@
+// Edge-case battery for ExperimentPool: the pool must behave identically to
+// a serial loop on every degenerate shape (empty batch, single task, more
+// workers than tasks), capture task exceptions without losing the batch or
+// the pool, and resolve jobs = 0 to the hardware width.
+
+#include "parallel/experiment_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace ba::parallel {
+namespace {
+
+TEST(ExperimentPool, ZeroTasksCollectsImmediately) {
+  ExperimentPool pool(4);
+  pool.collect();  // nothing submitted: must not hang or throw
+  auto out = pool.map<int>(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExperimentPool, OneTask) {
+  ExperimentPool pool(4);
+  auto out = pool.map<int>(1, [](std::size_t i) {
+    return static_cast<int>(i) + 41;
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 41);
+}
+
+TEST(ExperimentPool, MoreJobsThanTasks) {
+  ExperimentPool pool(16);
+  EXPECT_EQ(pool.jobs(), 16u);
+  auto out = pool.map<std::size_t>(3, [](std::size_t i) { return i * i; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(ExperimentPool, ResultsAreIndexOrderedNotCompletionOrdered) {
+  // Give early indices the longest work so they finish last; the collected
+  // vector must still be index-ordered.
+  ExperimentPool pool(4);
+  auto out = pool.map<std::size_t>(32, [](std::size_t i) {
+    if (i < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return i;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ExperimentPool, ThrowingTaskIsRethrownAtCollect) {
+  ExperimentPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i == 4) throw std::runtime_error("task 4 failed");
+    });
+  }
+  EXPECT_THROW(pool.collect(), std::runtime_error);
+  // Every task still ran: one failure does not cancel the batch.
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ExperimentPool, LowestIndexExceptionWinsDeterministically) {
+  ExperimentPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([i] {
+        if (i == 2) throw std::runtime_error("two");
+        if (i == 6) throw std::logic_error("six");
+      });
+    }
+    // Index 2's exception must be the one surfaced, every time, regardless
+    // of which worker hit which failure first.
+    try {
+      pool.collect();
+      FAIL() << "collect() did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "two");
+    } catch (const std::logic_error&) {
+      FAIL() << "higher-index exception surfaced";
+    }
+  }
+}
+
+TEST(ExperimentPool, PoolStaysUsableAfterException) {
+  ExperimentPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.collect(), std::runtime_error);
+  auto out = pool.map<int>(8, [](std::size_t i) {
+    return static_cast<int>(i) * 2;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7], 14);
+  pool.collect();  // empty follow-up batch is still fine
+}
+
+TEST(ExperimentPool, JobsZeroMeansHardwareConcurrency) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned expected = hw == 0 ? 1 : hw;
+  EXPECT_EQ(resolve_jobs(0), expected);
+  ExperimentPool pool(0);
+  EXPECT_EQ(pool.jobs(), expected);
+  auto out = pool.map<int>(4, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExperimentPool, ManySequentialBatches) {
+  ExperimentPool pool(3);
+  for (std::size_t batch = 0; batch < 20; ++batch) {
+    auto out = pool.map<std::size_t>(batch, [batch](std::size_t i) {
+      return batch * 100 + i;
+    });
+    ASSERT_EQ(out.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) EXPECT_EQ(out[i], batch * 100 + i);
+  }
+}
+
+}  // namespace
+}  // namespace ba::parallel

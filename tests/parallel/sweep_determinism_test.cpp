@@ -1,0 +1,103 @@
+// The core "parallel == serial" golden contract: run_attack_sweep over the
+// standard candidate set and grid must produce byte-identical SweepRow
+// sequences — encoded violation certificates included — at every worker
+// count, and every certificate must re-verify by full replay after a
+// decode round-trip.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ba.h"
+
+namespace ba::lowerbound {
+namespace {
+
+TEST(SweepDeterminism, ParallelMatchesSerialAtEveryWidth) {
+  const auto entries = standard_sweep_entries();
+  const auto grid = standard_sweep_grid();
+  const SweepResult serial = run_attack_sweep(entries, grid);
+  ASSERT_EQ(serial.rows.size(), entries.size() * grid.size());
+  ASSERT_TRUE(serial.theorem2_consistent());
+  EXPECT_EQ(serial.jobs_used, 1u);
+
+  for (unsigned jobs : {2u, 8u}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    const SweepResult parallel = run_attack_sweep(entries, grid, options);
+    EXPECT_EQ(parallel.jobs_used, jobs);
+    ASSERT_EQ(parallel.rows.size(), serial.rows.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+      // Field-by-field (for readable failures) and then the full byte-level
+      // row equality, encoded certificate included.
+      EXPECT_EQ(parallel.rows[i].protocol_name, serial.rows[i].protocol_name);
+      EXPECT_EQ(parallel.rows[i].max_messages, serial.rows[i].max_messages)
+          << "jobs=" << jobs << " row=" << i;
+      EXPECT_EQ(parallel.rows[i].certificate, serial.rows[i].certificate)
+          << "jobs=" << jobs << " row=" << i
+          << ": certificates must be bit-identical";
+      EXPECT_EQ(parallel.rows[i], serial.rows[i])
+          << "jobs=" << jobs << " row=" << i;
+    }
+  }
+}
+
+TEST(SweepDeterminism, CertificatesReverifyAfterDecodeRoundTrip) {
+  const auto entries = standard_sweep_entries();
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepResult result =
+      run_attack_sweep(entries, standard_sweep_grid(), options);
+  std::size_t verified = 0;
+  for (const SweepRow& row : result.rows) {
+    if (!row.violation) {
+      EXPECT_TRUE(row.certificate.empty());
+      continue;
+    }
+    ASSERT_FALSE(row.certificate.empty()) << row.protocol_name;
+    auto cert = decode_certificate(row.certificate);
+    ASSERT_TRUE(cert.has_value()) << row.protocol_name;
+    EXPECT_EQ(to_string(cert->kind), row.violation_kind);
+    // Re-verify against a freshly built protocol: the row's claim must be
+    // reproducible from the encoded bytes alone.
+    const SweepEntry* entry = nullptr;
+    for (const SweepEntry& e : entries) {
+      if (e.protocol_name == row.protocol_name) entry = &e;
+    }
+    ASSERT_NE(entry, nullptr);
+    auto check = verify_certificate(*cert, entry->make(row.params));
+    EXPECT_TRUE(check.ok) << row.protocol_name << ": " << check.error;
+    ++verified;
+  }
+  EXPECT_GE(verified, 6u);  // 3 broken candidates x 2 grid points
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAreIdentical) {
+  const auto entries = standard_sweep_entries();
+  const std::vector<SystemParams> grid = {{12, 11}};
+  SweepOptions options;
+  options.jobs = 4;
+  const SweepResult a = run_attack_sweep(entries, grid, options);
+  const SweepResult b = run_attack_sweep(entries, grid, options);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST(SweepDeterminism, BenchJsonReportsTheRun) {
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepResult result = run_attack_sweep(
+      standard_sweep_entries(), std::vector<SystemParams>{{12, 11}}, options);
+  std::ostringstream os;
+  write_bench_json(os, result);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"experiment\": \"theorem2_attack_sweep\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"points\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"theorem2_consistent\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\": \"dolev-strong-weak\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ba::lowerbound

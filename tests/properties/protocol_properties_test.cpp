@@ -266,5 +266,66 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_s" + std::to_string(std::get<1>(info.param));
     });
 
+// ---------------------------------------------------------------------------
+// Pooled campaign: the same omission-schedule contract, but over full-range
+// seeds derived per task index and fanned across the experiment pool. Worker
+// tasks return a result string instead of asserting (gtest assertions are
+// not thread-safe); the main thread asserts. Each point's string doubles as
+// a digest of the execution, so re-running the campaign at a different
+// worker count and comparing vectors asserts the "parallel == serial"
+// contract for the property battery itself.
+
+/// One campaign point: runs case `c` under the seed-derived omission
+/// schedule and returns "ok <decision digest>", or a failure description.
+std::string campaign_point(const ProtocolCase& c, std::uint64_t seed) {
+  ProcessSet faulty = random_faulty(c.params.n, c.params.t, seed);
+  Adversary adv = random_omissions(faulty, seed, /*drop_permille=*/300);
+  std::vector<Value> proposals = bit_proposals(c.params.n, seed);
+  RunResult res =
+      run_execution(c.params, c.factory, proposals, adv, linted_run());
+  if (auto err = res.trace.validate()) {
+    return c.name + ": invalid trace: " + *err;
+  }
+  if (!res.lint || !res.lint->clean()) {
+    return c.name + ": lint violation";
+  }
+  std::string digest = "ok";
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < c.params.n; ++p) {
+    if (res.trace.faulty.contains(p)) continue;
+    if (!res.trace.procs[p].decision) {
+      return c.name + ": correct p" + std::to_string(p) + " undecided";
+    }
+    if (!first) first = res.trace.procs[p].decision;
+    if (*res.trace.procs[p].decision != *first) {
+      return c.name + ": agreement violated at p" + std::to_string(p);
+    }
+    digest += " " + res.trace.procs[p].decision->to_string();
+  }
+  return digest;
+}
+
+TEST(ProtocolPropertyCampaign, PooledOmissionCampaignParallelEqualsSerial) {
+  const auto cases = protocol_cases();
+  constexpr std::size_t kSeedsPerCase = 24;
+  const std::size_t total = cases.size() * kSeedsPerCase;
+  const std::function<std::string(std::size_t)> point =
+      [&cases](std::size_t index) {
+        const ProtocolCase& c = cases[index / kSeedsPerCase];
+        return campaign_point(
+            c, parallel::derive_task_seed(0xca49a16, index));
+      };
+
+  parallel::ExperimentPool serial(1);
+  const std::vector<std::string> reference = serial.map(total, point);
+  for (const std::string& r : reference) {
+    EXPECT_EQ(r.substr(0, 2), "ok") << r;
+  }
+
+  parallel::ExperimentPool wide(4);
+  const std::vector<std::string> pooled = wide.map(total, point);
+  EXPECT_EQ(pooled, reference);
+}
+
 }  // namespace
 }  // namespace ba

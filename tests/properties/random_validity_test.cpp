@@ -153,5 +153,48 @@ TEST_P(RandomValidity, UnauthenticatedSolverViaEig) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomValidity,
                          ::testing::Range(0, 24));
 
+// ---------------------------------------------------------------------------
+// Pooled campaign: the §5 verdict-consistency checks over a much wider set
+// of random validity properties, fanned across the experiment pool with
+// index-derived seeds. Workers return a verdict digest (or a failure
+// description); the digests double as the determinism witness — identical
+// vectors at every worker count.
+
+std::string verdict_point(std::uint64_t seed) {
+  auto prop = random_property(seed);
+  auto v = validity::solvability(prop, kN, kT);
+  if (v.trivial && !v.cc) return prop.name + ": trivial but not CC";
+  if (v.authenticated_solvable != (v.trivial || v.cc)) {
+    return prop.name + ": authenticated verdict inconsistent";
+  }
+  if (v.unauthenticated_solvable != (v.trivial || (v.cc && kN > 3 * kT))) {
+    return prop.name + ": unauthenticated verdict inconsistent";
+  }
+  if (!v.cc) {
+    if (!v.cc_witness) return prop.name + ": missing CC witness";
+    if (!validity::containment_intersection(prop, kT, *v.cc_witness).empty()) {
+      return prop.name + ": CC witness has non-empty intersection";
+    }
+  }
+  return std::string("ok t=") + (v.trivial ? "1" : "0") +
+         " cc=" + (v.cc ? "1" : "0");
+}
+
+TEST(RandomValidityCampaign, PooledVerdictSweepParallelEqualsSerial) {
+  constexpr std::size_t kProperties = 64;
+  const std::function<std::string(std::size_t)> point = [](std::size_t i) {
+    return verdict_point(parallel::derive_task_seed(0x7a11d, i));
+  };
+
+  parallel::ExperimentPool serial(1);
+  const std::vector<std::string> reference = serial.map(kProperties, point);
+  for (const std::string& r : reference) {
+    EXPECT_EQ(r.substr(0, 2), "ok") << r;
+  }
+
+  parallel::ExperimentPool wide(8);
+  EXPECT_EQ(wide.map(kProperties, point), reference);
+}
+
 }  // namespace
 }  // namespace ba

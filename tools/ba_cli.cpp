@@ -12,6 +12,10 @@
 //   ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]
 //       run a protocol on explicit proposals and print decisions;
 //       optionally save the execution trace for later auditing (lint_trace)
+//   ba_cli sweep [--jobs N] [--grid n:t,n:t,...] [--json FILE]
+//       run the Theorem 2 attack sweep (standard candidate set) over a grid,
+//       fanned across N pool workers (0 = hardware concurrency, default 1);
+//       optionally write the machine-readable BENCH_sweep.json report
 //
 // protocols: see tool_protocols.h
 // properties: weak | strong | sender | ic | any-proposed | constant
@@ -19,7 +23,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +46,7 @@ int usage() {
                "  ba_cli verify <FILE> <protocol> [n] [t]\n"
                "  ba_cli solvability <property> <n> <t>\n"
                "  ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]\n"
+               "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE]\n"
                "protocols: %s\n"
                "properties: weak strong sender ic any-proposed constant\n",
                tools::protocol_names());
@@ -255,6 +262,69 @@ int cmd_run(int argc, char** argv) {
   return res.lint_clean() ? 0 : 1;
 }
 
+std::optional<std::vector<SystemParams>> parse_grid(const std::string& spec) {
+  std::vector<SystemParams> grid;
+  std::stringstream ss(spec);
+  std::string point;
+  while (std::getline(ss, point, ',')) {
+    const auto colon = point.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    const auto n =
+        static_cast<std::uint32_t>(std::atoi(point.substr(0, colon).c_str()));
+    const auto t =
+        static_cast<std::uint32_t>(std::atoi(point.substr(colon + 1).c_str()));
+    if (!SystemParams{n, t}.valid()) return std::nullopt;
+    grid.push_back({n, t});
+  }
+  if (grid.empty()) return std::nullopt;
+  return grid;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  lowerbound::SweepOptions options;
+  std::vector<SystemParams> grid = lowerbound::standard_sweep_grid();
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+      auto parsed = parse_grid(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "bad --grid (want n:t[,n:t...] with t < n)\n");
+        return 2;
+      }
+      grid = std::move(*parsed);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  auto result = lowerbound::run_attack_sweep(
+      lowerbound::standard_sweep_entries(), grid, options);
+  lowerbound::write_markdown(std::cout, result);
+  std::printf("\n%zu points, jobs=%u, %.3fs wall (%.1f points/sec)\n",
+              result.rows.size(), result.jobs_used,
+              static_cast<double>(result.wall_micros) / 1e6,
+              result.wall_micros == 0
+                  ? 0.0
+                  : static_cast<double>(result.rows.size()) * 1e6 /
+                        static_cast<double>(result.wall_micros));
+  std::printf("Theorem 2 consistency: %s\n",
+              result.theorem2_consistent() ? "HOLDS" : "VIOLATED");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    lowerbound::write_bench_json(out, result);
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  return result.theorem2_consistent() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,5 +336,6 @@ int main(int argc, char** argv) {
   if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
   if (cmd == "solvability") return cmd_solvability(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
   return usage();
 }
