@@ -1,0 +1,192 @@
+// R-runtime — hot-path throughput of the synchronous round executor
+// (`run_execution`). Unlike the experiment benches, which regenerate figures
+// of the paper, this bench tracks the *runtime itself*: rounds/sec and
+// messages/sec for three protocol families whose payload shapes stress the
+// executor differently, across n in {8, 16, 32, 64}:
+//
+//   * dolev_strong  — authenticated broadcast; payloads are signature chains
+//     that grow with the round, so the fan-out of one payload to n-1
+//     receivers dominates (the copy-on-write Value fast path);
+//   * eig           — interactive consistency; round-r payloads are O(n^t)
+//     report vectors (deep nested-vector traffic);
+//   * phase_king    — binary consensus; tiny payloads across 3(t+1) rounds
+//     (pure round-loop overhead: allocation, routing, dedup).
+//
+// Counters: rounds_per_sec, msgs_per_sec (throughput), msgs_per_run /
+// rounds_per_run (sanity: the workload itself must not drift between
+// baselines), peak_rss_kb (getrusage high-water proxy — monotone across the
+// process, so it upper-bounds, not isolates, a single benchmark's footprint).
+//
+// The full run drops BENCH_runtime.json next to the binary; the committed
+// copy at the repo root is the perf baseline this series is tracked against
+// (see docs/RUNTIME_PERF.md).
+
+#include "bench_util.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ba::bench {
+namespace {
+
+double peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss);
+}
+
+struct RuntimeRow {
+  std::string protocol;
+  std::uint32_t n{0};
+  std::uint32_t t{0};
+  double rounds_per_run{0};
+  double msgs_per_run{0};
+  double rounds_per_sec{0};
+  double msgs_per_sec{0};
+  double peak_rss_kb{0};
+};
+
+// Keyed by (protocol, n); google-benchmark may re-enter a benchmark to reach
+// min_time, so the last (longest, most trustworthy) measurement wins.
+std::map<std::pair<std::string, std::uint32_t>, RuntimeRow>& rows() {
+  static std::map<std::pair<std::string, std::uint32_t>, RuntimeRow> r;
+  return r;
+}
+
+void write_runtime_bench_json(std::ostream& os) {
+  os << "{\n"
+     << "  \"experiment\": \"runtime_throughput\",\n"
+     << "  \"rows\": [\n";
+  std::size_t i = 0;
+  for (const auto& [key, row] : rows()) {
+    os << "    {\"protocol\": \"" << row.protocol << "\", \"n\": " << row.n
+       << ", \"t\": " << row.t << ", \"rounds_per_run\": " << row.rounds_per_run
+       << ", \"msgs_per_run\": " << row.msgs_per_run
+       << ", \"rounds_per_sec\": " << row.rounds_per_sec
+       << ", \"msgs_per_sec\": " << row.msgs_per_sec
+       << ", \"peak_rss_kb\": " << row.peak_rss_kb << "}"
+       << (++i < rows().size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+struct Workload {
+  std::string name;
+  SystemParams params;
+  ProtocolFactory factory;
+  std::vector<Value> proposals;
+};
+
+Workload make_workload(const std::string& name, std::uint32_t n) {
+  Workload w;
+  w.name = name;
+  if (name == "dolev_strong") {
+    // t + 1 rounds; fault-free, so the sender's chain fans out to everyone
+    // in round 1 and every process relays once in round 2.
+    const std::uint32_t t = n / 4;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::dolev_strong_broadcast(make_auth(n), /*sender=*/0);
+    w.proposals.assign(n, Value::bit(0));
+    w.proposals[0] = Value{"tx:9f8e7d6c5b4a39281706f5e4d3c2b1a0:amount=1337"};
+  } else if (name == "eig") {
+    // Fixed t = 2 keeps the O(n^t) report tree polynomial while still
+    // exercising deep nested-vector payloads.
+    const std::uint32_t t = 2;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::eig_interactive_consistency();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      w.proposals.emplace_back(static_cast<std::int64_t>(p));
+    }
+  } else {  // phase_king
+    const std::uint32_t t = (n - 1) / 3;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::phase_king_consensus();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      w.proposals.push_back(Value::bit(static_cast<int>(p % 2)));
+    }
+  }
+  return w;
+}
+
+void RuntimeThroughput(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Workload w = make_workload(name, n);
+
+  RunOptions opts;
+  opts.record_trace = false;  // complexity-bench mode: the hot path proper
+
+  std::uint64_t msgs = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    RunResult res =
+        run_execution(w.params, w.factory, w.proposals, Adversary::none(),
+                      opts);
+    msgs += res.messages_sent_total;
+    rounds += res.rounds_executed;
+    ++iters;
+    benchmark::DoNotOptimize(res.decisions.data());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RuntimeRow row;
+  row.protocol = name;
+  row.n = n;
+  row.t = w.params.t;
+  row.rounds_per_run =
+      static_cast<double>(rounds) / static_cast<double>(iters);
+  row.msgs_per_run = static_cast<double>(msgs) / static_cast<double>(iters);
+  row.rounds_per_sec =
+      secs > 0 ? static_cast<double>(rounds) / secs : 0;
+  row.msgs_per_sec = secs > 0 ? static_cast<double>(msgs) / secs : 0;
+  row.peak_rss_kb = peak_rss_kb();
+  rows()[{name, n}] = row;
+
+  state.counters["rounds_per_run"] = row.rounds_per_run;
+  state.counters["msgs_per_run"] = row.msgs_per_run;
+  state.counters["rounds_per_sec"] = row.rounds_per_sec;
+  state.counters["msgs_per_sec"] = row.msgs_per_sec;
+  state.counters["peak_rss_kb"] = row.peak_rss_kb;
+}
+
+void DolevStrong(benchmark::State& state) {
+  RuntimeThroughput(state, "dolev_strong");
+}
+void Eig(benchmark::State& state) { RuntimeThroughput(state, "eig"); }
+void PhaseKing(benchmark::State& state) {
+  RuntimeThroughput(state, "phase_king");
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+// Eig runs last: its n=64 run touches gigabytes, and on small machines the
+// allocator/OS reclaim that follows would otherwise bleed into the next
+// family's timing estimate.
+BENCHMARK(ba::bench::DolevStrong)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::PhaseKing)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::Eig)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::ofstream out("BENCH_runtime.json");
+  ba::bench::write_runtime_bench_json(out);
+  return 0;
+}

@@ -24,9 +24,12 @@ std::uint64_t worst_observed_messages(const SystemParams& params,
                                       const std::vector<Adversary>& schedule) {
   RunOptions opts;
   opts.record_trace = false;
-  std::uint64_t worst =
-      run_all_correct(params, protocol, v, opts).messages_sent_by_correct;
+  // One unanimous proposal vector serves every run (COW: n handles to one
+  // shared payload, not n deep copies).
   const std::vector<Value> proposals(params.n, v);
+  std::uint64_t worst =
+      run_execution(params, protocol, proposals, Adversary::none(), opts)
+          .messages_sent_by_correct;
   for (const Adversary& adv : schedule) {
     worst = std::max(worst,
                      run_execution(params, protocol, proposals, adv, opts)

@@ -71,9 +71,12 @@ class DirectBroadcastCandidate final : public DecidingProcess {
   Outbox outbox_for_round(Round r) override {
     Outbox out;
     if (r == 1 && ctx_.self == sender_) {
+      // Built once, shared across receivers (COW payload: n - 1 refcount
+      // bumps, not n - 1 tagged-vector constructions).
+      const Value payload = tagged("bbd", {ctx_.proposal});
       for (ProcessId p = 0; p < ctx_.params.n; ++p) {
         if (p != sender_) {
-          out.push_back(Outgoing{p, tagged("bbd", {ctx_.proposal})});
+          out.push_back(Outgoing{p, payload});
         }
       }
     }
@@ -111,16 +114,18 @@ class RelayRingCandidate final : public DecidingProcess {
   Outbox outbox_for_round(Round r) override {
     Outbox out;
     if (r == 1 && ctx_.self == sender_) {
+      const Value payload = tagged("bbr", {ctx_.proposal});
       for (ProcessId p = 0; p < ctx_.params.n; ++p) {
         if (p != sender_) {
-          out.push_back(Outgoing{p, tagged("bbr", {ctx_.proposal})});
+          out.push_back(Outgoing{p, payload});
         }
       }
     } else if (r == 2 && seen_) {
+      const Value payload = tagged("bbr", {*seen_});
       for (std::uint32_t i = 1; i <= k_; ++i) {
         const ProcessId to = (ctx_.self + i) % ctx_.params.n;
         if (to != ctx_.self) {
-          out.push_back(Outgoing{to, tagged("bbr", {*seen_})});
+          out.push_back(Outgoing{to, payload});
         }
       }
     }

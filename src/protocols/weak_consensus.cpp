@@ -33,9 +33,10 @@ class LeaderBeaconCandidate final : public DecidingProcess {
   Outbox outbox_for_round(Round r) override {
     Outbox out;
     if (r == 1 && self_ == leader_) {
+      const Value payload = tagged("beacon", {Value::bit(bit_)});
       for (ProcessId p = 0; p < params_.n; ++p) {
         if (p == leader_) continue;
-        out.push_back(Outgoing{p, tagged("beacon", {Value::bit(bit_)})});
+        out.push_back(Outgoing{p, payload});
       }
     }
     return out;
@@ -118,9 +119,10 @@ class OneShotEchoCandidate final : public DecidingProcess {
   Outbox outbox_for_round(Round r) override {
     Outbox out;
     if (r == 1) {
+      const Value payload = tagged("echo", {Value::bit(bit_)});
       for (ProcessId p = 0; p < params_.n; ++p) {
         if (p != self_) {
-          out.push_back(Outgoing{p, tagged("echo", {Value::bit(bit_)})});
+          out.push_back(Outgoing{p, payload});
         }
       }
     }

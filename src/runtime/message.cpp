@@ -1,6 +1,9 @@
 #include "runtime/message.h"
 
+#include <array>
 #include <ostream>
+
+#include "crypto/siphash.h"
 
 namespace ba {
 
@@ -10,3 +13,19 @@ std::ostream& operator<<(std::ostream& os, const Message& m) {
 }
 
 }  // namespace ba
+
+std::size_t std::hash<ba::MsgKey>::operator()(const ba::MsgKey& k) const {
+  // Fixed domain-separation key: message-identity hashing is container
+  // keying, not authentication, so it needs no secrecy — only the uniform
+  // 64-bit mixing SipHash-2-4 provides over dense (sender, receiver, round)
+  // grids.
+  static constexpr ba::crypto::SipKey kKey{0x6d73676b65792e31ULL,
+                                           0xba2718281828459aULL};
+  std::array<std::uint8_t, 12> le{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    le[i] = static_cast<std::uint8_t>((k.sender >> (8 * i)) & 0xff);
+    le[4 + i] = static_cast<std::uint8_t>((k.receiver >> (8 * i)) & 0xff);
+    le[8 + i] = static_cast<std::uint8_t>((k.round >> (8 * i)) & 0xff);
+  }
+  return static_cast<std::size_t>(ba::crypto::siphash24(kKey, le));
+}

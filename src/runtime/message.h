@@ -57,11 +57,11 @@ using Outbox = std::vector<Outgoing>;
 
 }  // namespace ba
 
+// SipHash-2-4 over the little-endian (sender, receiver, round) encoding,
+// under a fixed domain-separation key (defined in message.cpp). The previous
+// ad-hoc xor/multiply combiner collided heavily on dense grids of message
+// identities — see MessageKeyHash tests in tests/runtime/message_test.cpp.
 template <>
 struct std::hash<ba::MsgKey> {
-  std::size_t operator()(const ba::MsgKey& k) const {
-    std::size_t h = std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(k.sender) << 32) | k.receiver);
-    return h ^ (std::hash<std::uint32_t>{}(k.round) * 0x9e3779b97f4a7c15ULL);
-  }
+  std::size_t operator()(const ba::MsgKey& k) const;
 };

@@ -2,24 +2,46 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <stdexcept>
 
 namespace ba {
 
-std::vector<Message> normalize_outbox(const Outbox& out, ProcessId self,
-                                      Round r, std::uint32_t n) {
-  std::vector<Message> msgs;
-  std::set<ProcessId> seen;
+namespace {
+
+[[maybe_unused]] bool inbox_sorted_by_sender(const Inbox& inbox) {
+  return std::is_sorted(inbox.begin(), inbox.end(),
+                        [](const Message& a, const Message& b) {
+                          return a.sender < b.sender;
+                        });
+}
+
+}  // namespace
+
+void normalize_outbox_into(const Outbox& out, ProcessId self, Round r,
+                           std::uint32_t n, std::vector<std::uint8_t>& seen,
+                           std::vector<Message>& msgs) {
+  assert(seen.size() >= n);
+  msgs.clear();
   for (const Outgoing& o : out) {
     if (o.to == self || o.to >= n) continue;
-    if (!seen.insert(o.to).second) continue;
+    if (seen[o.to] != 0) continue;
+    seen[o.to] = 1;
     msgs.push_back(Message{self, o.to, r, o.payload});
   }
+  // Restore the bitmap to all-zero by visiting only the receivers just
+  // marked — cheaper than an O(n) wipe when outboxes are sparse.
+  for (const Message& m : msgs) seen[m.receiver] = 0;
   std::sort(msgs.begin(), msgs.end(),
             [](const Message& a, const Message& b) {
               return a.receiver < b.receiver;
             });
+}
+
+std::vector<Message> normalize_outbox(const Outbox& out, ProcessId self,
+                                      Round r, std::uint32_t n) {
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<Message> msgs;
+  normalize_outbox_into(out, self, r, n, seen, msgs);
   return msgs;
 }
 
@@ -27,6 +49,24 @@ void sort_inbox(Inbox& inbox) {
   std::sort(inbox.begin(), inbox.end(), [](const Message& a, const Message& b) {
     return a.sender < b.sender;
   });
+}
+
+void RoundScratch::prepare(const Adversary& adversary, std::uint32_t n,
+                           bool record_trace) {
+  outs.resize(n);
+  inboxes.resize(n);
+  events.resize(record_trace ? n : 0);
+  seen.assign(n, 0);
+  faulty.assign(n, 0);
+  may_drop_send.assign(n, 0);
+  may_drop_receive.assign(n, 0);
+  for (ProcessId p = 0; p < n; ++p) {
+    const bool f = adversary.is_faulty(p);
+    faulty[p] = f ? 1 : 0;
+    may_drop_send[p] =
+        (adversary.send_omit && f && !adversary.is_byzantine(p)) ? 1 : 0;
+    may_drop_receive[p] = (adversary.receive_omit && f) ? 1 : 0;
+  }
 }
 
 RunResult run_execution(const SystemParams& params,
@@ -64,45 +104,65 @@ RunResult run_execution(const SystemParams& params,
   result.trace.procs.resize(n);
   for (ProcessId p = 0; p < n; ++p) result.trace.procs[p].proposal = proposals[p];
 
+  const bool tracing = options.record_trace;
+  RoundScratch scratch;
+  scratch.prepare(adversary, n, tracing);
+
   for (Round r = 1; r <= options.max_rounds; ++r) {
-    // Phase 1: compute all outboxes from states at the start of round r.
-    std::vector<std::vector<Message>> outs(n);
+    // Phase 1: compute all outboxes from states at the start of round r,
+    // and reset the per-round buffers (capacity is retained).
     std::uint64_t sent_this_round = 0;
     for (ProcessId p = 0; p < n; ++p) {
-      outs[p] = normalize_outbox(replicas[p]->outbox_for_round(r), p, r, n);
+      normalize_outbox_into(replicas[p]->outbox_for_round(r), p, r, n,
+                            scratch.seen, scratch.outs[p]);
+      scratch.inboxes[p].clear();
+      if (tracing) {
+        RoundEvents& ev = scratch.events[p];
+        ev.sent.clear();
+        ev.send_omitted.clear();
+        ev.received.clear();
+        ev.receive_omitted.clear();
+      }
     }
 
     // Phase 2: apply send omissions, route to inboxes, apply receive
-    // omissions.
-    std::vector<Inbox> inboxes(n);
-    std::vector<RoundEvents> events(options.record_trace ? n : 0);
+    // omissions. The omission predicates are std::function indirections;
+    // the scratch lookup tables let fault-free processes (the common case)
+    // skip them entirely.
     for (ProcessId p = 0; p < n; ++p) {
-      for (Message& m : outs[p]) {
-        if (adversary.drops_send(m.key())) {
-          if (options.record_trace) events[p].send_omitted.push_back(m);
+      const bool correct_sender = scratch.faulty[p] == 0;
+      const bool check_send = scratch.may_drop_send[p] != 0;
+      for (Message& m : scratch.outs[p]) {
+        if (check_send && adversary.send_omit(m.key())) {
+          if (tracing) scratch.events[p].send_omitted.push_back(m);
           continue;
         }
         ++sent_this_round;
         ++result.messages_sent_total;
-        if (!adversary.is_faulty(p)) ++result.messages_sent_by_correct;
-        if (options.record_trace) events[p].sent.push_back(m);
-        if (adversary.drops_receive(m.key())) {
-          if (options.record_trace) {
-            events[m.receiver].receive_omitted.push_back(m);
+        if (correct_sender) ++result.messages_sent_by_correct;
+        if (tracing) scratch.events[p].sent.push_back(m);
+        if (scratch.may_drop_receive[m.receiver] != 0 &&
+            adversary.receive_omit(m.key())) {
+          if (tracing) {
+            scratch.events[m.receiver].receive_omitted.push_back(m);
           }
           continue;
         }
-        inboxes[m.receiver].push_back(m);
+        scratch.inboxes[m.receiver].push_back(m);
       }
     }
 
-    // Phase 3: deliver.
+    // Phase 3: deliver. Routing visits senders in ascending order and each
+    // sender contributes at most one message per receiver, so every inbox is
+    // already in canonical (sender-sorted) delivery order — no per-round
+    // sort.
     for (ProcessId p = 0; p < n; ++p) {
-      sort_inbox(inboxes[p]);
-      if (options.record_trace) {
-        events[p].received = inboxes[p];
+      Inbox& inbox = scratch.inboxes[p];
+      assert(inbox_sorted_by_sender(inbox));
+      if (tracing) {
+        scratch.events[p].received = inbox;
       }
-      replicas[p]->deliver(r, inboxes[p]);
+      replicas[p]->deliver(r, inbox);
       if (!result.decisions[p].has_value()) {
         if (auto d = replicas[p]->decision()) {
           result.decisions[p] = d;
@@ -111,9 +171,9 @@ RunResult run_execution(const SystemParams& params,
         }
       }
     }
-    if (options.record_trace) {
+    if (tracing) {
       for (ProcessId p = 0; p < n; ++p) {
-        result.trace.procs[p].rounds.push_back(std::move(events[p]));
+        result.trace.procs[p].rounds.push_back(std::move(scratch.events[p]));
       }
     }
     result.rounds_executed = r;
@@ -158,10 +218,11 @@ ReplayResult replay_process(const SystemParams& params,
   std::unique_ptr<Process> replica = protocol(ctx);
   ReplayResult result;
   result.outboxes.reserve(inboxes.size());
+  Inbox inbox;  // reused across rounds; assign() keeps the capacity
   for (std::size_t r = 0; r < inboxes.size(); ++r) {
     const Round round = static_cast<Round>(r + 1);
     result.outboxes.push_back(replica->outbox_for_round(round));
-    Inbox inbox = inboxes[r];
+    inbox.assign(inboxes[r].begin(), inboxes[r].end());
     sort_inbox(inbox);
     replica->deliver(round, inbox);
     if (!result.decision.has_value()) {

@@ -89,7 +89,39 @@ ReplayResult replay_process(const SystemParams& params,
 std::vector<Message> normalize_outbox(const Outbox& out, ProcessId self,
                                       Round r, std::uint32_t n);
 
+/// Allocation-reusing form of `normalize_outbox`: writes the normalized
+/// messages into `msgs` (cleared first; capacity retained) and uses `seen`
+/// as the receiver-dedup bitmap instead of a per-call std::set. `seen` must
+/// be all-zero with size >= n on entry; it is restored to all-zero on exit.
+void normalize_outbox_into(const Outbox& out, ProcessId self, Round r,
+                           std::uint32_t n, std::vector<std::uint8_t>& seen,
+                           std::vector<Message>& msgs);
+
 /// Sorts an inbox by sender (the canonical delivery order).
 void sort_inbox(Inbox& inbox);
+
+/// Per-run scratch space for the executor's round loop: outbox/inbox
+/// buffers, trace-event staging, the dedup bitmap for
+/// `normalize_outbox_into`, and per-process fault lookup tables that let the
+/// hot path skip the adversary's std::function predicates entirely for
+/// fault-free processes. Everything is allocated once in `prepare` and
+/// cleared (capacity retained) each round, so a steady-state round performs
+/// no heap allocation of its own when traces are off.
+struct RoundScratch {
+  std::vector<std::vector<Message>> outs;  // outs[p]: p's normalized sends
+  std::vector<Inbox> inboxes;
+  std::vector<RoundEvents> events;         // staging; only when tracing
+  std::vector<std::uint8_t> seen;          // receiver-dedup bitmap, size n
+  std::vector<std::uint8_t> faulty;        // faulty[p] != 0 iff p is faulty
+  // drop tables: nonzero iff the corresponding omission predicate exists
+  // AND the process is eligible (send: faulty non-Byzantine sender;
+  // receive: faulty receiver). The predicate itself is consulted only when
+  // the table says it can matter.
+  std::vector<std::uint8_t> may_drop_send;
+  std::vector<std::uint8_t> may_drop_receive;
+
+  void prepare(const Adversary& adversary, std::uint32_t n,
+               bool record_trace);
+};
 
 }  // namespace ba

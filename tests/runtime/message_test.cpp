@@ -34,6 +34,31 @@ TEST(MsgKey, HashSpreadsAcrossFields) {
   EXPECT_GE(hashes.size(), 60u);  // 64 keys, near-collision-free
 }
 
+TEST(MsgKey, HashCollisionFreeOnDenseGrids) {
+  // The pre-SipHash xor/multiply combiner collided massively on exactly
+  // this shape of key set: every (sender, receiver, round) triple an
+  // executor can actually produce in a sizeable run. With SipHash-2-4 a
+  // dense 64 x 64 x 64 grid (262144 keys) must be collision-free — a single
+  // 64-bit collision among 2^18 keys has probability ~2^-29.
+  std::unordered_set<std::size_t> hashes;
+  std::hash<MsgKey> h;
+  for (ProcessId s = 0; s < 64; ++s) {
+    for (ProcessId r = 0; r < 64; ++r) {
+      for (Round k = 1; k <= 64; ++k) {
+        hashes.insert(h(MsgKey{s, r, k}));
+      }
+    }
+  }
+  EXPECT_EQ(hashes.size(), 64u * 64u * 64u);
+}
+
+TEST(MsgKey, HashIsDeterministicAcrossCalls) {
+  std::hash<MsgKey> h;
+  const MsgKey k{3, 7, 11};
+  EXPECT_EQ(h(k), h(MsgKey{3, 7, 11}));
+  EXPECT_NE(h(k), h(MsgKey{7, 3, 11}));  // field order matters
+}
+
 TEST(Message, KeyProjectionIgnoresPayload) {
   Message m1{2, 3, 5, Value{"a"}};
   Message m2{2, 3, 5, Value{"b"}};

@@ -1,0 +1,188 @@
+// Copy-on-write semantics of Value (docs/RUNTIME_PERF.md): copies share the
+// payload representation; mutation through non-const as_vec() un-shares and
+// never aliases into copies; hashes, ordering, and canonical encoding are
+// bit-for-bit what the pre-COW (deep-copying variant) representation
+// produced.
+
+#include "runtime/value.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "runtime/serde.h"
+
+namespace ba {
+namespace {
+
+// Reference implementation of the seed's hash: kind-seeded boost-style
+// combine. Any deviation here is a silent break of every hash-keyed
+// container and of cross-version trace comparisons.
+std::size_t ref_combine(std::size_t seed, std::size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::size_t ref_hash(const Value& v) {
+  std::size_t seed = static_cast<std::size_t>(v.kind());
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      seed = ref_combine(seed, std::hash<bool>{}(v.as_bool()));
+      break;
+    case Value::Kind::kInt:
+      seed = ref_combine(seed, std::hash<std::int64_t>{}(v.as_int()));
+      break;
+    case Value::Kind::kStr:
+      seed = ref_combine(seed, std::hash<std::string>{}(v.as_str()));
+      break;
+    case Value::Kind::kVec:
+      for (const Value& e : v.as_vec()) seed = ref_combine(seed, ref_hash(e));
+      break;
+  }
+  return seed;
+}
+
+TEST(ValueCow, CopiesSharePayloadRepresentation) {
+  const Value s{"shared-string"};
+  const Value s2 = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(s.shares_rep_with(s2));
+  EXPECT_EQ(&s.as_str(), &s2.as_str());  // literally the same bytes
+
+  const Value v = Value::vec({1, 2, 3});
+  const Value v2 = v;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(v.shares_rep_with(v2));
+  EXPECT_EQ(&v.as_vec(), &v2.as_vec());
+
+  // Scalars have no shared payload to speak of.
+  EXPECT_FALSE(Value{1}.shares_rep_with(Value{1}));
+  // Distinct constructions never share.
+  EXPECT_FALSE(Value{"x"}.shares_rep_with(Value{"x"}));
+}
+
+TEST(ValueCow, MutationThroughAsVecDoesNotAlias) {
+  Value a = Value::vec({1, 2});
+  Value b = a;
+  ASSERT_TRUE(a.shares_rep_with(b));
+
+  a.as_vec().push_back(Value{3});
+  EXPECT_FALSE(a.shares_rep_with(b));
+  EXPECT_EQ(a, Value::vec({1, 2, 3}));
+  EXPECT_EQ(b, Value::vec({1, 2}));  // the copy is untouched
+
+  // And the other direction: mutating the copy leaves the original alone.
+  Value c = b;
+  c.as_vec()[0] = Value{"swapped"};
+  EXPECT_EQ(b, Value::vec({1, 2}));
+  EXPECT_EQ(c, Value::vec({Value{"swapped"}, Value{2}}));
+}
+
+TEST(ValueCow, NestedMutationUnsharesOnlyThePathTouched) {
+  Value a = Value::vec({Value::vec({1, 2}), Value{"leaf"}});
+  Value b = a;
+  a.as_vec()[0].as_vec().push_back(Value{3});
+  EXPECT_EQ(b, Value::vec({Value::vec({1, 2}), Value{"leaf"}}));
+  EXPECT_EQ(a, Value::vec({Value::vec({1, 2, 3}), Value{"leaf"}}));
+  // The untouched string leaf is still shared between the two trees.
+  EXPECT_TRUE(a.as_vec()[1].shares_rep_with(b.as_vec()[1]));
+}
+
+TEST(ValueCow, UnsharedMutationIsInPlace) {
+  Value a = Value::vec({1});
+  const ValueVec* before = &std::as_const(a).as_vec();
+  a.as_vec().push_back(Value{2});  // sole owner: no clone
+  EXPECT_EQ(&std::as_const(a).as_vec(), before);
+}
+
+TEST(ValueCow, MovedFromValueIsNull) {
+  Value a{"payload"};
+  const Value b = std::move(a);
+  EXPECT_EQ(b, Value{"payload"});
+  // NOLINTNEXTLINE(bugprone-use-after-move): moved-from state is the contract
+  EXPECT_TRUE(a.is_null());
+  Value c = Value::vec({1});
+  Value d;
+  d = std::move(c);
+  // NOLINTNEXTLINE(bugprone-use-after-move)
+  EXPECT_TRUE(c.is_null());
+  EXPECT_EQ(d, Value::vec({1}));
+}
+
+TEST(ValueCow, HashMatchesSeedAlgorithm) {
+  const std::vector<Value> samples{
+      Value::null(),
+      Value{false},
+      Value{true},
+      Value{0},
+      Value{-7},
+      Value{""},
+      Value{"abc"},
+      Value{ValueVec{}},
+      Value::vec({1, 2, 3}),
+      Value::vec({Value{"x"}, Value::vec({Value{"y"}, Value{4}}),
+                  Value::null()}),
+  };
+  for (const Value& v : samples) {
+    EXPECT_EQ(v.hash(), ref_hash(v)) << v;
+    EXPECT_EQ(v.hash(), ref_hash(v)) << v << " (cached second call)";
+  }
+}
+
+TEST(ValueCow, HashCacheSurvivesSharingAndInvalidatesOnMutation) {
+  Value a = Value::vec({Value{"deep"}, Value::vec({1, 2})});
+  const std::size_t h = a.hash();
+  const Value b = a;          // share the (now hash-cached) payload
+  EXPECT_EQ(b.hash(), h);
+
+  a.as_vec().push_back(Value{9});  // un-share + mutate
+  EXPECT_EQ(a.hash(), ref_hash(a));
+  EXPECT_NE(a.hash(), h);
+  EXPECT_EQ(b.hash(), h) << "copy's cached hash must be unaffected";
+
+  // Mutating again through a still-held reference must be reflected: a
+  // mutably-exposed payload is never hash-cached.
+  ValueVec& elems = a.as_vec();
+  (void)a.hash();
+  elems.pop_back();
+  EXPECT_EQ(a.hash(), ref_hash(a));
+  EXPECT_EQ(a.hash(), h) << "back to the original contents, original hash";
+}
+
+TEST(ValueCow, OrderingUnchangedBySharing) {
+  const Value a = Value::vec({1, 2});
+  const Value shared = a;
+  const Value equal_but_distinct = Value::vec({1, 2});
+  EXPECT_EQ(a <=> shared, std::strong_ordering::equal);
+  EXPECT_EQ(a <=> equal_but_distinct, std::strong_ordering::equal);
+  EXPECT_LT(a, Value::vec({1, 3}));
+  EXPECT_LT(Value{"ab"}, Value{"ac"});
+  const Value s{"same"};
+  const Value s2 = s;
+  EXPECT_EQ(s <=> s2, std::strong_ordering::equal);
+}
+
+TEST(ValueCow, SerdeBytesIdenticalToSeedEncoding) {
+  // Golden bytes computed from the seed encoder: kind tag u8, then the
+  // little-endian payload encoding.
+  const Value v{"hi"};
+  const Bytes expected_str{3, 2, 0, 0, 0, 0, 0, 0, 0, 'h', 'i'};
+  EXPECT_EQ(encode_value(v), expected_str);
+
+  const Value vec = Value::vec({Value{true}, Value{"hi"}});
+  const Bytes expected_vec{4, 2, 0, 0, 0, 0, 0, 0, 0,  // kVec, 2 elements
+                           1, 1,                        // kBool true
+                           3, 2, 0, 0, 0, 0, 0, 0, 0, 'h', 'i'};
+  EXPECT_EQ(encode_value(vec), expected_vec);
+
+  // Sharing and un-sharing never change the canonical encoding.
+  Value a = Value::vec({Value{"x"}, Value{42}});
+  const Value b = a;
+  EXPECT_EQ(encode_value(a), encode_value(b));
+  a.as_vec().push_back(Value::null());
+  a.as_vec().pop_back();  // contents restored; representation now unshared
+  EXPECT_EQ(encode_value(a), encode_value(b));
+  EXPECT_EQ(decode_value(encode_value(a)), a);
+}
+
+}  // namespace
+}  // namespace ba
