@@ -51,6 +51,11 @@
 #include "reductions/weak_from_any.h"
 #include "runtime/sync_system.h"
 #include "runtime/trace_io.h"
+#include "sim/fault.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/sync_adapter.h"
 #include "validity/properties.h"
 #include "validity/algebra.h"
 #include "validity/solvability.h"

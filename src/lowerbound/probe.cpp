@@ -18,24 +18,36 @@ std::vector<Adversary> default_probe_schedule(const SystemParams& params) {
   return schedule;
 }
 
+MessageCountRunner lockstep_message_count_runner() {
+  return [](const SystemParams& params, const ProtocolFactory& protocol,
+            const std::vector<Value>& proposals, const Adversary& adversary) {
+    RunOptions opts;
+    opts.record_trace = false;
+    return run_execution(params, protocol, proposals, adversary, opts)
+        .messages_sent_by_correct;
+  };
+}
+
+std::uint64_t worst_observed_messages_via(
+    const MessageCountRunner& runner, const SystemParams& params,
+    const ProtocolFactory& protocol, const Value& v,
+    const std::vector<Adversary>& schedule) {
+  // One unanimous proposal vector serves every run (COW: n handles to one
+  // shared payload, not n deep copies).
+  const std::vector<Value> proposals(params.n, v);
+  std::uint64_t worst = runner(params, protocol, proposals, Adversary::none());
+  for (const Adversary& adv : schedule) {
+    worst = std::max(worst, runner(params, protocol, proposals, adv));
+  }
+  return worst;
+}
+
 std::uint64_t worst_observed_messages(const SystemParams& params,
                                       const ProtocolFactory& protocol,
                                       const Value& v,
                                       const std::vector<Adversary>& schedule) {
-  RunOptions opts;
-  opts.record_trace = false;
-  // One unanimous proposal vector serves every run (COW: n handles to one
-  // shared payload, not n deep copies).
-  const std::vector<Value> proposals(params.n, v);
-  std::uint64_t worst =
-      run_execution(params, protocol, proposals, Adversary::none(), opts)
-          .messages_sent_by_correct;
-  for (const Adversary& adv : schedule) {
-    worst = std::max(worst,
-                     run_execution(params, protocol, proposals, adv, opts)
-                         .messages_sent_by_correct);
-  }
-  return worst;
+  return worst_observed_messages_via(lockstep_message_count_runner(), params,
+                                     protocol, v, schedule);
 }
 
 }  // namespace ba::lowerbound

@@ -24,6 +24,26 @@ namespace ba::lowerbound {
 /// processes from round k, for k in {1, 2, 3}.
 std::vector<Adversary> default_probe_schedule(const SystemParams& params);
 
+/// Pluggable execution backend for the probe: returns the count of messages
+/// sent by correct processes for one execution of `protocol` with the given
+/// unanimous proposals under `adversary`. The default backend runs the
+/// lockstep executor; the sim parity suite substitutes the discrete-event
+/// simulator (sim/sync_adapter.h) and asserts identical worst-case counts.
+using MessageCountRunner = std::function<std::uint64_t(
+    const SystemParams&, const ProtocolFactory&, const std::vector<Value>&,
+    const Adversary&)>;
+
+/// The default backend: run_execution with traces off.
+MessageCountRunner lockstep_message_count_runner();
+
+/// Largest message complexity (messages sent by correct processes) over the
+/// fault-free unanimous-`v` execution plus every adversary in `schedule`,
+/// with each execution evaluated by `runner`.
+std::uint64_t worst_observed_messages_via(
+    const MessageCountRunner& runner, const SystemParams& params,
+    const ProtocolFactory& protocol, const Value& v,
+    const std::vector<Adversary>& schedule);
+
 /// Largest message complexity (messages sent by correct processes) over the
 /// fault-free unanimous-`v` execution plus every adversary in `schedule`.
 std::uint64_t worst_observed_messages(const SystemParams& params,

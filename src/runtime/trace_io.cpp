@@ -118,13 +118,36 @@ Value trace_to_value(const ExecutionTrace& trace) {
                         Value{trace.quiesced}, Value{std::move(procs)}}};
 }
 
+Value trace_to_value_with_provenance(const ExecutionTrace& trace,
+                                     const Value& provenance) {
+  Value v = trace_to_value(trace);
+  ValueVec fields = v.as_vec();
+  // The provenance slot is constrained to a vector so a corrupted stream
+  // cannot smuggle arbitrary scalars into an "ignored" field unnoticed.
+  fields.push_back(provenance.is_vec() ? provenance
+                                       : Value{ValueVec{provenance}});
+  return Value{std::move(fields)};
+}
+
 std::optional<ExecutionTrace> trace_from_value(const Value& v,
-                                               std::string* error) {
+                                               std::string* error,
+                                               Value* provenance) {
   Diag diag(error);
-  if (!v.is_vec() || v.as_vec().size() != 7) {
-    return diag.fail("trace: expected a 7-field vector");
+  if (!v.is_vec() ||
+      (v.as_vec().size() != 7 && v.as_vec().size() != 8)) {
+    return diag.fail("trace: expected a 7-field (v1) or 8-field (v2) vector");
   }
   const ValueVec& f = v.as_vec();
+  if (f.size() == 8) {
+    // v2 provenance extension: shape-checked, contents deliberately opaque
+    // (future producers may add fields without breaking this decoder).
+    if (!f[7].is_vec()) {
+      return diag.fail("trace: v2 provenance field must be a vector");
+    }
+    if (provenance != nullptr) *provenance = f[7];
+  } else if (provenance != nullptr) {
+    *provenance = Value::null();
+  }
   if (!f[0].is_str() || f[0].as_str() != "trace") {
     return diag.fail("trace: missing 'trace' tag");
   }
@@ -202,10 +225,16 @@ Bytes encode_trace(const ExecutionTrace& trace) {
   return encode_value(trace_to_value(trace));
 }
 
+Bytes encode_trace_with_provenance(const ExecutionTrace& trace,
+                                   const Value& provenance) {
+  return encode_value(trace_to_value_with_provenance(trace, provenance));
+}
+
 std::optional<ExecutionTrace> decode_trace(std::span<const std::uint8_t> bytes,
-                                           std::string* error) {
+                                           std::string* error,
+                                           Value* provenance) {
   try {
-    return trace_from_value(decode_value(bytes), error);
+    return trace_from_value(decode_value(bytes), error, provenance);
   } catch (const SerdeError& e) {
     if (error != nullptr && error->empty()) {
       *error = std::string("serde: ") + e.what();

@@ -24,14 +24,30 @@ namespace ba {
 /// per-round event sets, decisions, quiescence flag).
 Value trace_to_value(const ExecutionTrace& trace);
 
+/// Schema-v2 encoding: the v1 fields plus a trailing provenance vector
+/// (producer name, link model, seeds — free-form). Decoders treat the
+/// extension defensively: v1 readers never see it, and trace_from_value
+/// accepts both widths, validating the provenance slot's shape but never
+/// its contents. Written by trace producers other than the lockstep
+/// executor (the sim CLI's --save-trace), so audits can tell substrates
+/// apart without forking the format.
+Value trace_to_value_with_provenance(const ExecutionTrace& trace,
+                                     const Value& provenance);
+
 /// Decodes a trace, rejecting out-of-range ids/rounds and shape mismatches.
-/// On rejection returns nullopt and, if `error` is non-null, stores a
-/// one-line explanation.
+/// Accepts both the 7-field v1 layout and the 8-field v2 layout (trailing
+/// provenance vector). On rejection returns nullopt and, if `error` is
+/// non-null, stores a one-line explanation. If `provenance` is non-null it
+/// receives the v2 provenance vector (null Value for v1 traces).
 std::optional<ExecutionTrace> trace_from_value(const Value& v,
-                                               std::string* error = nullptr);
+                                               std::string* error = nullptr,
+                                               Value* provenance = nullptr);
 
 Bytes encode_trace(const ExecutionTrace& trace);
+Bytes encode_trace_with_provenance(const ExecutionTrace& trace,
+                                   const Value& provenance);
 std::optional<ExecutionTrace> decode_trace(std::span<const std::uint8_t> bytes,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           Value* provenance = nullptr);
 
 }  // namespace ba

@@ -1,0 +1,139 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ba::sim {
+
+FaultPlan& FaultPlan::drop_link(ProcessId sender, ProcessId receiver,
+                                Round from, Round until) {
+  if (sender == receiver) {
+    throw std::invalid_argument("drop_link: no self-links");
+  }
+  drops_.push_back({sender, receiver, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_link(ProcessId sender, ProcessId receiver,
+                                 SimTime ticks, Round from, Round until) {
+  if (sender == receiver) {
+    throw std::invalid_argument("delay_link: no self-links");
+  }
+  delays_.push_back({{sender, receiver, from, until}, ticks});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(const ProcessSet& side, Round from,
+                                Round until) {
+  if (side.empty()) throw std::invalid_argument("partition: empty side");
+  partitions_.push_back({side, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(ProcessId p, Round at) {
+  crashes_.push_back({p, at, kForever});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_recover(ProcessId p, Round at, Round recover) {
+  if (recover <= at) {
+    throw std::invalid_argument("crash_recover: recover must be after crash");
+  }
+  crashes_.push_back({p, at, recover});
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  return drops_.empty() && delays_.empty() && crashes_.empty() &&
+         partitions_.empty();
+}
+
+ProcessSet FaultPlan::blamed() const {
+  ProcessSet out;
+  for (const LinkWindow& w : drops_) out.insert(w.sender);
+  for (const CrashWindow& c : crashes_) out.insert(c.p);
+  for (const PartitionWindow& pw : partitions_) {
+    for (ProcessId p : pw.side) out.insert(p);
+  }
+  return out;
+}
+
+Adversary FaultPlan::apply_to(const Adversary& base) const {
+  if (empty()) return base;
+  Adversary adv = base;
+  adv.faulty = base.faulty.set_union(blamed());
+
+  // The plan's drop tests are captured by value: the plan object need not
+  // outlive the adversary.
+  auto plan_send = [drops = drops_, crashes = crashes_,
+                    partitions = partitions_](const MsgKey& k) {
+    for (const LinkWindow& w : drops) {
+      if (w.covers(k)) return true;
+    }
+    for (const CrashWindow& c : crashes) {
+      if (c.p == k.sender && k.round >= c.at && k.round < c.recover) {
+        return true;
+      }
+    }
+    for (const PartitionWindow& pw : partitions) {
+      if (k.round >= pw.from && k.round <= pw.until &&
+          pw.side.contains(k.sender) && !pw.side.contains(k.receiver)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto plan_receive = [partitions = partitions_](const MsgKey& k) {
+    for (const PartitionWindow& pw : partitions) {
+      if (k.round >= pw.from && k.round <= pw.until &&
+          pw.side.contains(k.receiver) && !pw.side.contains(k.sender)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (base.send_omit) {
+    adv.send_omit = [prev = base.send_omit, plan_send](const MsgKey& k) {
+      return plan_send(k) || prev(k);
+    };
+  } else {
+    adv.send_omit = plan_send;
+  }
+  if (base.receive_omit) {
+    adv.receive_omit = [prev = base.receive_omit,
+                        plan_receive](const MsgKey& k) {
+      return plan_receive(k) || prev(k);
+    };
+  } else if (!partitions_.empty()) {
+    adv.receive_omit = plan_receive;
+  }
+  return adv;
+}
+
+SimTime FaultPlan::extra_delay(const MsgKey& k) const {
+  SimTime extra = 0;
+  for (const DelayWindow& d : delays_) {
+    if (d.link.covers(k)) extra += d.ticks;
+  }
+  return extra;
+}
+
+bool FaultPlan::valid_for(std::uint32_t n) const {
+  const auto in_range = [n](ProcessId p) { return p < n; };
+  for (const LinkWindow& w : drops_) {
+    if (!in_range(w.sender) || !in_range(w.receiver)) return false;
+  }
+  for (const DelayWindow& d : delays_) {
+    if (!in_range(d.link.sender) || !in_range(d.link.receiver)) return false;
+  }
+  for (const CrashWindow& c : crashes_) {
+    if (!in_range(c.p)) return false;
+  }
+  for (const PartitionWindow& pw : partitions_) {
+    if (!std::all_of(pw.side.begin(), pw.side.end(), in_range)) return false;
+  }
+  return true;
+}
+
+}  // namespace ba::sim

@@ -1,0 +1,105 @@
+#pragma once
+
+// Fault-injection plans for the simulator.
+//
+// A FaultPlan is a declarative schedule of network-level faults — link
+// outages, per-link extra delay, partitions, crashes and crash-recoveries —
+// that compiles down to the repo's static-adversary vocabulary
+// (runtime/fault.h) plus per-link timing adjustments. Compiling instead of
+// bypassing the Adversary keeps every simulated execution inside the
+// paper's model: each injected drop is an omission attributable to a
+// declared-faulty endpoint, so the traces the simulator emits satisfy the
+// analysis linter's conservation and budget invariants unchanged.
+//
+// Blame discipline (matches src/adversary/omission.cpp):
+//   * link outages and crashes are send-omissions blamed on the sender;
+//   * partitions cut both directions, blamed entirely on the chosen side
+//     (send-omission outbound, receive-omission inbound) — exactly
+//     `partition_from`, but windowed to a round interval;
+//   * extra delay is clamped to the round boundary ("within model bounds"),
+//     so it reorders deliveries and shows up in latency metrics without
+//     ever turning into an unattributable loss.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/message.h"
+#include "runtime/types.h"
+#include "sim/link.h"
+
+namespace ba::sim {
+
+/// Sentinel for "until forever" round windows.
+inline constexpr Round kForever = std::numeric_limits<Round>::max();
+
+class FaultPlan {
+ public:
+  /// Drop every message sender->receiver in rounds [from, until].
+  FaultPlan& drop_link(ProcessId sender, ProcessId receiver, Round from = 1,
+                       Round until = kForever);
+  /// Add `ticks` latency to sender->receiver in rounds [from, until]
+  /// (clamped to the round boundary at delivery-scheduling time).
+  FaultPlan& delay_link(ProcessId sender, ProcessId receiver, SimTime ticks,
+                        Round from = 1, Round until = kForever);
+  /// Cut both directions between `side` and its complement in rounds
+  /// [from, until], blamed on `side`.
+  FaultPlan& partition(const ProcessSet& side, Round from = 1,
+                       Round until = kForever);
+  /// Crash: p send-omits everything from round `at` on.
+  FaultPlan& crash(ProcessId p, Round at);
+  /// Crash-recovery: p send-omits everything in rounds [at, recover).
+  FaultPlan& crash_recover(ProcessId p, Round at, Round recover);
+
+  [[nodiscard]] bool empty() const;
+
+  /// The processes the plan blames its drops on. `simulate` requires them
+  /// (plus the link model's required_faulty) to fit the adversary budget.
+  [[nodiscard]] ProcessSet blamed() const;
+
+  /// Merges the plan's drops into `base`: union of faulty sets, omission
+  /// predicates extended with the plan's windows. The base predicates keep
+  /// their original eligibility rules (consulted by the runtime only for
+  /// faulty endpoints).
+  [[nodiscard]] Adversary apply_to(const Adversary& base) const;
+
+  /// Extra delivery latency for message `k` (0 when no delay window
+  /// matches; windows on the same link accumulate).
+  [[nodiscard]] SimTime extra_delay(const MsgKey& k) const;
+
+  /// All referenced process ids are < n.
+  [[nodiscard]] bool valid_for(std::uint32_t n) const;
+
+ private:
+  struct LinkWindow {
+    ProcessId sender{kNoProcess};
+    ProcessId receiver{kNoProcess};
+    Round from{1};
+    Round until{kForever};
+    [[nodiscard]] bool covers(const MsgKey& k) const {
+      return k.sender == sender && k.receiver == receiver && k.round >= from &&
+             k.round <= until;
+    }
+  };
+  struct DelayWindow {
+    LinkWindow link;
+    SimTime ticks{0};
+  };
+  struct CrashWindow {
+    ProcessId p{kNoProcess};
+    Round at{1};
+    Round recover{kForever};  // exclusive; kForever = never recovers
+  };
+  struct PartitionWindow {
+    ProcessSet side;
+    Round from{1};
+    Round until{kForever};
+  };
+
+  std::vector<LinkWindow> drops_;
+  std::vector<DelayWindow> delays_;
+  std::vector<CrashWindow> crashes_;
+  std::vector<PartitionWindow> partitions_;
+};
+
+}  // namespace ba::sim

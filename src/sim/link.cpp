@@ -1,0 +1,114 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/siphash.h"
+
+namespace ba::sim {
+namespace {
+
+/// Deterministic per-message sample in [lo, hi] (inclusive), keyed by the
+/// message identity under a sim-specific domain-separation context.
+SimTime sample(std::uint64_t seed, const MsgKey& k, SimTime lo, SimTime hi) {
+  if (hi <= lo) return lo;
+  const std::array<std::uint8_t, 12> buf{
+      static_cast<std::uint8_t>(k.sender),
+      static_cast<std::uint8_t>(k.sender >> 8),
+      static_cast<std::uint8_t>(k.sender >> 16),
+      static_cast<std::uint8_t>(k.sender >> 24),
+      static_cast<std::uint8_t>(k.receiver),
+      static_cast<std::uint8_t>(k.receiver >> 8),
+      static_cast<std::uint8_t>(k.receiver >> 16),
+      static_cast<std::uint8_t>(k.receiver >> 24),
+      static_cast<std::uint8_t>(k.round),
+      static_cast<std::uint8_t>(k.round >> 8),
+      static_cast<std::uint8_t>(k.round >> 16),
+      static_cast<std::uint8_t>(k.round >> 24),
+  };
+  const std::uint64_t h =
+      crypto::siphash24(crypto::derive_key(seed, 0x51u /* 'sim' link */), buf);
+  return lo + h % (hi - lo + 1);
+}
+
+const ProcessSet kEmptySet;
+
+}  // namespace
+
+LinkModel LinkModel::synchronous(SimTime latency) {
+  LinkModel m;
+  m.kind = Kind::kSynchronous;
+  m.min_latency = latency;
+  m.max_latency = latency;
+  return m;
+}
+
+LinkModel LinkModel::jitter(SimTime min, SimTime max, std::uint64_t seed) {
+  if (min > max) throw std::invalid_argument("jitter: min > max");
+  LinkModel m;
+  m.kind = Kind::kJitter;
+  m.min_latency = min;
+  m.max_latency = max;
+  m.seed = seed;
+  return m;
+}
+
+LinkModel LinkModel::partial_synchrony(ProcessSet lag, Round gst,
+                                       std::uint64_t seed,
+                                       SimTime post_latency) {
+  if (gst == kNoRound) throw std::invalid_argument("gst must be a round >= 1");
+  LinkModel m;
+  m.kind = Kind::kPartialSynchrony;
+  m.lag_group = std::move(lag);
+  m.gst_round = gst;
+  m.seed = seed;
+  m.min_latency = post_latency;
+  m.max_latency = post_latency;
+  return m;
+}
+
+SimTime LinkModel::latency(const MsgKey& k, SimTime round_ticks) const {
+  // A latency of 0 resolves to "the full round": arrival exactly at the
+  // round boundary, the synchronous-model reading of Δ = round length.
+  const auto resolve = [round_ticks](SimTime lat) {
+    if (lat == 0) return round_ticks;
+    return std::min(lat, round_ticks);
+  };
+  switch (kind) {
+    case Kind::kSynchronous:
+      return resolve(min_latency);
+    case Kind::kJitter: {
+      const SimTime lo = std::max<SimTime>(1, std::min(min_latency,
+                                                       round_ticks));
+      const SimTime hi = resolve(max_latency);
+      return sample(seed, k, lo, hi);
+    }
+    case Kind::kPartialSynchrony: {
+      const bool lagging = k.round < gst_round &&
+                           lag_group.contains(k.receiver) &&
+                           !lag_group.contains(k.sender);
+      if (!lagging) return resolve(min_latency);
+      // Pre-GST cross-group delivery: sampled beyond the synchrony bound.
+      // Anything past round_ticks is late and becomes a receive omission.
+      return sample(seed, k, 1, 2 * round_ticks);
+    }
+  }
+  return round_ticks;  // unreachable
+}
+
+const ProcessSet& LinkModel::required_faulty() const {
+  return kind == Kind::kPartialSynchrony ? lag_group : kEmptySet;
+}
+
+const char* LinkModel::name() const {
+  switch (kind) {
+    case Kind::kSynchronous: return "synchronous";
+    case Kind::kJitter: return "jitter";
+    case Kind::kPartialSynchrony: return "partial-synchrony";
+  }
+  return "?";
+}
+
+}  // namespace ba::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Link models for the discrete-event network simulator (src/sim/).
+//
+// A link model is a pure, seeded function from a message identity to a
+// delivery latency in logical ticks — no wall clock, no global RNG state —
+// so a simulation is a deterministic function of (inputs, model, seed).
+// Three models cover the settings the repo targets:
+//
+//   * synchronous        — every message takes a fixed Δ ticks. With zero
+//     jitter this is exactly the lockstep executor of runtime/sync_system:
+//     the SyncAdapter parity tests assert bit-identical traces;
+//   * jitter             — latency sampled per message identity from
+//     [min, max] via SipHash. Bounded by the round length ("within model
+//     bounds"), so jitter reorders deliveries *inside* a round and shows up
+//     in the latency/reorder metrics but never changes the round-level
+//     trace;
+//   * partial synchrony  — a designated lag group experiences unbounded
+//     (sampled) delays on inbound cross-group links before a global
+//     stabilization round (GST); from GST on, delivery is bounded by Δ
+//     again. A pre-GST latency that overshoots the sender's round boundary
+//     makes the message *late*: the round-based state machines can never
+//     see it, so the simulator records it as receive-omitted. To keep such
+//     traces valid for the analysis linter (budget: every omission is
+//     attributable to a faulty endpoint), the lag group must be declared
+//     faulty — `required_faulty()` names the set and `simulate` enforces
+//     the declaration.
+
+#include <cstdint>
+
+#include "runtime/message.h"
+#include "runtime/types.h"
+
+namespace ba::sim {
+
+/// Logical simulation time, in abstract ticks. Round r of the synchronous
+/// abstraction spans ((r-1)*round_ticks, r*round_ticks]: messages are sent
+/// at the open end and must arrive by the closed end to be delivered in r.
+using SimTime = std::uint64_t;
+
+struct LinkModel {
+  enum class Kind : std::uint8_t { kSynchronous, kJitter, kPartialSynchrony };
+
+  Kind kind{Kind::kSynchronous};
+  /// Latency bounds in ticks. 0 means "the full round" (resolved against
+  /// the configured round length at sampling time).
+  SimTime min_latency{0};
+  SimTime max_latency{0};
+  /// Seed for the per-message SipHash latency sampler (jitter / pre-GST).
+  std::uint64_t seed{0};
+  /// Partial synchrony only: the lagging receivers and the first round with
+  /// bounded delivery.
+  ProcessSet lag_group;
+  Round gst_round{1};
+
+  /// Fixed-Δ synchronous network. latency 0 = exactly one round.
+  static LinkModel synchronous(SimTime latency = 0);
+  /// Per-message latency in [min, max] ticks (clamped to the round length).
+  static LinkModel jitter(SimTime min, SimTime max, std::uint64_t seed);
+  /// Messages into `lag` from outside it are sampled in [1, 2*round] before
+  /// round `gst` (≈ half get lost to the round boundary); all other traffic,
+  /// and all traffic from `gst` on, takes `post_latency` (0 = one round).
+  static LinkModel partial_synchrony(ProcessSet lag, Round gst,
+                                     std::uint64_t seed,
+                                     SimTime post_latency = 0);
+
+  /// Delivery latency for message `k` in ticks, possibly > `round_ticks`
+  /// (late). Pure and deterministic in (model, k).
+  [[nodiscard]] SimTime latency(const MsgKey& k, SimTime round_ticks) const;
+
+  /// Processes this model can force omissions onto (late pre-GST messages).
+  /// The simulator requires them to be declared faulty by the adversary so
+  /// the emitted trace stays budget-clean under the analysis linter.
+  [[nodiscard]] const ProcessSet& required_faulty() const;
+
+  [[nodiscard]] const char* name() const;
+};
+
+}  // namespace ba::sim

@@ -1,0 +1,29 @@
+#include "sim/sync_adapter.h"
+
+#include <utility>
+
+namespace ba::sim {
+
+SimConfig sync_config(const RunOptions& options) {
+  SimConfig config;
+  config.link = LinkModel::synchronous();
+  config.round_ticks = 1;
+  config.max_rounds = options.max_rounds;
+  config.record_trace = options.record_trace;
+  config.stop_on_quiescence = options.stop_on_quiescence;
+  config.lint_trace = options.lint_trace;
+  config.collect_metrics = false;
+  return config;
+}
+
+RunResult run_execution_sim(const SystemParams& params,
+                            const ProtocolFactory& protocol,
+                            const std::vector<Value>& proposals,
+                            const Adversary& adversary,
+                            const RunOptions& options) {
+  SimResult res =
+      simulate(params, protocol, proposals, adversary, sync_config(options));
+  return std::move(res.run);
+}
+
+}  // namespace ba::sim

@@ -128,6 +128,59 @@ TEST(TraceIo, DecodedTraceSurvivesTheLinter) {
   EXPECT_TRUE(report.clean()) << report;
 }
 
+TEST(TraceIoV2, ProvenanceRoundTrips) {
+  ExecutionTrace original = sample_trace();
+  const Value provenance = Value::vec(
+      {Value{"sim"}, Value{"jitter"}, Value{static_cast<std::int64_t>(42)}});
+  Bytes bytes = encode_trace_with_provenance(original, provenance);
+
+  Value got = Value::null();
+  auto restored = decode_trace(bytes, nullptr, &got);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->procs[0], original.procs[0]);
+  EXPECT_EQ(got, provenance);
+}
+
+TEST(TraceIoV2, ScalarProvenanceIsWrappedInAVector) {
+  Value v = trace_to_value_with_provenance(sample_trace(), Value{"sim"});
+  ASSERT_EQ(v.as_vec().size(), 8u);
+  ASSERT_TRUE(v.as_vec()[7].is_vec());
+  Value got = Value::null();
+  ASSERT_TRUE(trace_from_value(v, nullptr, &got).has_value());
+  EXPECT_EQ(got, Value::vec({Value{"sim"}}));
+}
+
+TEST(TraceIoV2, V1TracesYieldNullProvenance) {
+  Bytes bytes = encode_trace(sample_trace());
+  Value got = Value{"sentinel"};
+  auto restored = decode_trace(bytes, nullptr, &got);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(got, Value::null());
+}
+
+TEST(TraceIoV2, NonVectorProvenanceFieldRejected) {
+  Value v = trace_to_value(sample_trace());
+  v.as_vec().push_back(Value{"not-a-vector"});
+  std::string error;
+  EXPECT_EQ(trace_from_value(v, &error), std::nullopt);
+  EXPECT_NE(error.find("provenance"), std::string::npos) << error;
+}
+
+TEST(TraceIoV2, NineFieldTraceRejected) {
+  Value v = trace_to_value_with_provenance(sample_trace(), Value{ValueVec{}});
+  v.as_vec().push_back(Value{ValueVec{}});
+  EXPECT_EQ(trace_from_value(v), std::nullopt);
+}
+
+TEST(TraceIoV2, V2TraceStillSurvivesTheLinter) {
+  Bytes bytes = encode_trace_with_provenance(
+      sample_trace(), Value::vec({Value{"sim"}}));
+  auto restored = decode_trace(bytes);
+  ASSERT_TRUE(restored.has_value());
+  auto report = analysis::lint_trace(*restored);
+  EXPECT_TRUE(report.clean()) << report;
+}
+
 TEST(CertificateIo, RoundTrippedCertificateStillVerifies) {
   SystemParams params{12, 8};
   auto protocol = protocols::wc_candidate_leader_beacon();

@@ -16,6 +16,12 @@
 //       run the Theorem 2 attack sweep (standard candidate set) over a grid,
 //       fanned across N pool workers (0 = hardware concurrency, default 1);
 //       optionally write the machine-readable BENCH_sweep.json report
+//   ba_cli sim <protocol> <n> <t> <bit...> [--model sync|jitter|gst]
+//              [--seed S] [--gst R] [--lag K] [--round-ticks T]
+//              [--save-trace FILE]
+//       run a protocol through the discrete-event simulator (src/sim/)
+//       and print decisions plus per-link network metrics; saved traces
+//       carry schema-v2 provenance (substrate, model, seed)
 //
 // protocols: see tool_protocols.h
 // properties: weak | strong | sender | ic | any-proposed | constant
@@ -47,6 +53,10 @@ int usage() {
                "  ba_cli solvability <property> <n> <t>\n"
                "  ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]\n"
                "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE]\n"
+               "  ba_cli sim <protocol> <n> <t> <bit...> [--model "
+               "sync|jitter|gst]\n"
+               "         [--seed S] [--gst R] [--lag K] [--round-ticks T] "
+               "[--save-trace FILE]\n"
                "protocols: %s\n"
                "properties: weak strong sender ic any-proposed constant\n",
                tools::protocol_names());
@@ -262,6 +272,100 @@ int cmd_run(int argc, char** argv) {
   return res.lint_clean() ? 0 : 1;
 }
 
+int cmd_sim(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string name = argv[0];
+  const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
+
+  std::string model = "sync";
+  std::string save_trace;
+  std::uint64_t seed = 1;
+  std::uint32_t gst = 3;
+  std::uint32_t lag = 1;
+  sim::SimConfig config;
+  std::vector<Value> proposals;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--gst") == 0 && i + 1 < argc) {
+      gst = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lag") == 0 && i + 1 < argc) {
+      lag = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--round-ticks") == 0 && i + 1 < argc) {
+      config.round_ticks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
+      save_trace = argv[++i];
+    } else {
+      proposals.push_back(Value::bit(std::atoi(argv[i])));
+    }
+  }
+  if (proposals.size() != n) {
+    std::fprintf(stderr, "need exactly n proposal bits\n");
+    return 2;
+  }
+  auto protocol = make_protocol(name, n);
+  if (!protocol) return usage();
+
+  if (model == "sync") {
+    config.link = sim::LinkModel::synchronous();
+  } else if (model == "jitter") {
+    config.link = sim::LinkModel::jitter(1, config.round_ticks, seed);
+  } else if (model == "gst") {
+    if (lag == 0 || lag > t || lag >= n) {
+      std::fprintf(stderr, "--lag must be in [1, t]\n");
+      return 2;
+    }
+    config.link =
+        sim::LinkModel::partial_synchrony(ProcessSet::range(n - lag, n), gst,
+                                          seed);
+  } else {
+    std::fprintf(stderr, "models: sync jitter gst\n");
+    return 2;
+  }
+  config.lint_trace = true;
+
+  sim::SimResult res;
+  try {
+    res = sim::simulate(SystemParams{n, t}, *protocol, proposals,
+                        Adversary::none(), config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sim: %s\n", e.what());
+    return 1;
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    std::printf("p%u: proposes %s decides %s (round %u)\n", p,
+                proposals[p].to_string().c_str(),
+                res.run.decisions[p] ? res.run.decisions[p]->to_string().c_str()
+                                     : "<none>",
+                res.run.trace.procs[p].decision_round);
+  }
+  std::printf("model %s: %u rounds, %llu events, end time %llu ticks\n",
+              config.link.name(), res.run.rounds_executed,
+              static_cast<unsigned long long>(res.events_processed),
+              static_cast<unsigned long long>(res.end_time));
+  std::printf("%s\n", res.metrics.summary().c_str());
+  if (res.run.lint) {
+    std::printf("trace lint: %s\n", res.run.lint->summary().c_str());
+  }
+  if (!save_trace.empty()) {
+    const Value provenance = Value::vec(
+        {Value{"sim"}, Value{config.link.name()},
+         Value{static_cast<std::int64_t>(seed)},
+         Value{static_cast<std::int64_t>(config.round_ticks)}});
+    if (write_file(save_trace,
+                   encode_trace_with_provenance(res.run.trace, provenance))) {
+      std::printf("trace saved to %s (schema v2)\n", save_trace.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", save_trace.c_str());
+      return 1;
+    }
+  }
+  return res.run.lint_clean() ? 0 : 1;
+}
+
 std::optional<std::vector<SystemParams>> parse_grid(const std::string& spec) {
   std::vector<SystemParams> grid;
   std::stringstream ss(spec);
@@ -337,5 +441,6 @@ int main(int argc, char** argv) {
   if (cmd == "solvability") return cmd_solvability(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+  if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
   return usage();
 }

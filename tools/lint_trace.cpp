@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
     return 3;
   }
   std::string decode_error;
-  auto trace = decode_trace(*bytes, &decode_error);
+  Value provenance = Value::null();
+  auto trace = decode_trace(*bytes, &decode_error, &provenance);
   if (!trace) {
     std::fprintf(stderr, "lint_trace: %s is not a valid trace: %s\n",
                  file.c_str(), decode_error.c_str());
@@ -90,6 +91,12 @@ int main(int argc, char** argv) {
   }
 
   if (!quiet) {
+    if (!provenance.is_null()) {
+      // Schema-v2 traces (e.g. written by `ba_cli sim --save-trace`) carry
+      // a producer-provenance vector; show it so audits can tell execution
+      // substrates apart.
+      std::printf("provenance: %s\n", provenance.to_string().c_str());
+    }
     std::printf("trace: n=%u t=%u rounds=%u |F|=%zu quiesced=%s\n",
                 trace->params.n, trace->params.t, trace->rounds,
                 trace->faulty.size(), trace->quiesced ? "yes" : "no");

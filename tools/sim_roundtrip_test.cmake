@@ -1,0 +1,40 @@
+# Runs a protocol through the simulator CLI under each link model, saves a
+# schema-v2 trace (with provenance), and audits it with lint_trace — both
+# structurally and with the determinism replay. This pins the end-to-end
+# pipeline: sim substrate -> v2 serialization -> analysis linter.
+set(trace "${WORKDIR}/sim_phase_king.trace")
+
+execute_process(COMMAND ${CLI} sim phase-king 4 1 0 1 1 1
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "sim (sync model) failed: ${rc1}")
+endif()
+
+execute_process(COMMAND ${CLI} sim phase-king 4 1 0 1 1 1
+                        --model jitter --seed 7 --save-trace ${trace}
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "sim (jitter model) --save-trace failed: ${rc2}")
+endif()
+
+execute_process(COMMAND ${LINTER} ${trace} RESULT_VARIABLE rc3
+                OUTPUT_VARIABLE lint_out)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "lint_trace on a sim trace failed: ${rc3}")
+endif()
+if(NOT lint_out MATCHES "provenance")
+  message(FATAL_ERROR "lint_trace did not report v2 provenance:\n${lint_out}")
+endif()
+
+execute_process(COMMAND ${LINTER} ${trace} --protocol phase-king
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "lint_trace replay on a sim trace failed: ${rc4}")
+endif()
+
+execute_process(COMMAND ${CLI} sim phase-king 7 2 0 1 0 1 0 1 0
+                        --model gst --gst 3 --lag 2 --seed 11
+                RESULT_VARIABLE rc5)
+if(NOT rc5 EQUAL 0)
+  message(FATAL_ERROR "sim (gst model) failed: ${rc5}")
+endif()
