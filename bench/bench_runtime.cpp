@@ -19,11 +19,12 @@
 //
 // The full run drops BENCH_runtime.json next to the binary; the committed
 // copy at the repo root is the perf baseline this series is tracked against
-// (see docs/RUNTIME_PERF.md).
+// (see docs/RUNTIME_PERF.md). The workload definitions live in bench_util.h,
+// shared with bench_sim and bench_engine; executions dispatch through the
+// engine::Registry's lockstep backend (docs/ENGINE.md) like every other
+// driver in the repo.
 
 #include "bench_util.h"
-
-#include <sys/resource.h>
 
 #include <chrono>
 #include <fstream>
@@ -33,12 +34,6 @@
 
 namespace ba::bench {
 namespace {
-
-double peak_rss_kb() {
-  struct rusage ru {};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss);
-}
 
 struct RuntimeRow {
   std::string protocol;
@@ -75,48 +70,13 @@ void write_runtime_bench_json(std::ostream& os) {
   os << "  ]\n}\n";
 }
 
-struct Workload {
-  std::string name;
-  SystemParams params;
-  ProtocolFactory factory;
-  std::vector<Value> proposals;
-};
-
-Workload make_workload(const std::string& name, std::uint32_t n) {
-  Workload w;
-  w.name = name;
-  if (name == "dolev_strong") {
-    // t + 1 rounds; fault-free, so the sender's chain fans out to everyone
-    // in round 1 and every process relays once in round 2.
-    const std::uint32_t t = n / 4;
-    w.params = SystemParams{n, t};
-    w.factory = protocols::dolev_strong_broadcast(make_auth(n), /*sender=*/0);
-    w.proposals.assign(n, Value::bit(0));
-    w.proposals[0] = Value{"tx:9f8e7d6c5b4a39281706f5e4d3c2b1a0:amount=1337"};
-  } else if (name == "eig") {
-    // Fixed t = 2 keeps the O(n^t) report tree polynomial while still
-    // exercising deep nested-vector payloads.
-    const std::uint32_t t = 2;
-    w.params = SystemParams{n, t};
-    w.factory = protocols::eig_interactive_consistency();
-    for (std::uint32_t p = 0; p < n; ++p) {
-      w.proposals.emplace_back(static_cast<std::int64_t>(p));
-    }
-  } else {  // phase_king
-    const std::uint32_t t = (n - 1) / 3;
-    w.params = SystemParams{n, t};
-    w.factory = protocols::phase_king_consensus();
-    for (std::uint32_t p = 0; p < n; ++p) {
-      w.proposals.push_back(Value::bit(static_cast<int>(p % 2)));
-    }
-  }
-  return w;
-}
-
 void RuntimeThroughput(benchmark::State& state, const std::string& name) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const Workload w = make_workload(name, n);
 
+  // One registry dispatch per *run* (not per message): the engine seam the
+  // other drivers use, at noise-level cost for a throughput bench.
+  const engine::BackendHandle backend = engine::make_backend("lockstep");
   RunOptions opts;
   opts.record_trace = false;  // complexity-bench mode: the hot path proper
 
@@ -126,8 +86,8 @@ void RuntimeThroughput(benchmark::State& state, const std::string& name) {
   const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     RunResult res =
-        run_execution(w.params, w.factory, w.proposals, Adversary::none(),
-                      opts);
+        backend->run(w.params, w.factory, w.proposals, Adversary::none(),
+                     opts);
     msgs += res.messages_sent_total;
     rounds += res.rounds_executed;
     ++iters;

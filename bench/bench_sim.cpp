@@ -53,12 +53,9 @@ void write_sim_bench_json(std::ostream& os) {
 
 void SimDolevStrong(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  const std::uint32_t t = n / 4;
-  const SystemParams params{n, t};
-  const ProtocolFactory factory =
-      protocols::dolev_strong_broadcast(make_auth(n), /*sender=*/0);
-  std::vector<Value> proposals(n, Value::bit(0));
-  proposals[0] = Value{"tx:9f8e7d6c5b4a39281706f5e4d3c2b1a0:amount=1337"};
+  // The same workload bench_runtime measures on the lockstep executor
+  // (bench_util.h), so the delta between the two benches is the event loop.
+  const Workload w = make_workload("dolev_strong", n);
 
   sim::SimConfig config;
   config.record_trace = false;  // hot path proper, like bench_runtime
@@ -69,7 +66,7 @@ void SimDolevStrong(benchmark::State& state) {
   std::uint64_t iters = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    sim::SimResult res = sim::simulate(params, factory, proposals,
+    sim::SimResult res = sim::simulate(w.params, w.factory, w.proposals,
                                        Adversary::none(), config);
     events += res.events_processed;
     msgs += res.run.messages_sent_total;
@@ -81,9 +78,9 @@ void SimDolevStrong(benchmark::State& state) {
           .count();
 
   SimRow row;
-  row.protocol = "dolev_strong";
+  row.protocol = w.name;
   row.n = n;
-  row.t = t;
+  row.t = w.params.t;
   row.events_per_run =
       static_cast<double>(events) / static_cast<double>(iters);
   row.msgs_per_run = static_cast<double>(msgs) / static_cast<double>(iters);

@@ -7,8 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/ba.h"
 
@@ -18,6 +22,61 @@ inline std::shared_ptr<crypto::Authenticator> make_auth(std::uint32_t n,
                                                         std::uint64_t seed =
                                                             0xba5eba11) {
   return std::make_shared<crypto::Authenticator>(seed, n);
+}
+
+/// getrusage high-water RSS in KB — monotone across the process, so it
+/// upper-bounds, not isolates, a single benchmark's footprint.
+inline double peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss);
+}
+
+/// One throughput workload: a protocol family instantiated at size n with
+/// its standard proposals. Shared by bench_runtime, bench_sim and
+/// bench_engine so the three benches measure the *same* work and their
+/// deltas isolate substrate cost.
+struct Workload {
+  std::string name;
+  SystemParams params;
+  ProtocolFactory factory;
+  std::vector<Value> proposals;
+};
+
+/// The standard throughput workloads (see bench_runtime.cpp for why these
+/// three families and these t choices stress the executor differently):
+///   dolev_strong  t = n/4       signature-chain fan-out (COW fast path)
+///   eig           t = 2         O(n^t) nested-vector report traffic
+///   phase_king    t = (n-1)/3   tiny payloads, many rounds (loop overhead)
+inline Workload make_workload(const std::string& name, std::uint32_t n) {
+  Workload w;
+  w.name = name;
+  if (name == "dolev_strong") {
+    // t + 1 rounds; fault-free, so the sender's chain fans out to everyone
+    // in round 1 and every process relays once in round 2.
+    const std::uint32_t t = n / 4;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::dolev_strong_broadcast(make_auth(n), /*sender=*/0);
+    w.proposals.assign(n, Value::bit(0));
+    w.proposals[0] = Value{"tx:9f8e7d6c5b4a39281706f5e4d3c2b1a0:amount=1337"};
+  } else if (name == "eig") {
+    // Fixed t = 2 keeps the O(n^t) report tree polynomial while still
+    // exercising deep nested-vector payloads.
+    const std::uint32_t t = 2;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::eig_interactive_consistency();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      w.proposals.emplace_back(static_cast<std::int64_t>(p));
+    }
+  } else {  // phase_king
+    const std::uint32_t t = (n - 1) / 3;
+    w.params = SystemParams{n, t};
+    w.factory = protocols::phase_king_consensus();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      w.proposals.push_back(Value::bit(static_cast<int>(p % 2)));
+    }
+  }
+  return w;
 }
 
 /// Fault-free message complexity of a protocol with unanimous proposal.

@@ -4,7 +4,8 @@
 //
 //   #include "core/ba.h"
 //
-// brings in the whole stack: the synchronous runtime, adversaries, the
+// brings in the whole stack: the synchronous runtime, the execution-backend
+// engine (lockstep + simulator behind one interface), adversaries, the
 // execution calculus, protocols, validity framework, reductions, and the
 // Theorem 2 attack engine — plus the high-level `AgreementProblem` type that
 // ties §4/§5 together: describe a problem by its validity property and get
@@ -23,6 +24,8 @@
 #include "calculus/merge.h"
 #include "calculus/swap_omission.h"
 #include "crypto/signature.h"
+#include "engine/backend.h"
+#include "engine/registry.h"
 #include "lowerbound/attack.h"
 #include "lowerbound/certificate.h"
 #include "lowerbound/certificate_io.h"

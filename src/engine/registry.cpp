@@ -1,0 +1,91 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace ba::engine {
+
+Registry::Registry() {
+  add("lockstep", [](const BackendSpec&) -> BackendHandle {
+    return std::make_shared<LockstepBackend>();
+  });
+  add("sim", [](const BackendSpec& spec) -> BackendHandle {
+    return std::make_shared<SimBackend>(spec.sim);
+  });
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const std::string& name, BackendFactory factory) {
+  for (auto& [key, value] : factories_) {
+    if (key == name) {
+      value = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+bool Registry::knows(const std::string& name) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&name](const auto& entry) { return entry.first == name; });
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, value] : factories_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BackendHandle Registry::make(const BackendSpec& spec) const {
+  for (const auto& [key, factory] : factories_) {
+    if (key == spec.name) return factory(spec);
+  }
+  std::string known;
+  for (const std::string& name : names()) {
+    if (!known.empty()) known += " | ";
+    known += name;
+  }
+  throw std::invalid_argument("unknown execution backend '" + spec.name +
+                              "' (registered: " + known + ")");
+}
+
+std::optional<BackendSpec> parse_backend_spec(const std::string& spec) {
+  BackendSpec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) return std::nullopt;
+  if (colon == std::string::npos) return out;
+
+  // name:model[,seed]
+  const std::string rest = spec.substr(colon + 1);
+  const auto comma = rest.find(',');
+  out.sim.model = rest.substr(0, comma);
+  if (out.sim.model.empty()) return std::nullopt;
+  if (comma != std::string::npos) {
+    const std::string seed = rest.substr(comma + 1);
+    if (seed.empty() ||
+        seed.find_first_not_of("0123456789") != std::string::npos) {
+      return std::nullopt;
+    }
+    out.sim.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+  return out;
+}
+
+BackendHandle make_backend(const std::string& spec) {
+  auto parsed = parse_backend_spec(spec);
+  if (!parsed) {
+    throw std::invalid_argument("malformed backend spec '" + spec +
+                                "' (want name[:model[,seed]])");
+  }
+  return Registry::global().make(*parsed);
+}
+
+}  // namespace ba::engine

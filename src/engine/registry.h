@@ -1,0 +1,66 @@
+#pragma once
+
+// Name → factory registry for execution backends.
+//
+// The registry is what gives the repo's surfaces one dispatch path: ba_cli's
+// `--backend lockstep|sim[:model,seed]` flag, the benches' per-backend
+// sections, and lint_trace's provenance audit (a schema-v2 trace naming a
+// backend the registry doesn't know fails the lint) all resolve names here.
+// Adding a backend is one `add()` call — every surface picks it up.
+//
+// Built-ins registered at construction: "lockstep" (the round executor) and
+// "sim" (the discrete-event simulator, configured by BackendSpec::sim).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace ba::engine {
+
+/// Everything a backend factory may consult. `name` picks the factory; the
+/// rest parameterizes it (today only the sim backend reads `sim`).
+struct BackendSpec {
+  std::string name{"lockstep"};
+  SimBackendConfig sim{};
+};
+
+using BackendFactory = std::function<BackendHandle(const BackendSpec&)>;
+
+class Registry {
+ public:
+  /// The process-wide registry, with the built-ins pre-registered.
+  static Registry& global();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, BackendFactory factory);
+
+  [[nodiscard]] bool knows(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds a backend; throws std::invalid_argument on an unknown name.
+  [[nodiscard]] BackendHandle make(const BackendSpec& spec) const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+
+  std::vector<std::pair<std::string, BackendFactory>> factories_;
+};
+
+/// Parses a CLI backend spec: "lockstep" or "sim[:model[,seed]]" — e.g.
+/// "sim", "sim:jitter", "sim:jitter,42". Unknown registry names still parse
+/// (make() reports them); malformed syntax returns nullopt.
+[[nodiscard]] std::optional<BackendSpec> parse_backend_spec(
+    const std::string& spec);
+
+/// parse + Registry::global().make: throws std::invalid_argument on
+/// malformed specs and unknown names alike.
+[[nodiscard]] BackendHandle make_backend(const std::string& spec);
+
+}  // namespace ba::engine

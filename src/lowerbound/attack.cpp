@@ -19,7 +19,15 @@ class Engine {
  public:
   Engine(const SystemParams& params, const ProtocolFactory& protocol,
          const AttackOptions& options)
-      : params_(params), protocol_(protocol), options_(options) {
+      : params_(params),
+        protocol_(protocol),
+        options_(options),
+        backend_(options.backend ? *options.backend
+                                 : engine::default_backend()) {
+    if (!backend_.has_capability(engine::Capability::kTraces)) {
+      throw std::invalid_argument("attack engine requires a backend with "
+                                  "trace support (Capability::kTraces)");
+    }
     report_.bound = lemma1_bound(params.t);
     const std::uint32_t g = std::max<std::uint32_t>(1, params.t / 4);
     b_ = options.group_b.value_or(
@@ -152,7 +160,8 @@ class Engine {
 
   ExecutionTrace run_fault_free(int bit) {
     RunResult res =
-        run_all_correct(params_, protocol_, Value::bit(bit), run_opts());
+        backend_.run_all_correct(params_, protocol_, Value::bit(bit),
+                                 run_opts());
     observe(res.trace);
     std::ostringstream name;
     name << "E_" << bit << " (fault-free, unanimous " << bit << ")";
@@ -175,8 +184,8 @@ class Engine {
 
   IsolatedExecution run_isolated(int bit, const ProcessSet& g, Round k) {
     std::vector<Value> proposals(params_.n, Value::bit(bit));
-    RunResult res = run_execution(params_, protocol_, proposals,
-                                  isolate_group(g, k), run_opts());
+    RunResult res = backend_.run(params_, protocol_, proposals,
+                                 isolate_group(g, k), run_opts());
     observe(res.trace);
     // Lemma 2 applies to this execution directly (partition (G-bar, G, {})):
     // an isolated member with few omissions that disagrees with the correct
@@ -294,6 +303,7 @@ class Engine {
   SystemParams params_;
   const ProtocolFactory& protocol_;
   AttackOptions options_;
+  const engine::ExecutionBackend& backend_;
   AttackReport report_;
   ProcessSet b_, c_;
   std::ostringstream log_;

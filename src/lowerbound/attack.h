@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/backend.h"
 #include "lowerbound/certificate.h"
 #include "runtime/process.h"
 #include "runtime/types.h"
@@ -31,6 +32,12 @@ struct AttackOptions {
   /// directly (a sound strengthening that often short-circuits the hunt).
   /// Disable to force the paper's pure critical-round + merge route.
   bool direct_lemma2{true};
+  /// Execution backend evaluating every constructed execution; null means
+  /// engine::default_backend() (the lockstep executor). Must support traces
+  /// (engine::Capability::kTraces) — the engine merges and lints them. A
+  /// shared handle keeps AttackOptions copyable and cheap to fan across the
+  /// experiment pool; backends are const and thread-safe by contract.
+  engine::BackendHandle backend{};
 };
 
 struct AttackReport {

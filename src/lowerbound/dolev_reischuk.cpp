@@ -36,7 +36,8 @@ BroadcastAttackReport attack_broadcast(const SystemParams& params,
                                        const ProtocolFactory& protocol,
                                        ProcessId sender, const Value& v0,
                                        const Value& v1, const Value& filler,
-                                       Round max_rounds) {
+                                       Round max_rounds,
+                                       const engine::ExecutionBackend& backend) {
   BroadcastAttackReport report;
   std::ostringstream log;
   RunOptions opts;
@@ -50,8 +51,8 @@ BroadcastAttackReport attack_broadcast(const SystemParams& params,
 
   // Step 1: the fault-free execution with sender value v0 determines each
   // non-sender's in-neighbourhood.
-  RunResult base = run_execution(params, protocol, proposals_with(v0),
-                                 Adversary::none(), opts);
+  RunResult base = backend.run(params, protocol, proposals_with(v0),
+                               Adversary::none(), opts);
   report.fault_free_messages = base.messages_sent_by_correct;
   log << "fault-free run with sender value " << v0 << ": "
       << report.fault_free_messages << " messages\n";
@@ -91,9 +92,8 @@ BroadcastAttackReport attack_broadcast(const SystemParams& params,
   // determinism it behaves identically; correct processes still hear the
   // sender.
   for (const Value& sender_value : {v0, v1}) {
-    RunResult res = run_execution(params, protocol,
-                                  proposals_with(sender_value),
-                                  cut_towards(cut, victim), opts);
+    RunResult res = backend.run(params, protocol, proposals_with(sender_value),
+                                cut_towards(cut, victim), opts);
     const ExecutionTrace& e = res.trace;
     const auto& victim_decision = e.procs[victim].decision;
     log << "cut run with sender value " << sender_value << ": victim decides "

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/backend.h"
 #include "lowerbound/certificate.h"
 #include "runtime/process.h"
 #include "runtime/types.h"
@@ -49,11 +50,12 @@ struct BroadcastAttackReport {
 /// correct process when the sender is correct. `v0` and `v1` are two
 /// distinct sender values to drive the indistinguishability pair;
 /// `filler` is the proposal of the non-sender processes (held fixed).
-BroadcastAttackReport attack_broadcast(const SystemParams& params,
-                                       const ProtocolFactory& protocol,
-                                       ProcessId sender, const Value& v0,
-                                       const Value& v1,
-                                       const Value& filler = Value::bit(0),
-                                       Round max_rounds = 4000);
+/// `backend` evaluates the three constructed executions (the fault-free
+/// probe and the two cut runs); it must support traces.
+BroadcastAttackReport attack_broadcast(
+    const SystemParams& params, const ProtocolFactory& protocol,
+    ProcessId sender, const Value& v0, const Value& v1,
+    const Value& filler = Value::bit(0), Round max_rounds = 4000,
+    const engine::ExecutionBackend& backend = engine::default_backend());
 
 }  // namespace ba::lowerbound

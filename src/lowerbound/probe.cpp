@@ -18,26 +18,22 @@ std::vector<Adversary> default_probe_schedule(const SystemParams& params) {
   return schedule;
 }
 
-MessageCountRunner lockstep_message_count_runner() {
-  return [](const SystemParams& params, const ProtocolFactory& protocol,
-            const std::vector<Value>& proposals, const Adversary& adversary) {
-    RunOptions opts;
-    opts.record_trace = false;
-    return run_execution(params, protocol, proposals, adversary, opts)
-        .messages_sent_by_correct;
-  };
-}
-
 std::uint64_t worst_observed_messages_via(
-    const MessageCountRunner& runner, const SystemParams& params,
+    const engine::ExecutionBackend& backend, const SystemParams& params,
     const ProtocolFactory& protocol, const Value& v,
     const std::vector<Adversary>& schedule) {
   // One unanimous proposal vector serves every run (COW: n handles to one
   // shared payload, not n deep copies).
   const std::vector<Value> proposals(params.n, v);
-  std::uint64_t worst = runner(params, protocol, proposals, Adversary::none());
+  RunOptions opts;
+  opts.record_trace = false;
+  std::uint64_t worst =
+      backend.run(params, protocol, proposals, Adversary::none(), opts)
+          .messages_sent_by_correct;
   for (const Adversary& adv : schedule) {
-    worst = std::max(worst, runner(params, protocol, proposals, adv));
+    worst = std::max(worst,
+                     backend.run(params, protocol, proposals, adv, opts)
+                         .messages_sent_by_correct);
   }
   return worst;
 }
@@ -46,8 +42,37 @@ std::uint64_t worst_observed_messages(const SystemParams& params,
                                       const ProtocolFactory& protocol,
                                       const Value& v,
                                       const std::vector<Adversary>& schedule) {
-  return worst_observed_messages_via(lockstep_message_count_runner(), params,
+  return worst_observed_messages_via(engine::default_backend(), params,
                                      protocol, v, schedule);
 }
+
+// Deprecated shims below intentionally call each other.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+MessageCountRunner lockstep_message_count_runner() {
+  return [](const SystemParams& params, const ProtocolFactory& protocol,
+            const std::vector<Value>& proposals, const Adversary& adversary) {
+    RunOptions opts;
+    opts.record_trace = false;
+    return engine::default_backend()
+        .run(params, protocol, proposals, adversary, opts)
+        .messages_sent_by_correct;
+  };
+}
+
+std::uint64_t worst_observed_messages_via(
+    const MessageCountRunner& runner, const SystemParams& params,
+    const ProtocolFactory& protocol, const Value& v,
+    const std::vector<Adversary>& schedule) {
+  const std::vector<Value> proposals(params.n, v);
+  std::uint64_t worst = runner(params, protocol, proposals, Adversary::none());
+  for (const Adversary& adv : schedule) {
+    worst = std::max(worst, runner(params, protocol, proposals, adv));
+  }
+  return worst;
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace ba::lowerbound

@@ -10,10 +10,16 @@
 // but never overshoots it. Callers pick the schedule explicitly (or take
 // `default_probe_schedule`), which keeps the probe a pure function of its
 // arguments — a requirement for fanning probes across the experiment pool.
+//
+// Executions are evaluated by an engine::ExecutionBackend, so the same probe
+// runs on the lockstep executor or the discrete-event simulator (the parity
+// suite asserts identical worst-case counts under both).
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "engine/backend.h"
 #include "runtime/fault.h"
 #include "runtime/process.h"
 #include "runtime/value.h"
@@ -24,31 +30,45 @@ namespace ba::lowerbound {
 /// processes from round k, for k in {1, 2, 3}.
 std::vector<Adversary> default_probe_schedule(const SystemParams& params);
 
-/// Pluggable execution backend for the probe: returns the count of messages
-/// sent by correct processes for one execution of `protocol` with the given
-/// unanimous proposals under `adversary`. The default backend runs the
-/// lockstep executor; the sim parity suite substitutes the discrete-event
-/// simulator (sim/sync_adapter.h) and asserts identical worst-case counts.
-using MessageCountRunner = std::function<std::uint64_t(
-    const SystemParams&, const ProtocolFactory&, const std::vector<Value>&,
-    const Adversary&)>;
-
-/// The default backend: run_execution with traces off.
-MessageCountRunner lockstep_message_count_runner();
-
 /// Largest message complexity (messages sent by correct processes) over the
 /// fault-free unanimous-`v` execution plus every adversary in `schedule`,
-/// with each execution evaluated by `runner`.
+/// with each execution evaluated by `backend`.
 std::uint64_t worst_observed_messages_via(
-    const MessageCountRunner& runner, const SystemParams& params,
+    const engine::ExecutionBackend& backend, const SystemParams& params,
     const ProtocolFactory& protocol, const Value& v,
     const std::vector<Adversary>& schedule);
 
 /// Largest message complexity (messages sent by correct processes) over the
-/// fault-free unanimous-`v` execution plus every adversary in `schedule`.
+/// fault-free unanimous-`v` execution plus every adversary in `schedule`,
+/// evaluated by engine::default_backend() (the lockstep executor).
 std::uint64_t worst_observed_messages(const SystemParams& params,
                                       const ProtocolFactory& protocol,
                                       const Value& v,
                                       const std::vector<Adversary>& schedule);
+
+// ---------------------------------------------------------------------------
+// Deprecated std::function seam, superseded by engine::ExecutionBackend.
+// ---------------------------------------------------------------------------
+
+/// Pre-engine backend seam: one execution -> count of messages sent by
+/// correct processes. Superseded by engine::ExecutionBackend, which carries
+/// a name and capabilities alongside the run function.
+using MessageCountRunner = std::function<std::uint64_t(
+    const SystemParams&, const ProtocolFactory&, const std::vector<Value>&,
+    const Adversary&)>;
+
+/// The old default runner: the lockstep backend with traces off.
+[[deprecated(
+    "use engine::default_backend() / worst_observed_messages")]] MessageCountRunner
+lockstep_message_count_runner();
+
+/// Runner-based probe shim.
+[[deprecated(
+    "pass an engine::ExecutionBackend to worst_observed_messages_via")]] std::
+    uint64_t
+    worst_observed_messages_via(const MessageCountRunner& runner,
+                                const SystemParams& params,
+                                const ProtocolFactory& protocol, const Value& v,
+                                const std::vector<Adversary>& schedule);
 
 }  // namespace ba::lowerbound

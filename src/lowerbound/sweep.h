@@ -49,6 +49,11 @@ struct SweepRow {
 };
 
 struct SweepOptions {
+  /// Per-point attack configuration. `attack.backend` selects the execution
+  /// backend for every grid point (null = lockstep); backends are const and
+  /// thread-safe by contract, so the same handle is shared by all pool
+  /// workers and the bit-identical parallel-vs-serial guarantee holds for
+  /// sim-backed sweeps too.
   AttackOptions attack;
   /// Worker threads to fan grid points across: 1 (default) runs the serial
   /// reference path in the calling thread; 0 means hardware concurrency.

@@ -1,11 +1,11 @@
-#include "sim/metrics.h"
+#include "runtime/net_metrics.h"
 
 #include <bit>
 #include <sstream>
 
-namespace ba::sim {
+namespace ba {
 
-void LatencyHistogram::record(SimTime latency) {
+void LatencyHistogram::record(std::uint64_t latency) {
   std::size_t bucket =
       latency == 0 ? 0 : static_cast<std::size_t>(std::bit_width(latency) - 1);
   bucket = std::min(bucket, kBuckets - 1);
@@ -16,7 +16,7 @@ void LatencyHistogram::record(SimTime latency) {
   ++count;
 }
 
-SimTime LatencyHistogram::quantile_upper_bound(double p) const {
+std::uint64_t LatencyHistogram::quantile_upper_bound(double p) const {
   if (count == 0) return 0;
   const auto target = static_cast<std::uint64_t>(
       p * static_cast<double>(count));
@@ -24,7 +24,7 @@ SimTime LatencyHistogram::quantile_upper_bound(double p) const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets[i];
     if (seen > target || seen == count) {
-      return (SimTime{1} << (i + 1)) - 1;
+      return (std::uint64_t{1} << (i + 1)) - 1;
     }
   }
   return max;
@@ -77,4 +77,4 @@ std::string NetMetrics::summary() const {
   return os.str();
 }
 
-}  // namespace ba::sim
+}  // namespace ba

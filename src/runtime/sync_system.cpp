@@ -87,6 +87,11 @@ RunResult run_execution(const SystemParams& params,
   if (!adversary.byzantine.empty() && !adversary.byzantine_factory) {
     throw std::invalid_argument("byzantine set without byzantine_factory");
   }
+  if (options.lint_trace && !options.record_trace) {
+    throw std::invalid_argument(
+        "RunOptions::lint_trace requires record_trace: there is no trace to "
+        "lint when recording is off");
+  }
 
   const std::uint32_t n = params.n;
   std::vector<std::unique_ptr<Process>> replicas(n);
@@ -194,7 +199,7 @@ RunResult run_execution(const SystemParams& params,
       }
     }
   }
-  if (options.lint_trace && options.record_trace) {
+  if (options.lint_trace) {
     // Correct processes are replayed with the honest factory; faulty ones
     // (possibly Byzantine) are exempt from the determinism check.
     result.lint = analysis::lint_execution(result.trace, protocol);

@@ -13,6 +13,7 @@
 #include "analysis/lint.h"
 #include "runtime/fault.h"
 #include "runtime/message.h"
+#include "runtime/net_metrics.h"
 #include "runtime/process.h"
 #include "runtime/trace.h"
 #include "runtime/types.h"
@@ -30,7 +31,9 @@ struct RunOptions {
   bool stop_on_quiescence{true};
   /// Lint the recorded trace against the execution-invariant checks of
   /// src/analysis (conservation, budget, determinism replay, quiescence) and
-  /// attach the report to RunResult::lint. Requires record_trace.
+  /// attach the report to RunResult::lint. Requires record_trace: executors
+  /// throw std::invalid_argument on lint_trace without record_trace rather
+  /// than silently linting an empty trace.
   bool lint_trace{false};
 };
 
@@ -45,6 +48,11 @@ struct RunResult {
   /// for this execution, so callers (benches, tests) can assert clean traces
   /// without re-running the linter.
   std::optional<analysis::LintReport> lint;
+  /// Per-link network metrics, filled by backends that measure the network
+  /// (engine::Capability::kNetMetrics — today the discrete-event simulator
+  /// with metrics collection on). The lockstep executor leaves it empty:
+  /// it has no notion of intra-round delivery timing.
+  std::optional<NetMetrics> net;
 
   [[nodiscard]] bool lint_clean() const { return !lint || lint->clean(); }
 
@@ -97,7 +105,11 @@ void normalize_outbox_into(const Outbox& out, ProcessId self, Round r,
                            std::uint32_t n, std::vector<std::uint8_t>& seen,
                            std::vector<Message>& msgs);
 
-/// Sorts an inbox by sender (the canonical delivery order).
+/// Sorts an inbox by sender (the canonical delivery order). The lockstep
+/// executor's routing produces sorted inboxes by construction (and only
+/// asserts); this is for callers that assemble inboxes in arbitrary order —
+/// `replay_process`, the execution calculus, and the simulator's
+/// jitter-dependent arrival path.
 void sort_inbox(Inbox& inbox);
 
 /// Per-run scratch space for the executor's round loop: outbox/inbox

@@ -64,6 +64,11 @@ SimResult simulate(const SystemParams& params, const ProtocolFactory& protocol,
   if (!plan.valid_for(params.n)) {
     throw std::invalid_argument("fault plan references processes >= n");
   }
+  if (config.lint_trace && !config.record_trace) {
+    throw std::invalid_argument(
+        "SimConfig::lint_trace requires record_trace: there is no trace to "
+        "lint when recording is off");
+  }
 
   // Compile the fault plan into the static adversary and fold in the link
   // model's lag group, so every drop the simulation can produce is an
@@ -268,9 +273,13 @@ SimResult simulate(const SystemParams& params, const ProtocolFactory& protocol,
     }
   }
 
-  if (config.lint_trace && config.record_trace) {
+  if (config.lint_trace) {
     result.lint = analysis::lint_execution(result.trace, protocol);
   }
+  // Surface the network observations through the backend-neutral seam
+  // (engine::ExecutionBackend consumers read RunResult::net; SimResult
+  // keeps its own copy for the simulator-native callers).
+  if (metering) result.net = out.metrics;
   return out;
 }
 

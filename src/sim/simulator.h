@@ -59,8 +59,9 @@ struct SimConfig {
   Round max_rounds{1000};
   bool record_trace{true};
   bool stop_on_quiescence{true};
-  /// Lint the recorded trace with the analysis linter (requires
-  /// record_trace) and attach the report to the embedded RunResult.
+  /// Lint the recorded trace with the analysis linter and attach the report
+  /// to the embedded RunResult. Requires record_trace: `simulate` throws
+  /// std::invalid_argument on lint_trace without record_trace.
   bool lint_trace{false};
   bool collect_metrics{true};
 };

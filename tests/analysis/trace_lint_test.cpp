@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "adversary/omission.h"
 #include "protocols/common.h"
@@ -125,14 +126,16 @@ TEST(TraceLint, RunOptionsThreadReportThroughRunResult) {
   EXPECT_TRUE(res.lint_clean());
 }
 
-TEST(TraceLint, LintFlagWithoutTraceRecordingProducesNoReport) {
+TEST(TraceLint, LintFlagWithoutTraceRecordingFailsFast) {
+  // There is no trace to lint when recording is off; silently skipping the
+  // audit would let a caller believe a run was linted clean when nothing
+  // was checked, so the executor rejects the combination outright.
   RunOptions opts;
   opts.lint_trace = true;
   opts.record_trace = false;
-  RunResult res = run_all_correct(SystemParams{4, 1}, flooder(),
-                                  Value::bit(1), opts);
-  EXPECT_FALSE(res.lint.has_value());
-  EXPECT_TRUE(res.lint_clean());
+  EXPECT_THROW(run_all_correct(SystemParams{4, 1}, flooder(), Value::bit(1),
+                               opts),
+               std::invalid_argument);
 }
 
 TEST(TraceLint, DetectsForgedReceive) {

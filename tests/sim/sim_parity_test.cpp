@@ -131,14 +131,7 @@ TEST(SimParity, SimulatedTracesPassTheLinter) {
 // isolation schedule as sim drop events must reproduce the worst-case
 // message counts the lockstep probe observes.
 TEST(SimParity, Theorem2ProbeReproducesWorstCaseCounts) {
-  const lowerbound::MessageCountRunner sim_runner =
-      [](const SystemParams& params, const ProtocolFactory& protocol,
-         const std::vector<Value>& proposals, const Adversary& adversary) {
-        RunOptions opts;
-        opts.record_trace = false;
-        return run_execution_sim(params, protocol, proposals, adversary, opts)
-            .messages_sent_by_correct;
-      };
+  const engine::SimBackend sim_backend{engine::SimBackendConfig{}};
 
   struct ProbePoint {
     std::string name;
@@ -157,7 +150,7 @@ TEST(SimParity, Theorem2ProbeReproducesWorstCaseCounts) {
     const std::uint64_t lockstep = lowerbound::worst_observed_messages(
         pt.params, pt.factory, Value::bit(0), schedule);
     const std::uint64_t sim = lowerbound::worst_observed_messages_via(
-        sim_runner, pt.params, pt.factory, Value::bit(0), schedule);
+        sim_backend, pt.params, pt.factory, Value::bit(0), schedule);
     EXPECT_EQ(sim, lockstep) << pt.name;
   }
 }

@@ -9,19 +9,25 @@
 //       load a certificate and re-verify it by full state-machine replay
 //   ba_cli solvability <property> <n> <t>
 //       Theorem 4 verdict for a canned validity property
-//   ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]
+//   ba_cli run <protocol> <n> <t> <bit...> [--backend SPEC]
+//              [--save-trace FILE]
 //       run a protocol on explicit proposals and print decisions;
 //       optionally save the execution trace for later auditing (lint_trace)
 //   ba_cli sweep [--jobs N] [--grid n:t,n:t,...] [--json FILE]
+//                [--backend SPEC]
 //       run the Theorem 2 attack sweep (standard candidate set) over a grid,
 //       fanned across N pool workers (0 = hardware concurrency, default 1);
 //       optionally write the machine-readable BENCH_sweep.json report
 //   ba_cli sim <protocol> <n> <t> <bit...> [--model sync|jitter|gst]
 //              [--seed S] [--gst R] [--lag K] [--round-ticks T]
-//              [--save-trace FILE]
+//              [--backend SPEC] [--save-trace FILE]
 //       run a protocol through the discrete-event simulator (src/sim/)
 //       and print decisions plus per-link network metrics; saved traces
-//       carry schema-v2 provenance (substrate, model, seed)
+//       carry schema-v2 provenance (backend, model, seed)
+//
+// Every execution dispatches through the engine::Registry: SPEC is
+// `lockstep` or `sim[:model[,seed]]` (e.g. `sim:jitter,42`); `run` defaults
+// to lockstep, `sim` to the sim backend refined by its model flags.
 //
 // protocols: see tool_protocols.h
 // properties: weak | strong | sender | ic | any-proposed | constant
@@ -51,12 +57,15 @@ int usage() {
                "  ba_cli dr-attack <direct|relay-ring|dolev-strong> [n] [t]\n"
                "  ba_cli verify <FILE> <protocol> [n] [t]\n"
                "  ba_cli solvability <property> <n> <t>\n"
-               "  ba_cli run <protocol> <n> <t> <bit...> [--save-trace FILE]\n"
-               "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE]\n"
+               "  ba_cli run <protocol> <n> <t> <bit...> [--backend SPEC] "
+               "[--save-trace FILE]\n"
+               "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE] "
+               "[--backend SPEC]\n"
                "  ba_cli sim <protocol> <n> <t> <bit...> [--model "
                "sync|jitter|gst]\n"
                "         [--seed S] [--gst R] [--lag K] [--round-ticks T] "
-               "[--save-trace FILE]\n"
+               "[--backend SPEC] [--save-trace FILE]\n"
+               "backend SPEC: lockstep | sim[:model[,seed]]\n"
                "protocols: %s\n"
                "properties: weak strong sender ic any-proposed constant\n",
                tools::protocol_names());
@@ -224,31 +233,63 @@ int cmd_solvability(int argc, char** argv) {
   return 0;
 }
 
+/// Parses a --backend spec, reporting errors (malformed syntax, unknown
+/// names, bad sim config) on stderr. The spec is returned alongside the
+/// handle so callers can stamp trace provenance with it.
+std::optional<std::pair<engine::BackendSpec, engine::BackendHandle>>
+resolve_backend(const std::string& spec_string) {
+  auto spec = engine::parse_backend_spec(spec_string);
+  if (!spec) {
+    std::fprintf(stderr, "--backend: malformed spec '%s' "
+                         "(want name[:model[,seed]])\n",
+                 spec_string.c_str());
+    return std::nullopt;
+  }
+  try {
+    return std::make_pair(*spec, engine::Registry::global().make(*spec));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--backend: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+/// The schema-v2 trace provenance vector for a backend:
+/// [name, model, seed, round_ticks].
+Value backend_provenance(const engine::BackendSpec& spec) {
+  return Value::vec({Value{spec.name}, Value{spec.sim.model},
+                     Value{static_cast<std::int64_t>(spec.sim.seed)},
+                     Value{static_cast<std::int64_t>(spec.sim.round_ticks)}});
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string name = argv[0];
   const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
   const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
   std::string save_trace;
-  int bits = argc - 3;
-  if (bits >= 2 && std::strcmp(argv[argc - 2], "--save-trace") == 0) {
-    save_trace = argv[argc - 1];
-    bits -= 2;
+  std::string backend_spec = "lockstep";
+  std::vector<Value> proposals;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
+      save_trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_spec = argv[++i];
+    } else {
+      proposals.push_back(Value::bit(std::atoi(argv[i])));
+    }
   }
-  if (bits < 0 || static_cast<std::uint32_t>(bits) != n) {
+  if (proposals.size() != n) {
     std::fprintf(stderr, "need exactly n proposal bits\n");
     return 2;
   }
   auto protocol = make_protocol(name, n);
   if (!protocol) return usage();
-  std::vector<Value> proposals;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    proposals.push_back(Value::bit(std::atoi(argv[3 + i])));
-  }
+  auto backend = resolve_backend(backend_spec);
+  if (!backend) return 2;
   RunOptions opts;
   opts.lint_trace = true;
-  RunResult res = run_execution(SystemParams{n, t}, *protocol, proposals,
-                                Adversary::none(), opts);
+  RunResult res = backend->second->run(SystemParams{n, t}, *protocol,
+                                       proposals, Adversary::none(), opts);
   for (ProcessId p = 0; p < n; ++p) {
     std::printf("p%u: proposes %s decides %s (round %u)\n", p,
                 proposals[p].to_string().c_str(),
@@ -262,7 +303,15 @@ int cmd_run(int argc, char** argv) {
                   res.trace.payload_bytes_sent_by_correct()));
   if (res.lint) std::printf("trace lint: %s\n", res.lint->summary().c_str());
   if (!save_trace.empty()) {
-    if (write_file(save_trace, encode_trace(res.trace))) {
+    // Lockstep traces keep the schema-v1 format (no provenance) for
+    // compatibility with pre-engine consumers; other backends stamp v2
+    // provenance so audits can tell execution substrates apart.
+    const Bytes encoded =
+        backend->first.name == "lockstep"
+            ? encode_trace(res.trace)
+            : encode_trace_with_provenance(res.trace,
+                                           backend_provenance(backend->first));
+    if (write_file(save_trace, encoded)) {
       std::printf("trace saved to %s\n", save_trace.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", save_trace.c_str());
@@ -278,12 +327,13 @@ int cmd_sim(int argc, char** argv) {
   const auto n = static_cast<std::uint32_t>(std::atoi(argv[1]));
   const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
 
-  std::string model = "sync";
+  std::string backend_spec = "sim";
   std::string save_trace;
-  std::uint64_t seed = 1;
-  std::uint32_t gst = 3;
-  std::uint32_t lag = 1;
-  sim::SimConfig config;
+  std::optional<std::string> model;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> gst;
+  std::optional<std::uint32_t> lag;
+  std::optional<std::uint64_t> round_ticks;
   std::vector<Value> proposals;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
@@ -295,7 +345,9 @@ int cmd_sim(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lag") == 0 && i + 1 < argc) {
       lag = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--round-ticks") == 0 && i + 1 < argc) {
-      config.round_ticks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      round_ticks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
       save_trace = argv[++i];
     } else {
@@ -309,28 +361,36 @@ int cmd_sim(int argc, char** argv) {
   auto protocol = make_protocol(name, n);
   if (!protocol) return usage();
 
-  if (model == "sync") {
-    config.link = sim::LinkModel::synchronous();
-  } else if (model == "jitter") {
-    config.link = sim::LinkModel::jitter(1, config.round_ticks, seed);
-  } else if (model == "gst") {
-    if (lag == 0 || lag > t || lag >= n) {
-      std::fprintf(stderr, "--lag must be in [1, t]\n");
-      return 2;
-    }
-    config.link =
-        sim::LinkModel::partial_synchrony(ProcessSet::range(n - lag, n), gst,
-                                          seed);
-  } else {
-    std::fprintf(stderr, "models: sync jitter gst\n");
+  // Individual model flags refine whatever --backend selected (the default
+  // is the sim backend with its stock config).
+  auto parsed = engine::parse_backend_spec(backend_spec);
+  if (!parsed) {
+    std::fprintf(stderr, "--backend: malformed spec '%s' "
+                         "(want name[:model[,seed]])\n",
+                 backend_spec.c_str());
     return 2;
   }
-  config.lint_trace = true;
+  engine::BackendSpec spec = *parsed;
+  if (model) spec.sim.model = *model;
+  if (seed) spec.sim.seed = *seed;
+  if (gst) spec.sim.gst_round = *gst;
+  if (lag) spec.sim.lag = *lag;
+  if (round_ticks) spec.sim.round_ticks = *round_ticks;
 
-  sim::SimResult res;
+  engine::BackendHandle backend;
   try {
-    res = sim::simulate(SystemParams{n, t}, *protocol, proposals,
-                        Adversary::none(), config);
+    backend = engine::Registry::global().make(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sim: %s\n", e.what());
+    return 2;
+  }
+
+  RunOptions opts;
+  opts.lint_trace = true;
+  RunResult res;
+  try {
+    res = backend->run(SystemParams{n, t}, *protocol, proposals,
+                       Adversary::none(), opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sim: %s\n", e.what());
     return 1;
@@ -338,32 +398,29 @@ int cmd_sim(int argc, char** argv) {
   for (ProcessId p = 0; p < n; ++p) {
     std::printf("p%u: proposes %s decides %s (round %u)\n", p,
                 proposals[p].to_string().c_str(),
-                res.run.decisions[p] ? res.run.decisions[p]->to_string().c_str()
-                                     : "<none>",
-                res.run.trace.procs[p].decision_round);
+                res.decisions[p] ? res.decisions[p]->to_string().c_str()
+                                 : "<none>",
+                res.trace.procs[p].decision_round);
   }
-  std::printf("model %s: %u rounds, %llu events, end time %llu ticks\n",
-              config.link.name(), res.run.rounds_executed,
-              static_cast<unsigned long long>(res.events_processed),
-              static_cast<unsigned long long>(res.end_time));
-  std::printf("%s\n", res.metrics.summary().c_str());
-  if (res.run.lint) {
-    std::printf("trace lint: %s\n", res.run.lint->summary().c_str());
+  std::printf("backend %s (model %s): %u rounds, %llu messages from correct "
+              "senders\n",
+              backend->name(), spec.sim.model.c_str(), res.rounds_executed,
+              static_cast<unsigned long long>(res.messages_sent_by_correct));
+  if (res.net) std::printf("%s\n", res.net->summary().c_str());
+  if (res.lint) {
+    std::printf("trace lint: %s\n", res.lint->summary().c_str());
   }
   if (!save_trace.empty()) {
-    const Value provenance = Value::vec(
-        {Value{"sim"}, Value{config.link.name()},
-         Value{static_cast<std::int64_t>(seed)},
-         Value{static_cast<std::int64_t>(config.round_ticks)}});
     if (write_file(save_trace,
-                   encode_trace_with_provenance(res.run.trace, provenance))) {
+                   encode_trace_with_provenance(
+                       res.trace, backend_provenance(spec)))) {
       std::printf("trace saved to %s (schema v2)\n", save_trace.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", save_trace.c_str());
       return 1;
     }
   }
-  return res.run.lint_clean() ? 0 : 1;
+  return res.lint_clean() ? 0 : 1;
 }
 
 std::optional<std::vector<SystemParams>> parse_grid(const std::string& spec) {
@@ -400,6 +457,10 @@ int cmd_sweep(int argc, char** argv) {
       grid = std::move(*parsed);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      auto backend = resolve_backend(argv[++i]);
+      if (!backend) return 2;
+      options.attack.backend = backend->second;
     } else {
       return usage();
     }

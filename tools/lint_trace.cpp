@@ -10,8 +10,14 @@
 // produced by the lower-bound engine be audited independently of the process
 // that produced them.
 //
-// Exit codes: 0 = trace lints clean; 1 = violations found; 2 = usage error;
-// 3 = the file cannot be read or decoded.
+// Schema-v2 traces carry producer provenance whose first element names the
+// execution backend that produced the trace; a name the engine::Registry
+// does not know marks the artifact as coming from an unrecognized substrate
+// and fails the audit.
+//
+// Exit codes: 0 = trace lints clean; 1 = violations found or unknown
+// provenance backend; 2 = usage error; 3 = the file cannot be read or
+// decoded.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +28,7 @@
 #include <string>
 
 #include "analysis/lint.h"
+#include "engine/registry.h"
 #include "tool_protocols.h"
 
 namespace {
@@ -77,6 +84,32 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  // Audit v2 provenance against the backend registry before linting: a
+  // trace claiming an unknown execution substrate is suspect regardless of
+  // its invariants.
+  bool provenance_ok = true;
+  if (const Value& prov = provenance; !prov.is_null()) {
+    const std::string backend_name =
+        prov.is_vec() && !prov.as_vec().empty() &&
+                prov.as_vec().front().is_str()
+            ? prov.as_vec().front().as_str()
+            : std::string{};
+    if (backend_name.empty() ||
+        !ba::engine::Registry::global().knows(backend_name)) {
+      provenance_ok = false;
+      std::fprintf(stderr,
+                   "lint_trace: provenance names unknown execution backend "
+                   "'%s' (registered: ",
+                   backend_name.c_str());
+      bool first = true;
+      for (const std::string& known : ba::engine::Registry::global().names()) {
+        std::fprintf(stderr, "%s%s", first ? "" : " ", known.c_str());
+        first = false;
+      }
+      std::fprintf(stderr, ")\n");
+    }
+  }
+
   analysis::LintReport report;
   if (!protocol_name.empty()) {
     auto protocol = tools::make_protocol(protocol_name, trace->params.n);
@@ -106,5 +139,5 @@ int main(int argc, char** argv) {
   } else {
     std::cout << report.summary() << '\n';
   }
-  return report.clean() ? 0 : 1;
+  return report.clean() && provenance_ok ? 0 : 1;
 }

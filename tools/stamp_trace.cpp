@@ -1,0 +1,79 @@
+// stamp_trace — re-stamp the provenance of a serialized execution trace.
+//
+//   stamp_trace <IN> <OUT> <backend> [model] [seed] [round_ticks]
+//
+// Decodes IN (schema v1 or v2), replaces its provenance with the vector
+// [backend, model, seed, round_ticks], and writes OUT as a schema-v2 trace.
+// Exists for audit tooling and tests: it lets a pipeline label (or
+// mislabel) the execution substrate a trace claims to come from, so the
+// lint_trace registry check can be exercised end-to-end.
+//
+// Exit codes: 0 = OK; 2 = usage error; 3 = IN cannot be read or decoded;
+// 1 = OUT cannot be written.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "runtime/trace_io.h"
+
+namespace {
+
+using namespace ba;
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+bool write_file(const std::string& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: stamp_trace <IN> <OUT> <backend> [model] [seed] "
+                 "[round_ticks]\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  const std::string backend = argv[3];
+  const std::string model = argc > 4 ? argv[4] : "sync";
+  const std::int64_t seed = argc > 5 ? std::atoll(argv[5]) : 0;
+  const std::int64_t round_ticks = argc > 6 ? std::atoll(argv[6]) : 0;
+
+  auto bytes = read_file(in_path);
+  if (!bytes) {
+    std::fprintf(stderr, "stamp_trace: cannot read %s\n", in_path.c_str());
+    return 3;
+  }
+  std::string decode_error;
+  auto trace = decode_trace(*bytes, &decode_error);
+  if (!trace) {
+    std::fprintf(stderr, "stamp_trace: %s is not a valid trace: %s\n",
+                 in_path.c_str(), decode_error.c_str());
+    return 3;
+  }
+  const Value provenance = Value::vec(
+      {Value{backend}, Value{model}, Value{seed}, Value{round_ticks}});
+  if (!write_file(out_path, encode_trace_with_provenance(*trace, provenance))) {
+    std::fprintf(stderr, "stamp_trace: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
