@@ -7,12 +7,14 @@
 // value, phase king Theta(n^2 t), authenticated IC Theta(n^3).
 
 #include "bench_util.h"
+#include "protocols/comm_specs.h"
+#include "statics/analyzer.h"
 
 namespace ba::bench {
 namespace {
 
 void report(benchmark::State& state, const SystemParams& params,
-            std::uint64_t msgs) {
+            std::uint64_t msgs, const char* spec_name) {
   const std::uint64_t bound = lowerbound::lemma1_bound(params.t);
   state.counters["n"] = params.n;
   state.counters["t"] = params.t;
@@ -20,6 +22,18 @@ void report(benchmark::State& state, const SystemParams& params,
   state.counters["bound_t2_32"] = static_cast<double>(bound);
   state.counters["ratio"] =
       bound == 0 ? 0 : static_cast<double>(msgs) / static_cast<double>(bound);
+  // Bound-vs-observed: the statically derived worst-case cap next to what
+  // the probe actually measured (obs/static <= 1 whenever the CommSpec is
+  // sound; the conformance suite asserts it, the bench just records it).
+  if (const statics::CommSpec* spec = protocols::find_comm_spec(spec_name)) {
+    const std::uint64_t static_bound =
+        statics::budget_at(statics::analyze(*spec), params).messages;
+    state.counters["static_bound"] = static_cast<double>(static_bound);
+    state.counters["obs_static_ratio"] =
+        static_bound == 0 ? 0
+                          : static_cast<double>(msgs) /
+                                static_cast<double>(static_bound);
+  }
 }
 
 void UpperBoundDolevStrongBroadcast(benchmark::State& state) {
@@ -32,7 +46,7 @@ void UpperBoundDolevStrongBroadcast(benchmark::State& state) {
     msgs = worst_observed_messages(params, bb, Value::bit(0),
                                    lowerbound::default_probe_schedule(params));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "dolev-strong");
 }
 
 void UpperBoundWeakConsensusAuth(benchmark::State& state) {
@@ -45,7 +59,7 @@ void UpperBoundWeakConsensusAuth(benchmark::State& state) {
     msgs = worst_observed_messages(params, wc, Value::bit(0),
                                    lowerbound::default_probe_schedule(params));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "dolev-strong-weak");
 }
 
 void UpperBoundPhaseKing(benchmark::State& state) {
@@ -57,7 +71,7 @@ void UpperBoundPhaseKing(benchmark::State& state) {
                                    Value::bit(0),
                                    lowerbound::default_probe_schedule(params));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "phase-king-strong");
 }
 
 void UpperBoundAuthIC(benchmark::State& state) {
@@ -69,7 +83,7 @@ void UpperBoundAuthIC(benchmark::State& state) {
   for (auto _ : state) {
     msgs = fault_free_messages(params, ic, Value::bit(0));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "auth-ic");
 }
 
 void UpperBoundUnauthICBits(benchmark::State& state) {
@@ -81,7 +95,7 @@ void UpperBoundUnauthICBits(benchmark::State& state) {
         params, protocols::unauth_interactive_consistency_bits(),
         Value::bit(0));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "unauth-ic-bits");
 }
 
 void UpperBoundEigIC(benchmark::State& state) {
@@ -93,7 +107,7 @@ void UpperBoundEigIC(benchmark::State& state) {
                                protocols::eig_interactive_consistency(),
                                Value::bit(0));
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "eig-ic");
 }
 
 void UpperBoundExternalValidity(benchmark::State& state) {
@@ -106,7 +120,7 @@ void UpperBoundExternalValidity(benchmark::State& state) {
   for (auto _ : state) {
     msgs = fault_free_messages(params, ev, Value{"tx"});
   }
-  report(state, params, msgs);
+  report(state, params, msgs, "external-validity");
 }
 
 }  // namespace

@@ -222,12 +222,23 @@ class Linter {
     }
   }
 
-  /// §2 adversary accounting: fault budget and attributability.
+  /// §2 adversary accounting: fault budget, attributability, and (when a
+  /// static bound is supplied) the message budget.
   void check_budget() {
     if (trace_.faulty.size() > trace_.params.t) {
       add(LintCheck::kBudget, kNoProcess, kNoRound, "|F| = ",
           trace_.faulty.size(), " exceeds the fault budget t = ",
           trace_.params.t);
+    }
+    if (options_.message_budget) {
+      const std::uint64_t sent = trace_.message_complexity();
+      if (sent > *options_.message_budget) {
+        add(LintCheck::kBudget, kNoProcess, kNoRound,
+            "correct processes sent ", sent,
+            " message(s), exceeding the static bound ",
+            *options_.message_budget,
+            " — run misbehaved or the protocol's CommSpec under-counts");
+      }
     }
     for (ProcessId p = 0; p < trace_.params.n; ++p) {
       if (trace_.faulty.contains(p)) continue;

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -96,6 +97,11 @@ struct LintOptions {
   /// Effective only when a protocol factory is supplied (lint_execution).
   bool determinism{true};
   bool quiescence{true};
+  /// Statically derived cap on messages sent by correct processes
+  /// (statics::budget_at): when set, a trace whose message_complexity()
+  /// exceeds it breaks the budget invariant — either the run misbehaved or
+  /// the protocol's CommSpec under-counts its communication.
+  std::optional<std::uint64_t> message_budget;
   /// Stop collecting after this many violations (the report is marked
   /// truncated). A corrupt trace can break one invariant per message.
   std::size_t max_violations{64};

@@ -38,6 +38,7 @@
 #include "protocols/adapters.h"
 #include "protocols/beyond_agreement.h"
 #include "protocols/broadcast.h"
+#include "protocols/comm_specs.h"
 #include "protocols/crusader.h"
 #include "protocols/dolev_strong.h"
 #include "protocols/early_stopping.h"
@@ -59,6 +60,9 @@
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "sim/sync_adapter.h"
+#include "statics/analyzer.h"
+#include "statics/comm_spec.h"
+#include "statics/poly.h"
 #include "validity/properties.h"
 #include "validity/algebra.h"
 #include "validity/solvability.h"

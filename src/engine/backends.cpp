@@ -46,6 +46,7 @@ RunResult SimBackend::run(const SystemParams& params,
   cfg.record_trace = options.record_trace;
   cfg.stop_on_quiescence = options.stop_on_quiescence;
   cfg.lint_trace = options.lint_trace;
+  cfg.message_budget = options.message_budget;
   cfg.collect_metrics = config_.collect_metrics;
   if (config_.model == "sync") {
     cfg.link = sim::LinkModel::synchronous();

@@ -46,33 +46,4 @@ std::uint64_t worst_observed_messages(const SystemParams& params,
                                      protocol, v, schedule);
 }
 
-// Deprecated shims below intentionally call each other.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-MessageCountRunner lockstep_message_count_runner() {
-  return [](const SystemParams& params, const ProtocolFactory& protocol,
-            const std::vector<Value>& proposals, const Adversary& adversary) {
-    RunOptions opts;
-    opts.record_trace = false;
-    return engine::default_backend()
-        .run(params, protocol, proposals, adversary, opts)
-        .messages_sent_by_correct;
-  };
-}
-
-std::uint64_t worst_observed_messages_via(
-    const MessageCountRunner& runner, const SystemParams& params,
-    const ProtocolFactory& protocol, const Value& v,
-    const std::vector<Adversary>& schedule) {
-  const std::vector<Value> proposals(params.n, v);
-  std::uint64_t worst = runner(params, protocol, proposals, Adversary::none());
-  for (const Adversary& adv : schedule) {
-    worst = std::max(worst, runner(params, protocol, proposals, adv));
-  }
-  return worst;
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace ba::lowerbound

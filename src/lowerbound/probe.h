@@ -16,7 +16,6 @@
 // suite asserts identical worst-case counts under both).
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "engine/backend.h"
@@ -45,30 +44,5 @@ std::uint64_t worst_observed_messages(const SystemParams& params,
                                       const ProtocolFactory& protocol,
                                       const Value& v,
                                       const std::vector<Adversary>& schedule);
-
-// ---------------------------------------------------------------------------
-// Deprecated std::function seam, superseded by engine::ExecutionBackend.
-// ---------------------------------------------------------------------------
-
-/// Pre-engine backend seam: one execution -> count of messages sent by
-/// correct processes. Superseded by engine::ExecutionBackend, which carries
-/// a name and capabilities alongside the run function.
-using MessageCountRunner = std::function<std::uint64_t(
-    const SystemParams&, const ProtocolFactory&, const std::vector<Value>&,
-    const Adversary&)>;
-
-/// The old default runner: the lockstep backend with traces off.
-[[deprecated(
-    "use engine::default_backend() / worst_observed_messages")]] MessageCountRunner
-lockstep_message_count_runner();
-
-/// Runner-based probe shim.
-[[deprecated(
-    "pass an engine::ExecutionBackend to worst_observed_messages_via")]] std::
-    uint64_t
-    worst_observed_messages_via(const MessageCountRunner& runner,
-                                const SystemParams& params,
-                                const ProtocolFactory& protocol, const Value& v,
-                                const std::vector<Adversary>& schedule);
 
 }  // namespace ba::lowerbound

@@ -8,7 +8,9 @@
 #include "lowerbound/certificate.h"
 #include "lowerbound/certificate_io.h"
 #include "parallel/experiment_pool.h"
+#include "protocols/comm_specs.h"
 #include "protocols/weak_consensus.h"
+#include "statics/analyzer.h"
 
 namespace ba::lowerbound {
 namespace {
@@ -25,6 +27,11 @@ SweepRow sweep_point(const SweepEntry& entry, const SystemParams& params,
   row.violation = report.violation_found;
   row.max_messages = report.max_message_complexity;
   row.bound = report.bound;
+  if (const statics::CommSpec* spec =
+          protocols::find_comm_spec(entry.protocol_name)) {
+    row.static_bound = statics::budget_at(statics::analyze(*spec), params)
+                           .messages;
+  }
   row.critical_round = report.critical_round;
   if (report.certificate) {
     row.violation_kind = to_string(report.certificate->kind);
@@ -40,6 +47,14 @@ void json_escape(std::ostream& os, const std::string& s) {
     if (c == '"' || c == '\\') os << '\\';
     os << c;
   }
+}
+
+/// Observed-over-static ratio; nullopt when there is no (or a zero) static
+/// bound to compare against.
+std::optional<double> obs_static_ratio(const SweepRow& row) {
+  if (!row.static_bound || *row.static_bound == 0) return std::nullopt;
+  return static_cast<double>(row.max_messages) /
+         static_cast<double>(*row.static_bound);
 }
 
 }  // namespace
@@ -95,12 +110,25 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
 }
 
 void write_markdown(std::ostream& os, const SweepResult& result) {
-  os << "| protocol | n | t | messages | t^2/32 | outcome |\n"
-     << "|---|---|---|---|---|---|\n";
+  os << "| protocol | n | t | messages | t^2/32 | static bound | obs/static "
+        "| outcome |\n"
+     << "|---|---|---|---|---|---|---|---|\n";
   for (const SweepRow& row : result.rows) {
     os << "| " << row.protocol_name << " | " << row.params.n << " | "
        << row.params.t << " | " << row.max_messages << " | " << row.bound
        << " | ";
+    if (row.static_bound) {
+      os << *row.static_bound;
+    } else {
+      os << "-";
+    }
+    os << " | ";
+    if (const std::optional<double> ratio = obs_static_ratio(row)) {
+      os << *ratio;
+    } else {
+      os << "-";
+    }
+    os << " | ";
     if (row.violation) {
       os << row.violation_kind << " violation ("
          << (row.certificate_verified ? "verified" : "UNVERIFIED") << ")";
@@ -133,7 +161,19 @@ void write_bench_json(std::ostream& os, const SweepResult& result) {
     json_escape(os, row.protocol_name);
     os << "\", \"n\": " << row.params.n << ", \"t\": " << row.params.t
        << ", \"messages\": " << row.max_messages
-       << ", \"bound\": " << row.bound << ", \"violation\": "
+       << ", \"bound\": " << row.bound << ", \"static_bound\": ";
+    if (row.static_bound) {
+      os << *row.static_bound;
+    } else {
+      os << "null";
+    }
+    os << ", \"obs_static_ratio\": ";
+    if (const std::optional<double> ratio = obs_static_ratio(row)) {
+      os << *ratio;
+    } else {
+      os << "null";
+    }
+    os << ", \"violation\": "
        << (row.violation ? "true" : "false") << ", \"kind\": \"";
     json_escape(os, row.violation_kind);
     os << "\", \"certificate_verified\": "

@@ -39,6 +39,12 @@ struct SweepRow {
   std::string violation_kind;  // empty when no violation
   std::uint64_t max_messages{0};
   std::uint64_t bound{0};
+  /// Statically derived worst-case message bound for this protocol at this
+  /// (n, t) (statics::budget_at over the protocol's CommSpec); nullopt when
+  /// the protocol declares no spec. Observed max_messages exceeding this is
+  /// a spec bug — the conformance suite (tests/statics/) asserts it never
+  /// happens for the registered protocols.
+  std::optional<std::uint64_t> static_bound;
   std::optional<Round> critical_round;
   /// Serialized violation certificate (certificate_io), empty when no
   /// violation. Kept in encoded form so "parallel == serial" can be

@@ -126,4 +126,56 @@ ProtocolFactory k_set_agreement(std::uint32_t k) {
   };
 }
 
+statics::CommSpec approximate_agreement_comm_spec(std::int64_t epsilon,
+                                                  std::int64_t value_bound) {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly halving_rounds(static_cast<std::int64_t>(
+      approximate_agreement_rounds(epsilon, value_bound)));
+  statics::CommSpec spec;
+  spec.protocol = "approx-agreement";
+  spec.aliases = {"approximate-agreement"};
+  spec.problem = "approximate-agreement";
+  spec.resilience = "n > 3t";
+  spec.rounds = halving_rounds;
+  spec.blocks = {
+      {.label = "halving rounds",
+       .rounds = halving_rounds,
+       .patterns = {{.label = "every process multicasts its current value",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kValue}}}};
+  spec.notes =
+      "no exact Agreement property, so the paper's lower bound does not "
+      "apply (§7); the round count depends on epsilon and the value bound, "
+      "not on t";
+  return spec;
+}
+
+statics::CommSpec k_set_comm_spec(std::uint32_t k) {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "k-set-agreement";
+  spec.aliases = {"k-set"};
+  spec.problem = "k-set-agreement";
+  spec.resilience = "t < n (crash faults)";
+  spec.rounds = t + 1;
+  spec.blocks = {
+      {.label = "flood rounds",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process multicasts its value set",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kValueSet}}}};
+  spec.notes =
+      "exact round count floor(t/" + std::to_string(k) +
+      ") + 1 is not a polynomial in t, so the spec records the sound t + 1 "
+      "envelope; outside the paper's lower bound (no Agreement property)";
+  return spec;
+}
+
 }  // namespace ba::protocols

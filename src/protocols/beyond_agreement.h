@@ -22,6 +22,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Approximate agreement over integer values in [-value_bound, value_bound].
@@ -42,5 +44,12 @@ ProtocolFactory k_set_agreement(std::uint32_t k);
 inline Round k_set_rounds(const SystemParams& p, std::uint32_t k) {
   return p.t / k + 1;
 }
+
+/// Static communication declarations. Both problems lack the exact
+/// Agreement property, so the paper's lower bound does not apply (§7) and
+/// the analyzer exempts them from the cross-check.
+statics::CommSpec approximate_agreement_comm_spec(std::int64_t epsilon,
+                                                  std::int64_t value_bound);
+statics::CommSpec k_set_comm_spec(std::uint32_t k);
 
 }  // namespace ba::protocols

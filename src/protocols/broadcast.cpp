@@ -171,4 +171,80 @@ ProtocolFactory unauth_broadcast_bit(ProcessId sender) {
   };
 }
 
+statics::CommSpec unauth_broadcast_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec = phase_king_comm_spec();
+  spec.protocol = "unauth-broadcast";
+  spec.problem = "broadcast";
+  spec.rounds = Poly(1) + Poly(3) * (t + 1);
+  spec.blocks.insert(
+      spec.blocks.begin(),
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}});
+  spec.notes =
+      "round-1 sender multicast, then phase-king consensus on the received "
+      "bit (silence decodes as 0)";
+  return spec;
+}
+
+statics::CommSpec bb_candidate_direct_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  statics::CommSpec spec;
+  spec.protocol = "bb-direct";
+  spec.problem = "broadcast";
+  spec.claims_correct = false;
+  spec.resilience = "fault-free runs only (no equivocation defense)";
+  spec.rounds = Poly(1);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes =
+      "n - 1 messages: the sender's word is final, so an equivocating "
+      "sender splits the correct processes";
+  return spec;
+}
+
+statics::CommSpec bb_candidate_relay_ring_comm_spec(std::uint32_t k) {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly fanout(static_cast<std::int64_t>(k));
+  statics::CommSpec spec;
+  spec.protocol = "bb-relay-ring";
+  spec.aliases = {"bb-relay-ring-" + std::to_string(k)};
+  spec.problem = "broadcast";
+  spec.claims_correct = false;
+  spec.resilience = "fault-free runs only (broken by cutting the ring)";
+  spec.rounds = Poly(2);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "round 2",
+       .rounds = Poly(1),
+       .patterns = {{.label =
+                         "every process relays to its k ring successors",
+                     .senders = n,
+                     .receivers_per_sender = fanout,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes = "(n-1) + n*k messages: sub-quadratic for constant k";
+  return spec;
+}
+
 }  // namespace ba::protocols

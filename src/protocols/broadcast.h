@@ -12,6 +12,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 ProtocolFactory unauth_broadcast_bit(ProcessId sender);
@@ -33,5 +35,12 @@ inline Round unauth_broadcast_rounds(const SystemParams& p) {
 inline std::uint32_t unauth_broadcast_min_n(std::uint32_t t) {
   return 3 * t + 1;
 }
+
+/// Static communication declarations. The correct protocol inherits the
+/// phase-king blocks behind a one-round sender multicast; the candidates
+/// are the deliberately sub-quadratic attack targets.
+statics::CommSpec unauth_broadcast_comm_spec();
+statics::CommSpec bb_candidate_direct_comm_spec();
+statics::CommSpec bb_candidate_relay_ring_comm_spec(std::uint32_t k);
 
 }  // namespace ba::protocols

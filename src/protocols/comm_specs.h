@@ -1,0 +1,25 @@
+#pragma once
+
+// The protocol library's CommSpec registry: every protocol the repo's
+// surfaces (CLI, sweep, benches, tests) can name declares its spec next to
+// its implementation; this header aggregates them for the static analyzer
+// (statics/analyzer.h) and resolves the per-surface naming aliases.
+
+#include <string_view>
+#include <vector>
+
+#include "statics/comm_spec.h"
+
+namespace ba::protocols {
+
+/// Every CommSpec the protocol library declares, in presentation order
+/// (correct protocols first, then the deliberately broken attack targets).
+/// Parameterized constructions are registered at the parameters the CLI and
+/// sweep actually run them with.
+const std::vector<statics::CommSpec>& all_comm_specs();
+
+/// Looks a spec up by its canonical name or any alias (the CLI and the
+/// sweep use different names for some constructions). nullptr when unknown.
+const statics::CommSpec* find_comm_spec(std::string_view name);
+
+}  // namespace ba::protocols

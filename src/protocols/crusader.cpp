@@ -80,4 +80,30 @@ ProtocolFactory crusader_broadcast_bit(ProcessId sender) {
   };
 }
 
+statics::CommSpec crusader_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  statics::CommSpec spec;
+  spec.protocol = "crusader";
+  spec.problem = "crusader-broadcast";
+  spec.resilience = "n > 3t";
+  spec.rounds = Poly(2);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "round 2",
+       .rounds = Poly(1),
+       .patterns = {{.label = "every process echoes what it received",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes = "one sender multicast plus one all-to-all echo round";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -133,4 +133,39 @@ ProtocolFactory dolev_strong_broadcast(
   };
 }
 
+statics::CommSpec dolev_strong_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "dolev-strong";
+  spec.problem = "broadcast";
+  spec.resilience = "t < n";
+  spec.rounds = t + 1;
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its signed value",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kSignatureChain,
+                     .sig_depth = Poly(1)}}},
+      {.label = "relay rounds 2..t+1",
+       .rounds = t,
+       .patterns = {{.label =
+                         "each process relays at most two extracted values",
+                     .senders = Poly(2) * n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kSignatureChain,
+                     .sig_depth = t + 1,
+                     .per_block = true}}},
+  };
+  spec.notes =
+      "a correct process relays at most two distinct values over the whole "
+      "execution (two signed values already prove sender equivocation), so "
+      "the relay pattern is per-block: 2n(n-1) relays total, not per round";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -21,6 +21,8 @@
 #include "crypto/signature.h"
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Factory for one broadcast instance with designated `sender`. All replicas
@@ -32,5 +34,10 @@ ProtocolFactory dolev_strong_broadcast(
 
 /// Number of rounds the protocol runs: t + 1.
 inline Round dolev_strong_rounds(const SystemParams& p) { return p.t + 1; }
+
+/// Static communication declaration: (n-1) + 2n(n-1) signature-chain
+/// messages over t + 1 rounds (the relay cap is per execution, not per
+/// round).
+statics::CommSpec dolev_strong_comm_spec();
 
 }  // namespace ba::protocols

@@ -78,4 +78,37 @@ ProtocolFactory early_deciding_floodset() {
   };
 }
 
+statics::CommSpec floodset_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "floodset";
+  spec.problem = "crash-consensus";
+  spec.resilience = "t < n (crash faults)";
+  spec.rounds = t + 1;
+  spec.blocks = {
+      {.label = "flood rounds 1..t+1",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process multicasts its value set",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kValueSet}}}};
+  spec.notes =
+      "(t+1) n (n-1) messages of up to n values each; decides the minimum "
+      "after t + 1 rounds";
+  return spec;
+}
+
+statics::CommSpec early_deciding_floodset_comm_spec() {
+  statics::CommSpec spec = floodset_comm_spec();
+  spec.protocol = "early-deciding-floodset";
+  spec.aliases = {"floodset-early"};
+  spec.notes =
+      "decides after two clean rounds (by round f + 2) but keeps flooding "
+      "through t + 1, so the worst-case structure matches floodset";
+  return spec;
+}
+
 }  // namespace ba::protocols

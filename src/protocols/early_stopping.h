@@ -22,6 +22,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Decides min of the seen proposals at round t + 1 exactly.
@@ -33,5 +35,11 @@ ProtocolFactory floodset_consensus();
 ProtocolFactory early_deciding_floodset();
 
 inline Round floodset_rounds(const SystemParams& p) { return p.t + 1; }
+
+/// Static communication declarations: (t+1) n (n-1) value-set messages.
+/// Early decision does not change the worst-case structure (the protocol
+/// keeps flooding through round t + 1 either way).
+statics::CommSpec floodset_comm_spec();
+statics::CommSpec early_deciding_floodset_comm_spec();
 
 }  // namespace ba::protocols

@@ -177,4 +177,37 @@ ProtocolFactory eig_strong_consensus() {
   };
 }
 
+statics::CommSpec eig_ic_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "eig-ic";
+  spec.problem = "interactive-consistency";
+  spec.resilience = "n > 3t";
+  spec.rounds = t + 1;
+  spec.blocks = {
+      {.label = "EIG levels 1..t+1",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process multicasts its level report",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kEigReport}}}};
+  spec.notes =
+      "(t+1) n (n-1) messages, but the level-r report carries O(n^r) tree "
+      "entries: the byte bound is superpolynomial by construction";
+  return spec;
+}
+
+statics::CommSpec eig_strong_comm_spec() {
+  statics::CommSpec spec = eig_ic_comm_spec();
+  spec.protocol = "eig-strong";
+  spec.problem = "strong-consensus";
+  spec.notes =
+      "EIG interactive consistency plus a local majority fold: the fold "
+      "sends nothing, so the IC spec carries over unchanged";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -10,6 +10,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Interactive consistency over arbitrary `Value` proposals. Missing or
@@ -22,5 +24,10 @@ ProtocolFactory eig_strong_consensus();
 
 inline Round eig_rounds(const SystemParams& p) { return p.t + 1; }
 inline std::uint32_t eig_min_n(std::uint32_t t) { return 3 * t + 1; }
+
+/// Static communication declarations: (t+1) n (n-1) messages whose level-r
+/// report payloads are superpolynomial (O(n^r) tree entries).
+statics::CommSpec eig_ic_comm_spec();
+statics::CommSpec eig_strong_comm_spec();
 
 }  // namespace ba::protocols

@@ -75,4 +75,36 @@ ProtocolFactory external_validity_agreement(
   };
 }
 
+statics::CommSpec external_validity_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "external-validity";
+  spec.problem = "external-validity-agreement";
+  spec.resilience = "t < n";
+  spec.rounds = (t + 1) * (t + 1);
+  spec.blocks = {
+      {.label = "views 1..t+1, each a Dolev-Strong broadcast by its leader",
+       .rounds = (t + 1) * (t + 1),
+       .patterns =
+           {{.label = "each view leader multicasts its signed proposal",
+             .senders = t + 1,
+             .receivers_per_sender = n - 1,
+             .payload = PayloadClass::kSignatureChain,
+             .sig_depth = Poly(1),
+             .per_block = true},
+            {.label = "relays: at most two values per process per view",
+             .senders = Poly(2) * n * (t + 1),
+             .receivers_per_sender = n - 1,
+             .payload = PayloadClass::kSignatureChain,
+             .sig_depth = t + 1,
+             .per_block = true}}}};
+  spec.notes =
+      "t + 1 rotating views of t + 1 rounds each; the Dolev-Strong relay "
+      "cap applies per view, giving (t+1)((n-1) + 2n(n-1)) total";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -23,6 +23,8 @@
 #include "crypto/signature.h"
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 using ValidPredicate = std::function<bool(const Value&)>;
@@ -34,5 +36,9 @@ ProtocolFactory external_validity_agreement(
 inline Round external_validity_max_rounds(const SystemParams& p) {
   return (p.t + 1) * (p.t + 1);
 }
+
+/// Static communication declaration: (t+1)((n-1) + 2n(n-1)) signature-chain
+/// messages over (t+1)^2 rounds (one Dolev-Strong broadcast per view).
+statics::CommSpec external_validity_comm_spec();
 
 }  // namespace ba::protocols

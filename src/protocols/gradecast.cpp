@@ -128,4 +128,36 @@ ProtocolFactory gradecast_bit(ProcessId sender) {
   };
 }
 
+statics::CommSpec gradecast_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  statics::CommSpec spec;
+  spec.protocol = "gradecast";
+  spec.problem = "graded-broadcast";
+  spec.resilience = "n > 3t";
+  spec.rounds = Poly(3);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the sender multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "round 2",
+       .rounds = Poly(1),
+       .patterns = {{.label = "every process echoes what it received",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "round 3",
+       .rounds = Poly(1),
+       .patterns = {{.label = "every process votes for the echo majority",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes = "sender multicast, echo round, vote round";
+  return spec;
+}
+
 }  // namespace ba::protocols

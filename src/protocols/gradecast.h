@@ -21,6 +21,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 ProtocolFactory gradecast_bit(ProcessId sender);
@@ -34,5 +36,8 @@ std::optional<GradecastOutput> parse_gradecast(const Value& decision);
 
 inline Round gradecast_rounds() { return 3; }
 inline std::uint32_t gradecast_min_n(std::uint32_t t) { return 3 * t + 1; }
+
+/// Static communication declaration: (n-1) + 2n(n-1) bit messages, 3 rounds.
+statics::CommSpec gradecast_comm_spec();
 
 }  // namespace ba::protocols

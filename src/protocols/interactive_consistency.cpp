@@ -43,4 +43,56 @@ ProtocolFactory unauth_interactive_consistency_bits() {
   };
 }
 
+statics::CommSpec auth_ic_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "auth-ic";
+  spec.problem = "interactive-consistency";
+  spec.resilience = "t < n";
+  spec.rounds = t + 1;
+  spec.blocks = {
+      {.label = "n bundled Dolev-Strong instances",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process ships one batched bundle per "
+                              "peer per round",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kSignatureChain,
+                     .sig_depth = t + 1,
+                     .payload_copies = n}}}};
+  spec.notes =
+      "parallel composition batches the n broadcasts into one wire message "
+      "per ordered pair per round: (t+1) n (n-1) messages of n signature "
+      "chains each";
+  return spec;
+}
+
+statics::CommSpec unauth_ic_bits_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "unauth-ic-bits";
+  spec.problem = "interactive-consistency";
+  spec.resilience = "n > 3t";
+  spec.rounds = Poly(1) + Poly(3) * (t + 1);
+  spec.blocks = {
+      {.label = "n bundled unauthenticated broadcasts",
+       .rounds = Poly(1) + Poly(3) * (t + 1),
+       .patterns = {{.label = "every process ships one batched bit bundle "
+                              "per peer per round",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit,
+                     .payload_copies = n}}}};
+  spec.notes =
+      "n parallel unauth broadcasts batched per ordered pair: "
+      "(3t+4) n (n-1) messages of n bits each";
+  return spec;
+}
+
 }  // namespace ba::protocols

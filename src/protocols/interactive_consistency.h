@@ -16,6 +16,8 @@
 #include "crypto/signature.h"
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Authenticated IC, any t < n, t + 1 rounds.
@@ -26,5 +28,11 @@ ProtocolFactory auth_interactive_consistency(
 
 /// Unauthenticated IC over bits, n > 3t, 1 + 3(t+1) rounds.
 ProtocolFactory unauth_interactive_consistency_bits();
+
+/// Static communication declarations. Parallel composition batches the n
+/// instances into one wire message per ordered pair per round, so both
+/// variants are (rounds) * n * (n-1) messages of n-bundled payloads.
+statics::CommSpec auth_ic_comm_spec();
+statics::CommSpec unauth_ic_bits_comm_spec();
 
 }  // namespace ba::protocols

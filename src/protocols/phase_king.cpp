@@ -128,4 +128,40 @@ ProtocolFactory phase_king_consensus() {
   };
 }
 
+statics::CommSpec phase_king_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec;
+  spec.protocol = "phase-king-strong";
+  spec.problem = "strong-consensus";
+  spec.resilience = "n > 3t";
+  spec.rounds = Poly(3) * (t + 1);
+  spec.blocks = {
+      {.label = "value-exchange rounds (one per phase)",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process multicasts its preference",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "proposal rounds (one per phase)",
+       .rounds = t + 1,
+       .patterns = {{.label = "every process multicasts its proposal",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+      {.label = "king rounds (one per phase)",
+       .rounds = t + 1,
+       .patterns = {{.label = "the phase king multicasts its tiebreak",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}},
+  };
+  spec.notes =
+      "t + 1 phases of exchange / propose / king rounds; the king round has "
+      "a single sender, so the bound is (t+1)(2n(n-1) + (n-1))";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -19,6 +19,8 @@
 
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Binary strong consensus. Non-bit proposals are coerced to 0.
@@ -29,5 +31,9 @@ inline Round phase_king_rounds(const SystemParams& p) { return 3 * (p.t + 1); }
 
 /// Resilience requirement.
 inline std::uint32_t phase_king_min_n(std::uint32_t t) { return 3 * t + 1; }
+
+/// Static communication declaration: (t+1)(2n(n-1) + (n-1)) bit messages
+/// over 3(t+1) rounds.
+statics::CommSpec phase_king_comm_spec();
 
 }  // namespace ba::protocols

@@ -93,4 +93,33 @@ ProtocolFactory turpin_coan_multivalued() {
   };
 }
 
+statics::CommSpec turpin_coan_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  statics::CommSpec spec = phase_king_comm_spec();
+  spec.protocol = "turpin-coan";
+  spec.problem = "strong-consensus";
+  spec.rounds = Poly(2) + Poly(3) * (t + 1);
+  spec.blocks.insert(
+      spec.blocks.begin(),
+      {{.label = "round 1",
+        .rounds = Poly(1),
+        .patterns = {{.label = "every process multicasts its value",
+                      .senders = n,
+                      .receivers_per_sender = n - 1,
+                      .payload = PayloadClass::kValue}}},
+       {.label = "round 2",
+        .rounds = Poly(1),
+        .patterns = {{.label = "every process multicasts its popular value",
+                      .senders = n,
+                      .receivers_per_sender = n - 1,
+                      .payload = PayloadClass::kValue}}}});
+  spec.notes =
+      "two multivalued exchange rounds, then phase-king bit consensus on "
+      "'is my candidate the popular one'";
+  return spec;
+}
+
 }  // namespace ba::protocols

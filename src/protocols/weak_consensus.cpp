@@ -189,4 +189,112 @@ ProtocolFactory wc_candidate_one_shot_echo() {
   };
 }
 
+statics::CommSpec weak_consensus_auth_comm_spec() {
+  statics::CommSpec spec = dolev_strong_comm_spec();
+  spec.protocol = "dolev-strong-weak";
+  spec.aliases = {"ds-weak"};
+  spec.problem = "weak-consensus";
+  spec.notes =
+      "one Dolev-Strong broadcast with p0 as sender; the decision wrapper "
+      "adds no messages, so the broadcast spec carries over unchanged";
+  return spec;
+}
+
+statics::CommSpec weak_consensus_unauth_comm_spec() {
+  statics::CommSpec spec = phase_king_comm_spec();
+  spec.protocol = "phase-king";
+  spec.aliases = {"phase-king-weak"};
+  spec.problem = "weak-consensus";
+  spec.notes =
+      "phase-king strong consensus reused verbatim: Strong Validity implies "
+      "Weak Validity, and the communication structure is identical";
+  return spec;
+}
+
+statics::CommSpec wc_candidate_silent_comm_spec() {
+  statics::CommSpec spec;
+  spec.protocol = "silent";
+  spec.aliases = {"silent-default"};
+  spec.problem = "weak-consensus";
+  spec.claims_correct = false;
+  spec.resilience = "none (violates Weak Validity outright)";
+  spec.notes =
+      "sends nothing and decides immediately; the 0-message sanity target "
+      "for the Theorem 2 engine";
+  return spec;
+}
+
+statics::CommSpec wc_candidate_leader_beacon_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  statics::CommSpec spec;
+  spec.protocol = "leader-beacon";
+  spec.aliases = {"beacon"};
+  spec.problem = "weak-consensus";
+  spec.claims_correct = false;
+  spec.resilience = "fault-free runs only (broken by isolating the leader)";
+  spec.rounds = Poly(1);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "the leader multicasts its bit",
+                     .senders = Poly(1),
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes = "n - 1 messages: linear, so Theorem 2 must (and does) break it";
+  return spec;
+}
+
+statics::CommSpec wc_candidate_gossip_ring_comm_spec(std::uint32_t k,
+                                                     Round rounds) {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  const Poly fanout(static_cast<std::int64_t>(k));
+  const Poly gossip_rounds(static_cast<std::int64_t>(rounds));
+  statics::CommSpec spec;
+  spec.protocol = "gossip-ring";
+  spec.aliases = {"gossip", "gossip-ring-" + std::to_string(k)};
+  spec.problem = "weak-consensus";
+  spec.claims_correct = false;
+  spec.resilience = "fault-free runs only (broken by cutting the ring)";
+  spec.rounds = gossip_rounds;
+  spec.blocks = {
+      {.label = "gossip rounds",
+       .rounds = gossip_rounds,
+       .patterns = {{.label =
+                         "every process forwards to its k ring successors",
+                     .senders = n,
+                     .receivers_per_sender = fanout,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes =
+      "n * k * rounds messages: sub-quadratic for constant k and rounds, so "
+      "Theorem 2 must (and does) break it";
+  return spec;
+}
+
+statics::CommSpec wc_candidate_one_shot_echo_comm_spec() {
+  using statics::PayloadClass;
+  using statics::Poly;
+  const Poly n = Poly::n();
+  statics::CommSpec spec;
+  spec.protocol = "one-shot-echo";
+  spec.problem = "weak-consensus";
+  spec.claims_correct = false;
+  spec.resilience = "fault-free runs only (broken by one send omission)";
+  spec.rounds = Poly(1);
+  spec.blocks = {
+      {.label = "round 1",
+       .rounds = Poly(1),
+       .patterns = {{.label = "every process multicasts its bit",
+                     .senders = n,
+                     .receivers_per_sender = n - 1,
+                     .payload = PayloadClass::kBit}}}};
+  spec.notes =
+      "n(n-1) messages in a single round: the quadratic-but-broken witness "
+      "that message cost alone does not buy correctness";
+  return spec;
+}
+
 }  // namespace ba::protocols

@@ -22,6 +22,8 @@
 #include "crypto/signature.h"
 #include "runtime/process.h"
 
+#include "statics/comm_spec.h"
+
 namespace ba::protocols {
 
 /// Correct, authenticated, any t < n. O(n^2) messages, t + 1 rounds.
@@ -53,5 +55,21 @@ ProtocolFactory wc_candidate_gossip_ring(std::uint32_t k, Round rounds);
 /// processes are correct, broken by a single send-omission (used by tests to
 /// show that quadratic cost alone is not sufficient).
 ProtocolFactory wc_candidate_one_shot_echo();
+
+// --- Static communication declarations (statics/comm_spec.h) -------------
+
+/// Registered as "dolev-strong-weak" (CLI alias "ds-weak").
+statics::CommSpec weak_consensus_auth_comm_spec();
+
+/// Registered as "phase-king" (the CLI name for the weak-validity wrapper).
+statics::CommSpec weak_consensus_unauth_comm_spec();
+
+/// The attack targets declare specs too (claims_correct == false exempts
+/// them from the lower-bound cross-check; their budgets still gate runs).
+statics::CommSpec wc_candidate_silent_comm_spec();
+statics::CommSpec wc_candidate_leader_beacon_comm_spec();
+statics::CommSpec wc_candidate_gossip_ring_comm_spec(std::uint32_t k,
+                                                     Round rounds);
+statics::CommSpec wc_candidate_one_shot_echo_comm_spec();
 
 }  // namespace ba::protocols

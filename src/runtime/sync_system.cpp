@@ -202,7 +202,10 @@ RunResult run_execution(const SystemParams& params,
   if (options.lint_trace) {
     // Correct processes are replayed with the honest factory; faulty ones
     // (possibly Byzantine) are exempt from the determinism check.
-    result.lint = analysis::lint_execution(result.trace, protocol);
+    analysis::LintOptions lint_options;
+    lint_options.message_budget = options.message_budget;
+    result.lint =
+        analysis::lint_execution(result.trace, protocol, lint_options);
   }
   return result;
 }

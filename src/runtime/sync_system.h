@@ -35,6 +35,10 @@ struct RunOptions {
   /// throw std::invalid_argument on lint_trace without record_trace rather
   /// than silently linting an empty trace.
   bool lint_trace{false};
+  /// Statically derived message budget for the protocol under test
+  /// (statics::budget_at at this run's (n, t)). Forwarded to the linter's
+  /// budget invariant; only meaningful with lint_trace.
+  std::optional<std::uint64_t> message_budget;
 };
 
 struct RunResult {

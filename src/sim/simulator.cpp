@@ -274,7 +274,10 @@ SimResult simulate(const SystemParams& params, const ProtocolFactory& protocol,
   }
 
   if (config.lint_trace) {
-    result.lint = analysis::lint_execution(result.trace, protocol);
+    analysis::LintOptions lint_options;
+    lint_options.message_budget = config.message_budget;
+    result.lint =
+        analysis::lint_execution(result.trace, protocol, lint_options);
   }
   // Surface the network observations through the backend-neutral seam
   // (engine::ExecutionBackend consumers read RunResult::net; SimResult

@@ -63,6 +63,9 @@ struct SimConfig {
   /// to the embedded RunResult. Requires record_trace: `simulate` throws
   /// std::invalid_argument on lint_trace without record_trace.
   bool lint_trace{false};
+  /// Statically derived message budget forwarded to the linter's budget
+  /// invariant (see RunOptions::message_budget).
+  std::optional<std::uint64_t> message_budget;
   bool collect_metrics{true};
 };
 

@@ -12,6 +12,7 @@ SimConfig sync_config(const RunOptions& options) {
   config.record_trace = options.record_trace;
   config.stop_on_quiescence = options.stop_on_quiescence;
   config.lint_trace = options.lint_trace;
+  config.message_budget = options.message_budget;
   config.collect_metrics = false;
   return config;
 }

@@ -1,0 +1,158 @@
+#include "statics/analyzer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ba::statics {
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+StaticBounds analyze(const CommSpec& spec) {
+  StaticBounds bounds;
+  bounds.protocol = spec.protocol;
+  bounds.problem = spec.problem;
+  bounds.claims_correct = spec.claims_correct;
+  bounds.resilience = spec.resilience;
+  bounds.messages = spec_message_bound(spec);
+  bounds.rounds = spec.rounds;
+  bounds.payload_bytes = spec_payload_byte_bound(spec);
+  bounds.notes = spec.notes;
+  return bounds;
+}
+
+Budget budget_at(const StaticBounds& bounds, const SystemParams& params) {
+  const auto n = static_cast<std::int64_t>(params.n);
+  const auto t = static_cast<std::int64_t>(params.t);
+  Budget budget;
+  budget.messages = static_cast<std::uint64_t>(bounds.messages.eval(n, t, t));
+  budget.rounds = static_cast<std::uint64_t>(bounds.rounds.eval(n, t, t));
+  if (bounds.payload_bytes) {
+    budget.payload_bytes =
+        static_cast<std::uint64_t>(bounds.payload_bytes->eval(n, t, t));
+  }
+  return budget;
+}
+
+bool lower_bound_applies(const std::string& problem) {
+  // The Theorem 2/3 machinery needs the Agreement property; the paper's §7
+  // names approximate and k-set agreement as the problems outside it.
+  return problem != "approximate-agreement" && problem != "k-set-agreement";
+}
+
+std::string CrossCheckFinding::to_string() const {
+  std::ostringstream os;
+  os << protocol << " at n=" << params.n << " t=" << params.t
+     << ": static bound " << static_messages << " < t^2/32 = " << lower_bound
+     << " (" << detail << ")";
+  return os.str();
+}
+
+std::vector<CrossCheckFinding> cross_check(
+    const std::vector<StaticBounds>& bounds,
+    const std::vector<SystemParams>& grid) {
+  std::vector<CrossCheckFinding> findings;
+  for (const StaticBounds& b : bounds) {
+    if (!b.claims_correct || !lower_bound_applies(b.problem)) continue;
+    for (const SystemParams& params : grid) {
+      if (!params.valid()) continue;
+      const std::uint64_t lower = static_lemma1_bound(params.t);
+      const Budget budget = budget_at(b, params);
+      if (budget.messages < lower) {
+        CrossCheckFinding finding;
+        finding.protocol = b.protocol;
+        finding.params = params;
+        finding.static_messages = budget.messages;
+        finding.lower_bound = lower;
+        finding.detail =
+            "a correct " + b.problem +
+            " protocol cannot beat the paper's lower bound — the CommSpec "
+            "under-counts its communication (spec bug, not a breakthrough)";
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<SystemParams> standard_cross_check_grid() {
+  // Maximal-t points stress authenticated (t < n) protocols; n > 3t points
+  // stress the unauthenticated regime. Sizes span the sweep/bench range.
+  return {{8, 7},  {12, 11}, {16, 15}, {32, 31}, {64, 63},
+          {16, 5}, {32, 10}, {64, 21}, {128, 42}};
+}
+
+void write_bounds_markdown(std::ostream& os,
+                           const std::vector<StaticBounds>& bounds,
+                           const std::optional<SystemParams>& at) {
+  os << "| protocol | problem | claims | messages | rounds | payload bytes |";
+  if (at) os << " msgs@(n,t) | t^2/32 |";
+  os << "\n|---|---|---|---|---|---|";
+  if (at) os << "---|---|";
+  os << "\n";
+  for (const StaticBounds& b : bounds) {
+    os << "| " << b.protocol << " | " << b.problem << " | "
+       << (b.claims_correct ? "correct" : "attack-target") << " | "
+       << b.messages.to_string() << " | " << b.rounds.to_string() << " | "
+       << (b.payload_bytes ? b.payload_bytes->to_string() : "superpolynomial")
+       << " |";
+    if (at) {
+      const Budget budget = budget_at(b, *at);
+      os << " " << budget.messages << " | " << static_lemma1_bound(at->t)
+         << " |";
+    }
+    os << "\n";
+  }
+}
+
+void write_bounds_json(std::ostream& os,
+                       const std::vector<StaticBounds>& bounds,
+                       const std::optional<SystemParams>& at) {
+  os << "{\n  \"experiment\": \"static_comm_bounds\",\n";
+  if (at) {
+    os << "  \"n\": " << at->n << ",\n  \"t\": " << at->t << ",\n";
+  }
+  os << "  \"protocols\": [\n";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const StaticBounds& b = bounds[i];
+    os << "    {\"protocol\": \"";
+    json_escape(os, b.protocol);
+    os << "\", \"problem\": \"";
+    json_escape(os, b.problem);
+    os << "\", \"claims_correct\": " << (b.claims_correct ? "true" : "false")
+       << ", \"messages\": \"";
+    json_escape(os, b.messages.to_string());
+    os << "\", \"rounds\": \"";
+    json_escape(os, b.rounds.to_string());
+    os << "\", \"payload_bytes\": ";
+    if (b.payload_bytes) {
+      os << "\"";
+      json_escape(os, b.payload_bytes->to_string());
+      os << "\"";
+    } else {
+      os << "null";
+    }
+    if (at) {
+      const Budget budget = budget_at(b, *at);
+      os << ", \"messages_at\": " << budget.messages
+         << ", \"rounds_at\": " << budget.rounds << ", \"payload_bytes_at\": ";
+      if (budget.payload_bytes) {
+        os << *budget.payload_bytes;
+      } else {
+        os << "null";
+      }
+      os << ", \"lower_bound_at\": " << static_lemma1_bound(at->t);
+    }
+    os << "}" << (i + 1 < bounds.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace ba::statics

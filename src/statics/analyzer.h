@@ -1,0 +1,113 @@
+#pragma once
+
+// The static communication-complexity analyzer: folds protocol CommSpecs
+// (statics/comm_spec.h) into closed-form worst-case bounds, cross-checks
+// them against the paper's lower bounds, and derives the concrete per-(n, t)
+// budgets that gate the dynamic A.1 linter.
+//
+// The cross-check direction matters: the paper proves every Byzantine
+// agreement problem costs Omega(t^2) messages (Theorem 2/3, Dolev-Reischuk
+// style), so a protocol that CLAIMS correctness while its static bound dips
+// below the t^2/32 threshold is reporting a spec bug — not a breakthrough.
+// The deliberately sub-quadratic attack targets are exempt
+// (CommSpec::claims_correct == false), as are problem classes without the
+// Agreement property (approximate agreement, k-set agreement: §7 explicitly
+// leaves them outside the theorem).
+//
+// Nothing here executes a protocol. The bridge to dynamic observation is the
+// budget: `budget_at` evaluates the message polynomial at a concrete
+// (n, t, f) point, and the linter's budget invariant
+// (analysis/lint.h, LintOptions::message_budget) fails any trace whose
+// correct processes sent more than the static bound allows.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.h"
+#include "statics/comm_spec.h"
+#include "statics/poly.h"
+
+namespace ba::statics {
+
+/// Closed-form worst-case bounds of one protocol, as polynomials in n, t, f.
+struct StaticBounds {
+  std::string protocol;
+  std::string problem;
+  bool claims_correct{true};
+  std::string resilience;
+  /// Messages sent by processes following the protocol, any execution.
+  Poly messages;
+  /// Worst-case termination round.
+  Poly rounds;
+  /// Canonical-encoding payload bytes; nullopt when superpolynomial (EIG).
+  std::optional<Poly> payload_bytes;
+  std::string notes;
+};
+
+/// Folds a spec into its closed-form bounds.
+[[nodiscard]] StaticBounds analyze(const CommSpec& spec);
+
+/// Concrete budgets at one (n, t) point, evaluated at f = t (the adversary's
+/// worst case; the omission model cannot make correct processes send more
+/// with fewer actual faults than the structural cap already allows).
+struct Budget {
+  std::uint64_t messages{0};
+  std::uint64_t rounds{0};
+  /// nullopt when the bytes bound is superpolynomial.
+  std::optional<std::uint64_t> payload_bytes;
+};
+
+[[nodiscard]] Budget budget_at(const StaticBounds& bounds,
+                               const SystemParams& params);
+
+/// The Lemma 1 threshold t^2/32, restated here because statics sits below
+/// lowerbound/ in the layering. Mirrors lowerbound::lemma1_bound; the
+/// statics test suite asserts the two never drift.
+[[nodiscard]] inline std::uint64_t static_lemma1_bound(std::uint32_t t) {
+  return static_cast<std::uint64_t>(t) * t / 32;
+}
+
+/// Whether the paper's Omega(t^2) lower bound covers this problem class
+/// (it needs the Agreement property; approximate and k-set agreement are
+/// outside it, §7).
+[[nodiscard]] bool lower_bound_applies(const std::string& problem);
+
+/// One lower-bound cross-check failure: a correctness-claiming protocol
+/// whose static bound dips below the threshold at a concrete point.
+struct CrossCheckFinding {
+  std::string protocol;
+  SystemParams params;
+  std::uint64_t static_messages{0};
+  std::uint64_t lower_bound{0};
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates every bound at every grid point and reports the specs that
+/// violate the lower bound they are subject to. An empty result means the
+/// spec table is consistent with the paper.
+[[nodiscard]] std::vector<CrossCheckFinding> cross_check(
+    const std::vector<StaticBounds>& bounds,
+    const std::vector<SystemParams>& grid);
+
+/// The default cross-check grid: maximal-t and n > 3t points across a range
+/// of sizes, covering both resilience regimes.
+[[nodiscard]] std::vector<SystemParams> standard_cross_check_grid();
+
+/// Renders the bounds as a GitHub-flavored markdown table; when `at` is
+/// given, adds concrete budget columns evaluated at that point.
+void write_bounds_markdown(std::ostream& os,
+                           const std::vector<StaticBounds>& bounds,
+                           const std::optional<SystemParams>& at);
+
+/// Machine-readable form: one object per protocol with the closed forms as
+/// strings and, when `at` is given, the concrete budgets.
+void write_bounds_json(std::ostream& os,
+                       const std::vector<StaticBounds>& bounds,
+                       const std::optional<SystemParams>& at);
+
+}  // namespace ba::statics

@@ -1,0 +1,84 @@
+#include "statics/comm_spec.h"
+
+namespace ba::statics {
+
+const char* to_string(PayloadClass payload) {
+  switch (payload) {
+    case PayloadClass::kBit:
+      return "bit";
+    case PayloadClass::kValue:
+      return "value";
+    case PayloadClass::kValueSet:
+      return "value-set";
+    case PayloadClass::kSignatureChain:
+      return "signature-chain";
+    case PayloadClass::kEigReport:
+      return "eig-report";
+  }
+  return "unknown";
+}
+
+std::optional<Poly> payload_byte_bound(PayloadClass payload,
+                                       const Poly& sig_depth,
+                                       const Poly& copies) {
+  // Canonical-encoding envelopes (runtime/serde.h): generous constants so a
+  // class bound dominates every concrete encoding the runtime produces.
+  //   bit        tagged ["tag", b]                      <= 32 bytes
+  //   value      tagged value of bounded nesting        <= 64 bytes
+  //   value-set  up to n bounded values + framing       <= 64*n + 32
+  //   sig-chain  value + depth * (signer id + MAC)      <= 64*depth + 64
+  Poly per_payload;
+  switch (payload) {
+    case PayloadClass::kBit:
+      per_payload = Poly(32);
+      break;
+    case PayloadClass::kValue:
+      per_payload = Poly(64);
+      break;
+    case PayloadClass::kValueSet:
+      per_payload = Poly(64) * Poly::n() + Poly(32);
+      break;
+    case PayloadClass::kSignatureChain:
+      per_payload = Poly(64) * sig_depth + Poly(64);
+      break;
+    case PayloadClass::kEigReport:
+      // Level-r reports carry O(n^r) entries — no polynomial envelope.
+      return std::nullopt;
+  }
+  return copies * per_payload;
+}
+
+Poly block_message_bound(const RoundBlock& block) {
+  Poly total;
+  for (const MessagePattern& pattern : block.patterns) {
+    Poly occurrences = pattern.senders * pattern.receivers_per_sender;
+    if (!pattern.per_block) occurrences *= block.rounds;
+    total += occurrences;
+  }
+  return total;
+}
+
+Poly spec_message_bound(const CommSpec& spec) {
+  Poly total;
+  for (const RoundBlock& block : spec.blocks) {
+    total += block_message_bound(block);
+  }
+  return total;
+}
+
+std::optional<Poly> spec_payload_byte_bound(const CommSpec& spec) {
+  Poly total;
+  for (const RoundBlock& block : spec.blocks) {
+    for (const MessagePattern& pattern : block.patterns) {
+      const std::optional<Poly> per_message = payload_byte_bound(
+          pattern.payload, pattern.sig_depth, pattern.payload_copies);
+      if (!per_message) return std::nullopt;
+      Poly occurrences = pattern.senders * pattern.receivers_per_sender;
+      if (!pattern.per_block) occurrences *= block.rounds;
+      total += occurrences * *per_message;
+    }
+  }
+  return total;
+}
+
+}  // namespace ba::statics

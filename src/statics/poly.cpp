@@ -1,0 +1,148 @@
+#include "statics/poly.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace ba::statics {
+namespace {
+
+/// Saturating accumulate in 128-bit then clamp to [0, INT64_MAX].
+std::int64_t clamp128(__int128 v) {
+  if (v < 0) return 0;
+  if (v > static_cast<__int128>(std::numeric_limits<std::int64_t>::max())) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+__int128 pow128(std::int64_t base, unsigned exp) {
+  __int128 out = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    out *= base;
+    // n, t, f are system sizes (well under 2^32) and exponents are tiny, so
+    // this cannot overflow 128 bits for any spec the analyzer builds.
+  }
+  return out;
+}
+
+}  // namespace
+
+bool monomial_before(const Monomial& a, const Monomial& b) {
+  if (a.total_degree() != b.total_degree()) {
+    return a.total_degree() > b.total_degree();
+  }
+  if (a.n_exp != b.n_exp) return a.n_exp > b.n_exp;
+  if (a.t_exp != b.t_exp) return a.t_exp > b.t_exp;
+  return a.f_exp > b.f_exp;
+}
+
+Poly::Poly(std::int64_t c) {
+  if (c != 0) terms_.emplace_back(Monomial{}, c);
+}
+
+Poly Poly::n() {
+  Poly p;
+  p.terms_.emplace_back(Monomial{1, 0, 0}, 1);
+  return p;
+}
+
+Poly Poly::t() {
+  Poly p;
+  p.terms_.emplace_back(Monomial{0, 1, 0}, 1);
+  return p;
+}
+
+Poly Poly::f() {
+  Poly p;
+  p.terms_.emplace_back(Monomial{0, 0, 1}, 1);
+  return p;
+}
+
+void Poly::add_term(const Monomial& m, std::int64_t coeff) {
+  if (coeff == 0) return;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), m,
+      [](const auto& term, const Monomial& key) {
+        return monomial_before(term.first, key);
+      });
+  if (it != terms_.end() && it->first == m) {
+    it->second += coeff;
+    if (it->second == 0) terms_.erase(it);
+  } else {
+    terms_.insert(it, {m, coeff});
+  }
+}
+
+Poly& Poly::operator+=(const Poly& other) {
+  for (const auto& [m, c] : other.terms_) add_term(m, c);
+  return *this;
+}
+
+Poly& Poly::operator-=(const Poly& other) {
+  for (const auto& [m, c] : other.terms_) add_term(m, -c);
+  return *this;
+}
+
+Poly& Poly::operator*=(const Poly& other) {
+  std::vector<std::pair<Monomial, std::int64_t>> lhs = std::move(terms_);
+  terms_.clear();
+  for (const auto& [ma, ca] : lhs) {
+    for (const auto& [mb, cb] : other.terms_) {
+      const Monomial m{static_cast<std::uint8_t>(ma.n_exp + mb.n_exp),
+                       static_cast<std::uint8_t>(ma.t_exp + mb.t_exp),
+                       static_cast<std::uint8_t>(ma.f_exp + mb.f_exp)};
+      add_term(m, ca * cb);
+    }
+  }
+  return *this;
+}
+
+std::int64_t Poly::eval(std::int64_t n_value, std::int64_t t_value,
+                        std::int64_t f_value) const {
+  __int128 sum = 0;
+  for (const auto& [m, c] : terms_) {
+    sum += static_cast<__int128>(c) * pow128(n_value, m.n_exp) *
+           pow128(t_value, m.t_exp) * pow128(f_value, m.f_exp);
+  }
+  return clamp128(sum);
+}
+
+std::string Poly::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [m, c] : terms_) {
+    const std::int64_t mag = c < 0 ? -c : c;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    first = false;
+    const bool has_vars = m.total_degree() > 0;
+    if (mag != 1 || !has_vars) os << mag;
+    bool star = mag != 1 || !has_vars;
+    const auto var = [&](const char* name, std::uint8_t exp) {
+      if (exp == 0) return;
+      if (star) os << "*";
+      os << name;
+      if (exp > 1) os << "^" << static_cast<int>(exp);
+      star = true;
+    };
+    var("n", m.n_exp);
+    var("t", m.t_exp);
+    var("f", m.f_exp);
+  }
+  return os.str();
+}
+
+unsigned Poly::degree() const {
+  unsigned deg = 0;
+  for (const auto& term : terms_) {
+    deg = std::max(deg, term.first.total_degree());
+  }
+  return deg;
+}
+
+}  // namespace ba::statics

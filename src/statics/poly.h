@@ -1,0 +1,86 @@
+#pragma once
+
+// Symbolic polynomials over the system parameters n, t, f — the closed-form
+// currency of the static communication-complexity analyzer.
+//
+// A `Poly` is a sum of integer-coefficient monomials n^a * t^b * f^c. The
+// analyzer builds bounds by ordinary arithmetic on these (e.g. the
+// phase-king message bound (t + 1) * (2n(n-1) + (n-1)) is literally that
+// expression over `Poly::n()` / `Poly::t()`), renders them canonically for
+// the golden-bounds table, and evaluates them at concrete (n, t, f) points
+// to derive the per-run budgets the dynamic linter enforces.
+//
+// Evaluation saturates at INT64_MAX instead of overflowing: a budget that
+// clamps is still a sound upper bound, and the analyzer never needs exact
+// values that large.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ba::statics {
+
+/// One monomial n^a * t^b * f^c (exponents only; the coefficient lives in
+/// the Poly term list).
+struct Monomial {
+  std::uint8_t n_exp{0};
+  std::uint8_t t_exp{0};
+  std::uint8_t f_exp{0};
+
+  [[nodiscard]] unsigned total_degree() const {
+    return static_cast<unsigned>(n_exp) + t_exp + f_exp;
+  }
+  friend bool operator==(const Monomial&, const Monomial&) = default;
+};
+
+/// Canonical term order: total degree descending, then n-heavy before
+/// t-heavy before f-heavy — so "n^2 + n*t + t + 1" always renders that way.
+[[nodiscard]] bool monomial_before(const Monomial& a, const Monomial& b);
+
+class Poly {
+ public:
+  Poly() = default;
+  /// The constant polynomial `c`.
+  explicit Poly(std::int64_t c);
+
+  /// The variables.
+  static Poly n();
+  static Poly t();
+  static Poly f();
+
+  Poly& operator+=(const Poly& other);
+  Poly& operator-=(const Poly& other);
+  Poly& operator*=(const Poly& other);
+
+  friend Poly operator+(Poly a, const Poly& b) { return a += b; }
+  friend Poly operator-(Poly a, const Poly& b) { return a -= b; }
+  friend Poly operator*(Poly a, const Poly& b) { return a *= b; }
+  friend Poly operator+(Poly a, std::int64_t c) { return a += Poly(c); }
+  friend Poly operator-(Poly a, std::int64_t c) { return a -= Poly(c); }
+  friend Poly operator*(Poly a, std::int64_t c) { return a *= Poly(c); }
+  friend Poly operator+(std::int64_t c, Poly a) { return a += Poly(c); }
+  friend Poly operator*(std::int64_t c, Poly a) { return a *= Poly(c); }
+
+  /// Evaluates at a concrete point, saturating at INT64_MAX (and clamping
+  /// below at 0: a bound is a count, and every spec polynomial is
+  /// non-negative over its admissible domain t < n, f <= t).
+  [[nodiscard]] std::int64_t eval(std::int64_t n_value, std::int64_t t_value,
+                                  std::int64_t f_value) const;
+
+  /// Canonical rendering, e.g. "2*n^2*t + n - 1"; "0" for the zero poly.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool zero() const { return terms_.empty(); }
+  /// Highest total degree among the terms (0 for constants and zero).
+  [[nodiscard]] unsigned degree() const;
+
+  friend bool operator==(const Poly&, const Poly&) = default;
+
+ private:
+  void add_term(const Monomial& m, std::int64_t coeff);
+
+  /// Sorted by `monomial_before`; coefficients are never zero.
+  std::vector<std::pair<Monomial, std::int64_t>> terms_;
+};
+
+}  // namespace ba::statics

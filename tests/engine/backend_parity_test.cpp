@@ -107,6 +107,35 @@ TEST(EngineRegistry, ParsesBackendSpecs) {
   EXPECT_FALSE(parse_backend_spec("sim:jitter,4x2").has_value());
 }
 
+// The diagnostics are part of the CLI surface (--backend forwards them to
+// the user verbatim), so the exact wording is pinned: the unknown-name
+// message must enumerate the registered backends and the malformed-spec
+// message must restate the grammar.
+TEST(EngineRegistry, UnknownBackendErrorNamesTheRegistry) {
+  try {
+    (void)make_backend("warp-drive");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown execution backend 'warp-drive' "
+                 "(registered: lockstep | sim)");
+  }
+}
+
+TEST(EngineRegistry, MalformedSpecErrorRestatesTheGrammar) {
+  for (const char* bad : {":jitter", "sim:", "sim:jitter,", "sim:jitter,4x2"}) {
+    try {
+      (void)make_backend(bad);
+      FAIL() << "expected std::invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string("malformed backend spec '") + bad +
+                    "' (want name[:model[,seed]])")
+          << bad;
+    }
+  }
+}
+
 TEST(EngineBackend, SimConfigValidation) {
   SimBackendConfig bad_model;
   bad_model.model = "telepathy";

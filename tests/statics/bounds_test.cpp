@@ -1,0 +1,195 @@
+// The golden-bounds table and the lower-bound cross-check gate.
+//
+// The golden table pins the closed-form message/round bounds of every
+// registered CommSpec: a refactor that changes a protocol's declared
+// communication structure must consciously update the golden entry here.
+// The cross-check tests assert both directions of the gate — the real spec
+// table is consistent with the paper, and a doctored under-counting spec is
+// flagged as a spec bug.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/ba.h"
+
+namespace ba::statics {
+namespace {
+
+using protocols::all_comm_specs;
+using protocols::find_comm_spec;
+
+TEST(CommSpecRegistry, EveryProtocolDeclaresASpec) {
+  // One entry per protocol family in src/protocols/ (correct protocols plus
+  // the deliberately broken candidates). Growing the library should grow
+  // this count alongside a new golden entry below.
+  EXPECT_EQ(all_comm_specs().size(), 23u);
+  for (const CommSpec& spec : all_comm_specs()) {
+    EXPECT_FALSE(spec.protocol.empty());
+    EXPECT_FALSE(spec.problem.empty());
+    const StaticBounds bounds = analyze(spec);
+    EXPECT_EQ(bounds.protocol, spec.protocol);
+    // Every declared bound must be non-trivial for a protocol that sends
+    // at all: rounds 0 <=> messages 0 (only the silent candidate).
+    EXPECT_EQ(bounds.messages.zero(), bounds.rounds.zero())
+        << spec.protocol;
+  }
+}
+
+TEST(CommSpecRegistry, NamesAndAliasesAreUnique) {
+  std::set<std::string> seen;
+  for (const CommSpec& spec : all_comm_specs()) {
+    EXPECT_TRUE(seen.insert(spec.protocol).second) << spec.protocol;
+    for (const std::string& alias : spec.aliases) {
+      EXPECT_TRUE(seen.insert(alias).second) << alias;
+    }
+  }
+}
+
+TEST(CommSpecRegistry, EverySurfaceNameResolves) {
+  // The CLI names (tools/tool_protocols.h) and the sweep entry names
+  // (lowerbound::standard_sweep_entries) must all reach a spec, so the
+  // budget wiring covers every runnable surface.
+  for (const char* name :
+       {"silent", "beacon", "gossip", "one-shot-echo", "ds-weak",
+        "phase-king", "phase-king-strong", "floodset", "eig-strong",
+        "silent-default", "leader-beacon", "gossip-ring-2",
+        "dolev-strong-weak"}) {
+    EXPECT_NE(find_comm_spec(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_comm_spec("no-such-protocol"), nullptr);
+  // Aliases resolve to the same spec object as the canonical name.
+  EXPECT_EQ(find_comm_spec("ds-weak"), find_comm_spec("dolev-strong-weak"));
+}
+
+TEST(GoldenBounds, ClosedFormsMatchThePaperArithmetic) {
+  const std::map<std::string, std::pair<std::string, std::string>> golden = {
+      // protocol -> {messages, rounds}
+      {"dolev-strong", {"2*n^2 - n - 1", "t + 1"}},
+      {"dolev-strong-weak", {"2*n^2 - n - 1", "t + 1"}},
+      {"phase-king-strong",
+       {"2*n^2*t + 2*n^2 - n*t - n - t - 1", "3*t + 3"}},
+      {"phase-king", {"2*n^2*t + 2*n^2 - n*t - n - t - 1", "3*t + 3"}},
+      {"turpin-coan", {"2*n^2*t + 4*n^2 - n*t - 3*n - t - 1", "3*t + 5"}},
+      {"unauth-broadcast", {"2*n^2*t + 2*n^2 - n*t - t - 2", "3*t + 4"}},
+      {"eig-ic", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"eig-strong", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"auth-ic", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"unauth-ic-bits", {"3*n^2*t + 4*n^2 - 3*n*t - 4*n", "3*t + 4"}},
+      {"crusader", {"n^2 - 1", "2"}},
+      {"gradecast", {"2*n^2 - n - 1", "3"}},
+      {"floodset", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"early-deciding-floodset", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"external-validity",
+       {"2*n^2*t + 2*n^2 - n*t - n - t - 1", "t^2 + 2*t + 1"}},
+      {"approx-agreement", {"12*n^2 - 12*n", "12"}},
+      {"k-set-agreement", {"n^2*t + n^2 - n*t - n", "t + 1"}},
+      {"silent", {"0", "0"}},
+      {"leader-beacon", {"n - 1", "1"}},
+      {"gossip-ring", {"6*n", "3"}},
+      {"one-shot-echo", {"n^2 - n", "1"}},
+      {"bb-direct", {"n - 1", "1"}},
+      {"bb-relay-ring", {"3*n - 1", "2"}},
+  };
+  ASSERT_EQ(golden.size(), all_comm_specs().size());
+  for (const CommSpec& spec : all_comm_specs()) {
+    const auto it = golden.find(spec.protocol);
+    ASSERT_NE(it, golden.end()) << spec.protocol;
+    const StaticBounds bounds = analyze(spec);
+    EXPECT_EQ(bounds.messages.to_string(), it->second.first)
+        << spec.protocol;
+    EXPECT_EQ(bounds.rounds.to_string(), it->second.second)
+        << spec.protocol;
+  }
+}
+
+TEST(GoldenBounds, OnlyEigPayloadsAreSuperpolynomial) {
+  for (const CommSpec& spec : all_comm_specs()) {
+    const StaticBounds bounds = analyze(spec);
+    const bool is_eig =
+        spec.protocol == "eig-ic" || spec.protocol == "eig-strong";
+    EXPECT_EQ(bounds.payload_bytes.has_value(), !is_eig) << spec.protocol;
+  }
+}
+
+TEST(Budgets, ConcreteEvaluationAtWorstCaseF) {
+  const StaticBounds ds = analyze(*find_comm_spec("dolev-strong"));
+  const Budget at16 = budget_at(ds, SystemParams{16, 15});
+  EXPECT_EQ(at16.messages, 2u * 256 - 16 - 1);  // 495
+  EXPECT_EQ(at16.rounds, 16u);
+  ASSERT_TRUE(at16.payload_bytes.has_value());
+
+  const StaticBounds pk = analyze(*find_comm_spec("phase-king"));
+  EXPECT_EQ(budget_at(pk, SystemParams{4, 1}).messages, 54u);
+
+  EXPECT_FALSE(
+      budget_at(analyze(*find_comm_spec("eig-ic")), SystemParams{4, 1})
+          .payload_bytes.has_value());
+}
+
+TEST(CrossCheck, RealSpecTableIsConsistentWithThePaper) {
+  std::vector<StaticBounds> bounds;
+  for (const CommSpec& spec : all_comm_specs()) bounds.push_back(analyze(spec));
+  const auto findings = cross_check(bounds, standard_cross_check_grid());
+  for (const auto& finding : findings) ADD_FAILURE() << finding.to_string();
+}
+
+TEST(CrossCheck, FlagsACorrectClaimingSpecBelowTheLowerBound) {
+  // Doctor a spec that claims correctness while declaring one lonely
+  // message: the paper says that cannot exist, so the analyzer must call
+  // it a spec bug.
+  CommSpec doctored = *find_comm_spec("dolev-strong");
+  doctored.protocol = "doctored-subquadratic";
+  doctored.blocks = {{.label = "round 1",
+                      .rounds = Poly(1),
+                      .patterns = {{.label = "one message",
+                                    .senders = Poly(1),
+                                    .receivers_per_sender = Poly(1)}}}};
+  const auto findings =
+      cross_check({analyze(doctored)}, standard_cross_check_grid());
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings.front().protocol, "doctored-subquadratic");
+  EXPECT_LT(findings.front().static_messages, findings.front().lower_bound);
+  EXPECT_NE(findings.front().detail.find("under-counts"), std::string::npos);
+  EXPECT_NE(findings.front().to_string().find("t^2/32"), std::string::npos);
+}
+
+TEST(CrossCheck, AttackTargetsAndNonAgreementProblemsAreExempt) {
+  EXPECT_TRUE(lower_bound_applies("weak-consensus"));
+  EXPECT_TRUE(lower_bound_applies("broadcast"));
+  EXPECT_FALSE(lower_bound_applies("approximate-agreement"));
+  EXPECT_FALSE(lower_bound_applies("k-set-agreement"));
+  // silent claims_correct == false and sends 0 messages: exempt.
+  const auto findings = cross_check({analyze(*find_comm_spec("silent"))},
+                                    standard_cross_check_grid());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Writers, MarkdownAndJsonCarryTheBoundsTable) {
+  std::vector<StaticBounds> bounds = {analyze(*find_comm_spec("dolev-strong")),
+                                      analyze(*find_comm_spec("eig-ic"))};
+  std::ostringstream md;
+  write_bounds_markdown(md, bounds, SystemParams{16, 15});
+  EXPECT_NE(md.str().find("| protocol | problem | claims |"),
+            std::string::npos);
+  EXPECT_NE(md.str().find("| dolev-strong | broadcast | correct | "
+                          "2*n^2 - n - 1 | t + 1 |"),
+            std::string::npos);
+  EXPECT_NE(md.str().find("superpolynomial"), std::string::npos);
+  EXPECT_NE(md.str().find(" 495 | 7 |"), std::string::npos);
+
+  std::ostringstream js;
+  write_bounds_json(js, bounds, SystemParams{16, 15});
+  EXPECT_NE(js.str().find("\"experiment\": \"static_comm_bounds\""),
+            std::string::npos);
+  EXPECT_NE(js.str().find("\"messages\": \"2*n^2 - n - 1\""),
+            std::string::npos);
+  EXPECT_NE(js.str().find("\"messages_at\": 495"), std::string::npos);
+  EXPECT_NE(js.str().find("\"payload_bytes\": null"), std::string::npos);
+  EXPECT_NE(js.str().find("\"lower_bound_at\": 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ba::statics

@@ -1,0 +1,89 @@
+// Unit tests for the symbolic polynomials underneath the static analyzer:
+// arithmetic, canonical rendering, saturating evaluation — and the guard
+// that keeps statics' restated Lemma 1 threshold from drifting away from
+// the lowerbound library's definition.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/ba.h"
+
+namespace ba::statics {
+namespace {
+
+TEST(Poly, ConstantsAndVariables) {
+  EXPECT_EQ(Poly(7).to_string(), "7");
+  EXPECT_EQ(Poly(-3).to_string(), "-3");
+  EXPECT_EQ(Poly().to_string(), "0");
+  EXPECT_TRUE(Poly().zero());
+  EXPECT_EQ(Poly::n().to_string(), "n");
+  EXPECT_EQ(Poly::t().to_string(), "t");
+  EXPECT_EQ(Poly::f().to_string(), "f");
+}
+
+TEST(Poly, ArithmeticProducesCanonicalForms) {
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  EXPECT_EQ(((n + 1) * (n - 1)).to_string(), "n^2 - 1");
+  EXPECT_EQ((2 * n * n * t + n - 1).to_string(), "2*n^2*t + n - 1");
+  // Dolev-Strong: (n-1) + 2n(n-1).
+  EXPECT_EQ(((n - 1) + Poly(2) * n * (n - 1)).to_string(), "2*n^2 - n - 1");
+  // Cancellation back to zero.
+  EXPECT_TRUE((n * t - t * n).zero());
+  EXPECT_EQ((n - n).to_string(), "0");
+}
+
+TEST(Poly, TermOrderIsDegreeThenVariableMajor) {
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  const Poly f = Poly::f();
+  // Same total degree: n-heavy renders before t-heavy before f-heavy.
+  EXPECT_EQ((f * f + n * t + t * t + n * n).to_string(),
+            "n^2 + n*t + t^2 + f^2");
+  // Higher degree always first, regardless of insertion order.
+  EXPECT_EQ((Poly(1) + n + n * n * n).to_string(), "n^3 + n + 1");
+}
+
+TEST(Poly, EvaluationMatchesClosedForm) {
+  const Poly n = Poly::n();
+  const Poly t = Poly::t();
+  const Poly phase_king = (t + 1) * (2 * n * (n - 1) + (n - 1));
+  // (1+1) * (2*4*3 + 3) = 2 * 27 = 54.
+  EXPECT_EQ(phase_king.eval(4, 1, 1), 54);
+  EXPECT_EQ(Poly::f().eval(10, 5, 3), 3);
+  EXPECT_EQ(Poly(42).eval(0, 0, 0), 42);
+}
+
+TEST(Poly, EvaluationSaturatesInsteadOfOverflowing) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const Poly huge = Poly(big) * Poly::n();
+  EXPECT_EQ(huge.eval(2, 0, 0), big);  // would overflow, clamps at max
+  // Counts never go negative: a bound evaluated outside its admissible
+  // domain clamps at zero rather than returning a nonsense negative budget.
+  EXPECT_EQ((Poly::n() - 10).eval(1, 0, 0), 0);
+}
+
+TEST(Poly, Degree) {
+  EXPECT_EQ(Poly().degree(), 0u);
+  EXPECT_EQ(Poly(5).degree(), 0u);
+  EXPECT_EQ(Poly::n().degree(), 1u);
+  EXPECT_EQ((Poly::n() * Poly::n() * Poly::t() + Poly::n()).degree(), 3u);
+}
+
+TEST(Poly, EqualityIsStructural) {
+  const Poly n = Poly::n();
+  EXPECT_EQ((n + 1) * (n - 1), n * n - 1);
+  EXPECT_NE(n * n, n * Poly::t());
+}
+
+// statics/ sits below lowerbound/ in the layering, so it restates the
+// Lemma 1 threshold locally. This is the drift guard the header promises.
+TEST(StaticLemma1Bound, NeverDriftsFromLowerboundDefinition) {
+  for (std::uint32_t t = 0; t <= 2048; ++t) {
+    ASSERT_EQ(static_lemma1_bound(t), lowerbound::lemma1_bound(t)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace ba::statics

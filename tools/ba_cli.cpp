@@ -18,6 +18,11 @@
 //       run the Theorem 2 attack sweep (standard candidate set) over a grid,
 //       fanned across N pool workers (0 = hardware concurrency, default 1);
 //       optionally write the machine-readable BENCH_sweep.json report
+//   ba_cli bounds [--protocol P] [--n N --t T] [--json]
+//       print the statically derived communication bounds (closed forms in
+//       n/t/f; concrete budgets when --n/--t given) and cross-check every
+//       correctness-claiming protocol against the paper's t^2/32 threshold
+//       — exits 1 when a CommSpec dips below a lower bound it is subject to
 //   ba_cli sim <protocol> <n> <t> <bit...> [--model sync|jitter|gst]
 //              [--seed S] [--gst R] [--lag K] [--round-ticks T]
 //              [--backend SPEC] [--save-trace FILE]
@@ -61,6 +66,7 @@ int usage() {
                "[--save-trace FILE]\n"
                "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE] "
                "[--backend SPEC]\n"
+               "  ba_cli bounds [--protocol P] [--n N --t T] [--json]\n"
                "  ba_cli sim <protocol> <n> <t> <bit...> [--model "
                "sync|jitter|gst]\n"
                "         [--seed S] [--gst R] [--lag K] [--round-ticks T] "
@@ -288,6 +294,13 @@ int cmd_run(int argc, char** argv) {
   if (!backend) return 2;
   RunOptions opts;
   opts.lint_trace = true;
+  // Gate the run with the statically derived message budget when the
+  // protocol declares a CommSpec (the linter flags budget violations).
+  if (const statics::CommSpec* spec = protocols::find_comm_spec(name)) {
+    opts.message_budget =
+        statics::budget_at(statics::analyze(*spec), SystemParams{n, t})
+            .messages;
+  }
   RunResult res = backend->second->run(SystemParams{n, t}, *protocol,
                                        proposals, Adversary::none(), opts);
   for (ProcessId p = 0; p < n; ++p) {
@@ -387,6 +400,11 @@ int cmd_sim(int argc, char** argv) {
 
   RunOptions opts;
   opts.lint_trace = true;
+  if (const statics::CommSpec* spec = protocols::find_comm_spec(name)) {
+    opts.message_budget =
+        statics::budget_at(statics::analyze(*spec), SystemParams{n, t})
+            .messages;
+  }
   RunResult res;
   try {
     res = backend->run(SystemParams{n, t}, *protocol, proposals,
@@ -421,6 +439,72 @@ int cmd_sim(int argc, char** argv) {
     }
   }
   return res.lint_clean() ? 0 : 1;
+}
+
+int cmd_bounds(int argc, char** argv) {
+  std::string protocol;
+  std::optional<std::uint32_t> n, t;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--protocol") == 0 && i + 1 < argc) {
+      protocol = argv[++i];
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--t") == 0 && i + 1 < argc) {
+      t = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      return usage();
+    }
+  }
+  std::optional<SystemParams> at;
+  if (n || t) {
+    if (!n || !t || !SystemParams{*n, *t}.valid()) {
+      std::fprintf(stderr, "bounds: --n and --t must be given together "
+                           "with t < n\n");
+      return 2;
+    }
+    at = SystemParams{*n, *t};
+  }
+
+  std::vector<statics::StaticBounds> bounds;
+  if (protocol.empty()) {
+    for (const statics::CommSpec& spec : protocols::all_comm_specs()) {
+      bounds.push_back(statics::analyze(spec));
+    }
+  } else {
+    const statics::CommSpec* spec = protocols::find_comm_spec(protocol);
+    if (!spec) {
+      std::fprintf(stderr, "bounds: unknown protocol '%s'\n",
+                   protocol.c_str());
+      return 2;
+    }
+    bounds.push_back(statics::analyze(*spec));
+  }
+
+  if (json) {
+    statics::write_bounds_json(std::cout, bounds, at);
+  } else {
+    statics::write_bounds_markdown(std::cout, bounds, at);
+  }
+
+  // The lower-bound gate: a correctness-claiming spec below t^2/32 is a
+  // spec bug (the paper says no correct protocol can be there).
+  const auto grid = at ? std::vector<SystemParams>{*at}
+                       : statics::standard_cross_check_grid();
+  const auto findings = statics::cross_check(bounds, grid);
+  if (!json) {
+    if (findings.empty()) {
+      std::printf("\nlower-bound cross-check: all specs clear t^2/32\n");
+    } else {
+      for (const auto& finding : findings) {
+        std::fprintf(stderr, "cross-check FAIL: %s\n",
+                     finding.to_string().c_str());
+      }
+    }
+  }
+  return findings.empty() ? 0 : 1;
 }
 
 std::optional<std::vector<SystemParams>> parse_grid(const std::string& spec) {
@@ -502,6 +586,7 @@ int main(int argc, char** argv) {
   if (cmd == "solvability") return cmd_solvability(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+  if (cmd == "bounds") return cmd_bounds(argc - 2, argv + 2);
   if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
   return usage();
 }

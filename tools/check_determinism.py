@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Static scan for replay-determinism hazards in the executable core.
+
+The linter's determinism invariant (docs/ANALYSIS.md, A.1) replays every
+process against its recorded receive history and requires bit-identical
+behaviour. That only holds if protocol and runtime code never consults a
+source of nondeterminism. This checker greps src/protocols/ and src/runtime/
+for the constructs that have historically broken replay in message-passing
+simulators:
+
+  * unordered associative containers — iteration order depends on hashing
+    and allocation, so any loop over one can reorder outboxes between runs;
+  * rand()/srand()/std::random_device — hidden global or hardware entropy;
+  * std::chrono::*_clock::now() — wall-clock reads leak real time into
+    logical-round code;
+  * pointer-value ordering (std::less<T*>, casts to uintptr_t for
+    comparison) — address-space layout becomes observable.
+
+A hit is not automatically a bug, but it must be deliberate: silence a
+reviewed line with a `// determinism: <why this is safe>` comment on the
+same line. The check runs as a tier-1 ctest, so a new hazard fails CI until
+it is either removed or justified.
+
+Usage: check_determinism.py [repo_root]
+Exit status: 0 when clean, 1 when hazards are found, 2 on usage errors.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCANNED_DIRS = ("src/protocols", "src/runtime")
+SOURCE_SUFFIXES = {".h", ".cpp"}
+WAIVER = re.compile(r"//\s*determinism:")
+
+HAZARDS = (
+    (re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+     "unordered container: iteration order is not replay-stable"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "C rand()/srand(): hidden global RNG state"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device: hardware entropy is not replayable"),
+    (re.compile(r"\bstd::chrono::\w+::now\s*\("),
+     "wall-clock now(): real time leaks into logical-round code"),
+    (re.compile(r"\bstd::less<[^<>]*\*\s*>"),
+     "pointer-value ordering: address layout becomes observable"),
+    (re.compile(r"\breinterpret_cast<\s*(?:std::)?u?intptr_t\b"),
+     "pointer-to-integer cast: address layout becomes observable"),
+)
+
+
+def scan_file(path: Path) -> list:
+    findings = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if WAIVER.search(line):
+            continue
+        for pattern, reason in HAZARDS:
+            if pattern.search(line):
+                findings.append((path, lineno, reason, line.strip()))
+    return findings
+
+
+def main(argv: list) -> int:
+    if len(argv) > 2:
+        print(__doc__.strip().splitlines()[-2], file=sys.stderr)
+        return 2
+    root = Path(argv[1]) if len(argv) == 2 else Path(__file__).resolve().parent.parent
+    findings = []
+    scanned = 0
+    for rel in SCANNED_DIRS:
+        base = root / rel
+        if not base.is_dir():
+            print(f"check_determinism: missing directory {base}", file=sys.stderr)
+            return 2
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES:
+                scanned += 1
+                findings.extend(scan_file(path))
+    if findings:
+        for path, lineno, reason, line in findings:
+            print(f"{path.relative_to(root)}:{lineno}: {reason}\n    {line}")
+        print(f"\ncheck_determinism: {len(findings)} hazard(s) in {scanned} "
+              "file(s); remove it or waive the line with "
+              "'// determinism: <why this is safe>'")
+        return 1
+    print(f"check_determinism: {scanned} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
