@@ -1,0 +1,127 @@
+// R-async — throughput of the asynchronous adversarial-scheduler substrate
+// (src/async/): single Ben-Or / Bracha executions per scheduler strategy,
+// and the schedule-exploration sampling loop that the termination campaigns
+// and the explore CLI are built on. Counters report deliveries (the async
+// cost unit — one scheduler pick plus one handler dispatch) rather than
+// rounds, which are virtual in this model.
+
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ba::bench {
+namespace {
+
+std::vector<Value> split_proposals(std::uint32_t n) {
+  std::vector<Value> proposals;
+  proposals.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    proposals.push_back(Value::bit(static_cast<int>(p % 2)));
+  }
+  return proposals;
+}
+
+/// One async execution per iteration; a fresh scheduler per run keeps the
+/// work identical across iterations (schedulers are stateful).
+void AsyncRun(benchmark::State& state, const std::string& protocol,
+              const std::string& strategy) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const SystemParams params{n, (n - 1) / 3};
+  const async::AsyncProtocolInfo* info = async::find_async_protocol(protocol);
+  const async::AsyncProtocolFactory factory = info->make(/*coin_seed=*/1);
+  const std::vector<Value> proposals = split_proposals(n);
+  async::AsyncRunOptions opts;
+  opts.record_trace = false;  // hot path proper, like bench_runtime
+
+  std::uint64_t deliveries = 0;
+  std::uint64_t iters = 0;
+  std::uint64_t seed = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto scheduler = async::make_scheduler(strategy, seed++, params.n);
+    const async::AsyncRunResult res =
+        async::run_async(params, factory, proposals,
+                         async::AsyncAdversary::none(), *scheduler, opts);
+    deliveries += res.deliveries;
+    ++iters;
+    benchmark::DoNotOptimize(res.run.decisions.data());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.counters["deliveries_per_run"] =
+      static_cast<double>(deliveries) / static_cast<double>(iters);
+  state.counters["deliveries_per_sec"] =
+      secs > 0 ? static_cast<double>(deliveries) / secs : 0;
+  state.counters["peak_rss_kb"] = peak_rss_kb();
+}
+
+void BenOrRandom(benchmark::State& state) {
+  AsyncRun(state, "ben-or", "random");
+}
+void BenOrDelayDecider(benchmark::State& state) {
+  AsyncRun(state, "ben-or", "delay-decider");
+}
+void BrachaFifo(benchmark::State& state) {
+  AsyncRun(state, "bracha", "fifo");
+}
+void BrachaRrStarve(benchmark::State& state) {
+  AsyncRun(state, "bracha", "rr-starve");
+}
+
+/// One sampling campaign per iteration — the explore CLI's inner loop,
+/// including the per-schedule safety check and the digest fold.
+void ExploreSampling(benchmark::State& state) {
+  const auto samples = static_cast<std::uint64_t>(state.range(0));
+  async::ExploreTask task;
+  task.protocol = "ben-or";
+  task.params = SystemParams{4, 1};
+  task.proposals = {0, 1, 0, 1};
+  async::ExploreOptions options;
+  options.samples = samples;
+  options.jobs = 1;
+
+  std::uint64_t deliveries = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    options.seed = iters + 1;  // fresh schedules every iteration
+    const async::ExploreReport report = async::explore(task, options);
+    deliveries += report.deliveries;
+    schedules += report.schedules;
+    ++iters;
+    benchmark::DoNotOptimize(report.digest);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.counters["schedules_per_sec"] =
+      secs > 0 ? static_cast<double>(schedules) / secs : 0;
+  state.counters["deliveries_per_sec"] =
+      secs > 0 ? static_cast<double>(deliveries) / secs : 0;
+  state.counters["peak_rss_kb"] = peak_rss_kb();
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::BenOrRandom)
+    ->Arg(4)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BenOrDelayDecider)
+    ->Arg(4)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BrachaFifo)
+    ->Arg(4)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::BrachaRrStarve)
+    ->Arg(4)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(ba::bench::ExploreSampling)
+    ->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

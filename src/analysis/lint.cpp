@@ -27,7 +27,10 @@ class Linter {
     if (options_.conservation) check_conservation();
     if (options_.budget) check_budget();
     if (options_.quiescence) check_quiescent_final_round();
-    if (protocol != nullptr && options_.determinism) {
+    // Round-based determinism replay is meaningless for async virtual-round
+    // traces (LintOptions::async_model): one delivery per round, driven by a
+    // scheduler the replayer cannot reconstruct.
+    if (protocol != nullptr && options_.determinism && !options_.async_model) {
       report_.replayed = true;
       check_determinism(*protocol);
     }
@@ -250,7 +253,10 @@ class Linter {
               pt.rounds[i].send_omitted.size(),
               " message(s) — omission not attributable to F");
         }
-        if (!pt.rounds[i].receive_omitted.empty()) {
+        // Async reading: a receive-omission at a correct process is a
+        // message still in flight when the run was cut, not an adversary
+        // omission (the quiescence check catches drained-pool lies).
+        if (!options_.async_model && !pt.rounds[i].receive_omitted.empty()) {
           add(LintCheck::kBudget, p, r, "correct process receive-omitted ",
               pt.rounds[i].receive_omitted.size(),
               " message(s) — omission not attributable to F");
@@ -259,10 +265,28 @@ class Linter {
     }
   }
 
-  /// Structural half of quiescence: a quiesced trace ends with a silent
-  /// round (the runtime only sets the flag once nobody sent).
+  /// Structural half of quiescence. Synchronous reading: a quiesced trace
+  /// ends with a silent round (the runtime only sets the flag once nobody
+  /// sent). Async virtual-round reading: the final round IS a send by
+  /// construction, so round-synchronized silence is the wrong invariant —
+  /// quiescence there means the in-flight pool drained, i.e. no message
+  /// anywhere is still receive-omitted at the cut.
   void check_quiescent_final_round() {
     if (!trace_.quiesced || trace_.rounds == 0) return;
+    if (options_.async_model) {
+      for (ProcessId p = 0; p < trace_.params.n; ++p) {
+        const ProcessTrace& pt = trace_.procs[p];
+        for (std::size_t i = 0; i < pt.rounds.size(); ++i) {
+          if (!pt.rounds[i].receive_omitted.empty()) {
+            add(LintCheck::kQuiescence, p, static_cast<Round>(i + 1),
+                "trace claims quiescence but ",
+                pt.rounds[i].receive_omitted.size(),
+                " message(s) to p", p, " are still in flight");
+          }
+        }
+      }
+      return;
+    }
     for (ProcessId p = 0; p < trace_.params.n; ++p) {
       const ProcessTrace& pt = trace_.procs[p];
       if (pt.rounds.size() != trace_.rounds) continue;  // structure violation

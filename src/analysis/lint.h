@@ -105,6 +105,19 @@ struct LintOptions {
   /// Stop collecting after this many violations (the report is marked
   /// truncated). A corrupt trace can break one invariant per message.
   std::size_t max_violations{64};
+  /// Lint under the asynchronous virtual-round reading (async/async_system.h:
+  /// round = global send sequence, one message per round). Three invariants
+  /// change meaning:
+  ///   * budget: receive-omissions at CORRECT processes are in-flight
+  ///     messages of a truncated run, not adversary omissions — not flagged
+  ///     (send-omissions at correct processes remain violations);
+  ///   * quiescence: a quiesced async trace means the in-flight pool
+  ///     drained — zero receive-omitted anywhere — rather than "silent
+  ///     final round" (the final virtual round IS a send by definition);
+  ///   * determinism: the round-based replay machinery does not apply to
+  ///     message-driven processes; the replay is skipped even when a
+  ///     protocol factory is supplied.
+  bool async_model{false};
 };
 
 /// Lints everything that can be checked from the trace alone: structure,

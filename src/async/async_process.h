@@ -1,0 +1,96 @@
+#pragma once
+
+// The asynchronous (message-driven) state-machine interface.
+//
+// The synchronous `Process` (runtime/process.h) advances in lockstep rounds;
+// an asynchronous protocol has no rounds at all — it reacts to single
+// message deliveries whose ORDER is chosen by an adversarial scheduler
+// (async/scheduler.h). This interface is the executable counterpart of the
+// TLA+ next-state relations in the Ben_or83 and aba_asyn_byz exemplars: a
+// process owns only its local state, every transition is triggered by one
+// delivery, and the messages it emits in reaction are handed back to the
+// runtime, which owns all routing and accounting.
+//
+// Determinism contract (mirrors A.1.3 in spirit): two processes constructed
+// from equal contexts must produce identical send sequences and decisions
+// given the same delivery sequence. All randomness must come through the
+// seeded common-coin abstraction (async/coin.h), never from wall clocks or
+// global RNG state — the schedule-exploration engine (async/explore.h)
+// replays delivery prefixes and relies on runs being pure functions of
+// (protocol, proposals, schedule).
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runtime/message.h"
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba::async {
+
+class AsyncProcess {
+ public:
+  virtual ~AsyncProcess() = default;
+
+  /// Messages sent on activation, before any delivery (the TLA+ Init-state
+  /// sends — e.g. Ben-Or's phase-1 report, Bracha's initial ECHO). Called
+  /// exactly once. Self-sends and out-of-range receivers are dropped by the
+  /// runtime.
+  virtual Outbox on_start() = 0;
+
+  /// One message delivery: the scheduler chose to deliver `payload` from
+  /// `sender`. Returns the messages sent in reaction (possibly none).
+  /// Channels are authenticated: `sender` is the true origin.
+  virtual Outbox on_message(ProcessId sender, const Value& payload) = 0;
+
+  /// The decision, if the process has decided (decisions are permanent).
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+
+  /// True once the process will provably never send another message no
+  /// matter what is delivered. The executor stops delivering *to* a halted
+  /// process (deliveries are still recorded, preserving conservation).
+  [[nodiscard]] virtual bool halted() const { return decision().has_value(); }
+};
+
+/// Construction-time context, mirroring ProcessContext.
+struct AsyncContext {
+  SystemParams params;
+  ProcessId self{kNoProcess};
+  Value proposal;
+};
+
+/// An async protocol is a pure factory of deterministic replicas.
+using AsyncProtocolFactory =
+    std::function<std::unique_ptr<AsyncProcess>(const AsyncContext&)>;
+
+/// Adversary for asynchronous executions. Mirrors `Adversary`
+/// (runtime/fault.h) restricted to the fault classes the async model uses:
+///   * crash-from-start — faulty, non-Byzantine processes are never
+///     activated: they send nothing and ignore every delivery;
+///   * Byzantine — the replica is built by `byzantine_factory` instead of
+///     the honest factory (must be a subset of `faulty`).
+/// The scheduler itself is the omission-power of this model: it may delay
+/// any message arbitrarily (but the executor delivers every message it can
+/// before declaring quiescence — asynchronous reliable links).
+struct AsyncAdversary {
+  ProcessSet faulty;
+  ProcessSet byzantine;
+  AsyncProtocolFactory byzantine_factory;
+
+  [[nodiscard]] static AsyncAdversary none() { return {}; }
+
+  [[nodiscard]] bool is_faulty(ProcessId p) const {
+    return faulty.contains(p);
+  }
+  [[nodiscard]] bool is_byzantine(ProcessId p) const {
+    return byzantine.contains(p);
+  }
+  /// Crashed-from-start: faulty but not Byzantine.
+  [[nodiscard]] bool is_crashed(ProcessId p) const {
+    return is_faulty(p) && !is_byzantine(p);
+  }
+};
+
+}  // namespace ba::async

@@ -1,0 +1,84 @@
+#pragma once
+
+// The asynchronous executor: delivery-at-a-time execution under a pluggable
+// adversarial scheduler (async/scheduler.h).
+//
+// Semantics. Every non-crashed process is activated once (`on_start`); its
+// sends enter the in-flight pool. Then, repeatedly, the scheduler picks one
+// in-flight message; the executor delivers it to its receiver, whose
+// reaction sends (if any) join the pool. The run ends when the pool is
+// empty (quiescence — reliable links delivered everything and nobody has
+// more to say) or the delivery cap is hit (a non-quiescent protocol, or a
+// deliberately truncated exploration prefix).
+//
+// Virtual-round trace encoding. Recorded traces reuse the synchronous
+// ExecutionTrace vocabulary so the whole analysis stack (A.1 linter,
+// trace_io, lint_trace) works unchanged: a message's ROUND is its global
+// 1-based send-sequence number. At most one message exists per round, so
+// the A.1.1 identity discipline (one message per ordered pair per round, no
+// self-messages) holds by construction, and conservation is exact — a
+// delivered message appears as `received` in its send round's bucket, an
+// in-flight message at the cut as `receive_omitted`. Two async invariants
+// differ from the synchronous reading and are linted through
+// `LintOptions::async_model` (the async-aware quiescence/budget semantics
+// of src/analysis/lint.h): quiescence means "no deliverable message
+// pending", not "silent final round", and receive-omissions at correct
+// processes are in-flight messages of a truncated run, not adversary
+// omissions.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "async/async_process.h"
+#include "async/scheduler.h"
+#include "runtime/sync_system.h"
+#include "runtime/types.h"
+#include "runtime/value.h"
+
+namespace ba::async {
+
+struct AsyncRunOptions {
+  /// Hard cap on deliveries (protects against chattering protocols).
+  std::uint64_t max_deliveries{100000};
+  /// Stop after exactly this many deliveries even though messages remain in
+  /// flight (schedule-exploration prefixes). nullopt = run to quiescence.
+  std::optional<std::uint64_t> stop_after{};
+  /// Record the full virtual-round trace.
+  bool record_trace{true};
+  /// Lint the recorded trace (async invariant semantics). Requires
+  /// record_trace, like the synchronous executors.
+  bool lint_trace{false};
+  /// Static message budget (statics::budget_at) forwarded to the linter.
+  std::optional<std::uint64_t> message_budget;
+  /// Snapshot the in-flight pool at the end of the run into
+  /// AsyncRunResult::pending (exploration wants the branching candidates).
+  bool capture_pending{false};
+};
+
+struct AsyncRunResult {
+  /// Decisions, counters, trace and lint verdict in the shared RunResult
+  /// shape. `run.rounds_executed` is the number of virtual rounds == total
+  /// messages sent; `run.quiesced` is true iff the in-flight pool drained.
+  RunResult run;
+  /// Number of deliveries performed.
+  std::uint64_t deliveries{0};
+  /// The scheduler's picks, one pending-pool index per delivery — replaying
+  /// them through a ScriptedScheduler reproduces this run exactly.
+  std::vector<std::uint32_t> schedule;
+  /// In-flight messages at the end of the run (only with capture_pending).
+  std::vector<PendingMessage> pending;
+};
+
+/// Runs one asynchronous execution. Pure up to the scheduler's state: with
+/// a fresh deterministic scheduler, identical arguments give identical
+/// results. Throws std::invalid_argument on malformed arguments
+/// (proposals size, lint without trace).
+AsyncRunResult run_async(const SystemParams& params,
+                         const AsyncProtocolFactory& protocol,
+                         const std::vector<Value>& proposals,
+                         const AsyncAdversary& adversary,
+                         Scheduler& scheduler,
+                         const AsyncRunOptions& options = {});
+
+}  // namespace ba::async

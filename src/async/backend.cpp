@@ -1,0 +1,40 @@
+#include "async/backend.h"
+
+#include <stdexcept>
+
+#include "async/protocols.h"
+#include "async/scheduler.h"
+
+namespace ba::async {
+
+AsyncBackend::AsyncBackend(const engine::AsyncBackendConfig& config)
+    : config_(config) {
+  if (!scheduler_strategy_known(config_.strategy)) {
+    throw std::invalid_argument("AsyncBackend: unknown strategy '" +
+                                config_.strategy + "' (" +
+                                scheduler_strategy_list() + ")");
+  }
+}
+
+RunResult AsyncBackend::run(const SystemParams& /*params*/,
+                            const ProtocolFactory& /*protocol*/,
+                            const std::vector<Value>& /*proposals*/,
+                            const Adversary& /*adversary*/,
+                            const RunOptions& /*options*/) const {
+  throw std::invalid_argument(
+      std::string("AsyncBackend: synchronous protocols cannot run on the "
+                  "async scheduler; use run_async with an async protocol (") +
+      async_protocol_list() + ")");
+}
+
+AsyncRunResult AsyncBackend::run_async_protocol(
+    const SystemParams& params, const AsyncProtocolFactory& protocol,
+    const std::vector<Value>& proposals, const AsyncAdversary& adversary,
+    const AsyncRunOptions& options) const {
+  const auto scheduler =
+      make_scheduler(config_.strategy, config_.seed, params.n);
+  return run_async(params, protocol, proposals, adversary, *scheduler,
+                   options);
+}
+
+}  // namespace ba::async

@@ -1,0 +1,59 @@
+#pragma once
+
+// The asynchronous adversarial-scheduler substrate behind the engine seam.
+//
+// AsyncBackend registers as "async" (engine/registry.h, spec syntax
+// `async[:strategy[,seed]]`) so drivers discover and configure it
+// uniformly. It deliberately REFUSES the synchronous `run` entry point:
+// round-based protocols assume lockstep delivery and would deadlock or
+// silently degenerate under single-message scheduling, so the backend
+// throws a readable error instead of guessing. The native entry point is
+// `run_async_protocol`, taking an async protocol factory
+// (async/async_process.h) — the CLI's explore command and the async tests
+// drive it directly, constructing a fresh scheduler per run so the backend
+// stays a pure, shareable function of its arguments.
+
+#include <cstdint>
+#include <vector>
+
+#include "async/async_system.h"
+#include "engine/backend.h"
+
+namespace ba::async {
+
+class AsyncBackend final : public engine::ExecutionBackend {
+ public:
+  /// Validates config.strategy eagerly (throws std::invalid_argument naming
+  /// the known strategies), so a bad `--backend async:...` spec fails at
+  /// construction, not mid-campaign.
+  explicit AsyncBackend(const engine::AsyncBackendConfig& config);
+
+  /// Always throws std::invalid_argument: synchronous protocols have no
+  /// meaningful execution under an adversarial single-message scheduler.
+  [[nodiscard]] RunResult run(const SystemParams& params,
+                              const ProtocolFactory& protocol,
+                              const std::vector<Value>& proposals,
+                              const Adversary& adversary,
+                              const RunOptions& options = {}) const override;
+
+  /// Runs one asynchronous execution under a fresh scheduler built from
+  /// this backend's (strategy, seed) config. Pure and thread-safe.
+  [[nodiscard]] AsyncRunResult run_async_protocol(
+      const SystemParams& params, const AsyncProtocolFactory& protocol,
+      const std::vector<Value>& proposals, const AsyncAdversary& adversary,
+      const AsyncRunOptions& options = {}) const;
+
+  [[nodiscard]] const char* name() const override { return "async"; }
+  [[nodiscard]] engine::Capabilities capabilities() const override {
+    return engine::kTraces | engine::kLint;
+  }
+
+  [[nodiscard]] const engine::AsyncBackendConfig& config() const {
+    return config_;
+  }
+
+ private:
+  engine::AsyncBackendConfig config_;
+};
+
+}  // namespace ba::async

@@ -1,0 +1,68 @@
+#pragma once
+
+// Ben-Or's randomized binary consensus (Ben-Or, PODC '83) as an
+// asynchronous message-driven process — the executable counterpart of the
+// Ben_or83 TLA+ exemplar.
+//
+// Each phase r has two steps. Step 1: broadcast the current estimate as a
+// report ["bo1", r, x] and wait for n - t phase-r reports (the local vote is
+// counted without a self-send). If more than (n + t) / 2 reports carry the
+// same v, step 2 proposes D(v); otherwise it proposes '?'. Step 2:
+// broadcast ["bo2", r, vote] (vote encodes D(0) as 0, D(1) as 1, '?' as 2),
+// wait for n - t phase-r proposals; more than (n + t) / 2 D(v) decides v,
+// at least t + 1 D(v) adopts x := v, otherwise x := coin flip for phase r.
+//
+// Termination bookkeeping: a decider keeps participating for exactly ONE
+// more full phase after the phase it decided in, then halts. Every other
+// correct process sees at least t + 1 D(v) in the decision phase, adopts v,
+// and unanimity makes phase r* + 1 decide deterministically — so all
+// correct processes decide by r* + 1 and the in-flight pool drains
+// (quiescence). A decider must NOT halt immediately: with fewer than t + 1
+// deciders the stragglers could never fill their n - t quorums again.
+//
+// The `broken` configuration deliberately weakens two thresholds (see
+// BenOrConfig) so that schedule exploration (async/explore.h) can
+// demonstrate a real agreement violation and minimize it into a replayable
+// certificate. Unanimous inputs still decide correctly (validity survives
+// the weakening); split inputs disagree under adversarial delivery orders,
+// which exploration finds and minimizes.
+
+#include <cstdint>
+
+#include "async/async_process.h"
+#include "async/coin.h"
+#include "statics/comm_spec.h"
+
+namespace ba::async {
+
+/// Phase cap: a correct process gives up (halts undecided) after this many
+/// phases. With the seeded ideal coin the expected decision phase is O(1);
+/// the cap only bounds adversarial-coin executions and sizes the static
+/// message budget (2 broadcast rounds per phase -> the CommSpec's 128-round
+/// envelope).
+inline constexpr std::uint32_t kBenOrMaxPhases = 64;
+
+struct BenOrConfig {
+  /// Source of the phase coin (async/coin.h). Required.
+  CoinHandle coin;
+  std::uint32_t max_phases{kBenOrMaxPhases};
+  /// Deliberately unsound variant for the certificate machinery:
+  ///   * step 1 proposes D(v) already at 2 * count >= n (a non-exclusive
+  ///     "half", so D(0) and D(1) can coexist in one phase);
+  ///   * step 2 decides its own proposed vote on a SINGLE matching echo
+  ///     (>= 1 instead of > (n + t) / 2).
+  /// With unanimous inputs both relaxations still line up; split inputs let
+  /// two processes propose different D(v) in one phase and decide apart.
+  bool broken{false};
+};
+
+/// Factory of Ben-Or replicas. Proposals are interpreted as bits via
+/// Value::try_bit (non-bit proposals default to 0). Throws
+/// std::invalid_argument if config.coin is null.
+[[nodiscard]] AsyncProtocolFactory ben_or_factory(BenOrConfig config);
+
+/// Static communication envelope: kBenOrMaxPhases phases of two all-to-all
+/// broadcast rounds — 128 virtual rounds, 128 n (n - 1) messages.
+[[nodiscard]] statics::CommSpec ben_or_comm_spec();
+
+}  // namespace ba::async

@@ -1,0 +1,54 @@
+#pragma once
+
+// Bracha-style asynchronous binary agreement acceptance gadget — the
+// executable counterpart of the aba_asyn_byz TLA+ exemplar.
+//
+// Each process starts V0 (proposal bit 0) or V1 (proposal bit 1) and moves
+// through the classic echo-ready-accept ladder:
+//
+//   V0/V1 --[V1, or enough ECHO/READY evidence]--> EC   (broadcast ECHO)
+//   EC    --[enough ECHO/READY evidence]--------> RD    (broadcast READY)
+//   RD    --[2t + 1 READY]----------------------> AC    (decide 1)
+//
+// with the standard guards (n > 3t):
+//   echo quorum   nE >= ceil((n + t + 1) / 2)  == (n + t + 2) / 2 in ints
+//   ready support nR >= t + 1                  (amplification)
+//   ready quorum  nR >= 2t + 1                 (acceptance)
+//
+// Safety shape: with every correct process starting V0 and at most t
+// Byzantine echoes/readies, no guard ever fires — the system stays silent
+// and undecided (validity). Once any correct process accepts, the 2t + 1
+// READY quorum contains t + 1 correct READYs, which re-amplify to every
+// correct process, so all correct processes accept (totality under a fair
+// schedule). Each process sends at most one ECHO and one READY broadcast,
+// so correct processes send at most 2 n (n - 1) messages in any schedule.
+
+#include <cstdint>
+
+#include "async/async_process.h"
+#include "statics/comm_spec.h"
+
+namespace ba::async {
+
+/// Integer-arithmetic guards, exposed for the conformance tests
+/// (tests/async/bracha_test.cpp asserts them against the TLA+ definitions).
+[[nodiscard]] constexpr std::uint32_t bracha_echo_quorum(std::uint32_t n,
+                                                         std::uint32_t t) {
+  return (n + t + 2) / 2;  // ceil((n + t + 1) / 2)
+}
+[[nodiscard]] constexpr std::uint32_t bracha_ready_support(std::uint32_t t) {
+  return t + 1;
+}
+[[nodiscard]] constexpr std::uint32_t bracha_ready_quorum(std::uint32_t t) {
+  return 2 * t + 1;
+}
+
+/// Factory of Bracha replicas. A proposal whose bit is 1 starts V1 (sends
+/// ECHO immediately); anything else starts V0.
+[[nodiscard]] AsyncProtocolFactory bracha_factory();
+
+/// Static communication envelope: one ECHO and one READY broadcast per
+/// process — 3 virtual rounds (echo, ready, accept), 2 n (n - 1) messages.
+[[nodiscard]] statics::CommSpec bracha_comm_spec();
+
+}  // namespace ba::async

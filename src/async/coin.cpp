@@ -1,0 +1,54 @@
+#include "async/coin.h"
+
+namespace ba::async {
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed pure function of its input.
+/// Quality matters less than determinism here, but the avalanche keeps
+/// neighbouring (seed, phase) pairs uncorrelated.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class LocalCoin final : public CommonCoin {
+ public:
+  explicit LocalCoin(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] bool flip(ProcessId p, std::uint32_t phase) const override {
+    // Domain-separate process and phase so (p=1, phase=2) != (p=2, phase=1).
+    const std::uint64_t h =
+        mix64(seed_ ^ mix64((std::uint64_t{p} << 32) | phase));
+    return (h & 1u) != 0;
+  }
+  [[nodiscard]] const char* kind() const override { return "local"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class IdealCoin final : public CommonCoin {
+ public:
+  explicit IdealCoin(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] bool flip(ProcessId /*p*/,
+                          std::uint32_t phase) const override {
+    return (mix64(seed_ ^ phase) & 1u) != 0;
+  }
+  [[nodiscard]] const char* kind() const override { return "ideal"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+CoinHandle local_coin(std::uint64_t seed) {
+  return std::make_shared<LocalCoin>(seed);
+}
+
+CoinHandle ideal_coin(std::uint64_t seed) {
+  return std::make_shared<IdealCoin>(seed);
+}
+
+}  // namespace ba::async

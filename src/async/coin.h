@@ -1,0 +1,51 @@
+#pragma once
+
+// Common-coin abstraction for randomized asynchronous agreement.
+//
+// Ben-Or-style protocols flip a coin when a phase fails to produce a
+// decision. The flavour of that coin is the whole liveness story:
+//
+//   * local coin  — every process flips independently per phase (Ben-Or's
+//     original protocol). Termination is only probabilistic: an adversarial
+//     schedule can keep disagreeing flips alive, so campaigns over local
+//     coins assert safety always and termination only in aggregate.
+//   * ideal coin  — one shared bit per phase, visible to every process
+//     (the classic "common coin" oracle of Rabin). With a shared flip the
+//     undecided phases collapse quickly, which is what the >= 1e3-seed
+//     termination battery in tests/async/ relies on.
+//
+// Both are DETERMINISTIC given their seed: a flip is a pure function of
+// (seed, process, phase) — never of scheduling, wall clocks, or call order —
+// so explored schedules replay bit-identically (async/explore.h).
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/types.h"
+
+namespace ba::async {
+
+class CommonCoin {
+ public:
+  virtual ~CommonCoin() = default;
+
+  /// The coin bit process `p` observes in phase `phase`. The ideal coin
+  /// ignores `p` (every process sees the same bit); the local coin keys off
+  /// both.
+  [[nodiscard]] virtual bool flip(ProcessId p, std::uint32_t phase) const = 0;
+
+  /// "local" | "ideal" — stamped into diagnostics.
+  [[nodiscard]] virtual const char* kind() const = 0;
+};
+
+/// Shared immutable coin handle: one coin instance serves every replica of a
+/// run (and is safe to share across ExperimentPool workers).
+using CoinHandle = std::shared_ptr<const CommonCoin>;
+
+/// Independent per-(process, phase) flips derived from `seed`.
+[[nodiscard]] CoinHandle local_coin(std::uint64_t seed);
+
+/// One shared flip per phase derived from `seed`; every process agrees.
+[[nodiscard]] CoinHandle ideal_coin(std::uint64_t seed);
+
+}  // namespace ba::async

@@ -19,6 +19,15 @@
 #include "adversary/byzantine.h"
 #include "analysis/lint.h"
 #include "adversary/omission.h"
+#include "async/async_process.h"
+#include "async/async_system.h"
+#include "async/backend.h"
+#include "async/ben_or.h"
+#include "async/bracha.h"
+#include "async/coin.h"
+#include "async/explore.h"
+#include "async/protocols.h"
+#include "async/scheduler.h"
 #include "calculus/formal.h"
 #include "calculus/isolation.h"
 #include "calculus/merge.h"

@@ -139,6 +139,18 @@ class SimBackend final : public ExecutionBackend {
   SimBackendConfig config_;
 };
 
+/// Configuration for the asynchronous adversarial-scheduler backend
+/// (async/backend.h, registered as "async"): the delivery-order strategy
+/// plus its seed. Carried per-backend like SimBackendConfig so RunOptions
+/// stays substrate-neutral.
+struct AsyncBackendConfig {
+  /// Scheduler strategy: "fifo" | "random" | "delay-decider" | "rr-starve"
+  /// (async/scheduler.h).
+  std::string strategy{"fifo"};
+  /// Seed for the seeded strategies (random picks, rr-starve victim).
+  std::uint64_t seed{1};
+};
+
 /// The process-wide default backend (a stateless LockstepBackend): what
 /// drivers fall back to when no backend was picked explicitly.
 [[nodiscard]] const ExecutionBackend& default_backend();

@@ -1,8 +1,12 @@
 #include "engine/registry.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "async/backend.h"
 
 namespace ba::engine {
 
@@ -12,6 +16,9 @@ Registry::Registry() {
   });
   add("sim", [](const BackendSpec& spec) -> BackendHandle {
     return std::make_shared<SimBackend>(spec.sim);
+  });
+  add("async", [](const BackendSpec& spec) -> BackendHandle {
+    return std::make_shared<async::AsyncBackend>(spec.async);
   });
 }
 
@@ -63,18 +70,24 @@ std::optional<BackendSpec> parse_backend_spec(const std::string& spec) {
   if (out.name.empty()) return std::nullopt;
   if (colon == std::string::npos) return out;
 
-  // name:model[,seed]
+  // name:model[,seed] — the model token doubles as the async backend's
+  // strategy; only the backend named by `out.name` reads its config.
   const std::string rest = spec.substr(colon + 1);
   const auto comma = rest.find(',');
   out.sim.model = rest.substr(0, comma);
   if (out.sim.model.empty()) return std::nullopt;
+  out.async.strategy = out.sim.model;
   if (comma != std::string::npos) {
     const std::string seed = rest.substr(comma + 1);
     if (seed.empty() ||
         seed.find_first_not_of("0123456789") != std::string::npos) {
       return std::nullopt;
     }
-    out.sim.seed = std::strtoull(seed.c_str(), nullptr, 10);
+    errno = 0;
+    const std::uint64_t parsed = std::strtoull(seed.c_str(), nullptr, 10);
+    if (errno == ERANGE) return std::nullopt;  // > 2^64 - 1 overflows
+    out.sim.seed = parsed;
+    out.async.seed = parsed;
   }
   return out;
 }

@@ -8,8 +8,10 @@
 // backend the registry doesn't know fails the lint) all resolve names here.
 // Adding a backend is one `add()` call — every surface picks it up.
 //
-// Built-ins registered at construction: "lockstep" (the round executor) and
-// "sim" (the discrete-event simulator, configured by BackendSpec::sim).
+// Built-ins registered at construction: "lockstep" (the round executor),
+// "sim" (the discrete-event simulator, configured by BackendSpec::sim), and
+// "async" (the adversarial-scheduler executor, configured by
+// BackendSpec::async).
 
 #include <functional>
 #include <optional>
@@ -21,10 +23,12 @@
 namespace ba::engine {
 
 /// Everything a backend factory may consult. `name` picks the factory; the
-/// rest parameterizes it (today only the sim backend reads `sim`).
+/// rest parameterizes it (the sim backend reads `sim`, the async backend
+/// reads `async`).
 struct BackendSpec {
   std::string name{"lockstep"};
   SimBackendConfig sim{};
+  AsyncBackendConfig async{};
 };
 
 using BackendFactory = std::function<BackendHandle(const BackendSpec&)>;
@@ -53,9 +57,13 @@ class Registry {
   std::vector<std::pair<std::string, BackendFactory>> factories_;
 };
 
-/// Parses a CLI backend spec: "lockstep" or "sim[:model[,seed]]" — e.g.
-/// "sim", "sim:jitter", "sim:jitter,42". Unknown registry names still parse
-/// (make() reports them); malformed syntax returns nullopt.
+/// Parses a CLI backend spec: "lockstep", "sim[:model[,seed]]", or
+/// "async[:strategy[,seed]]" — e.g. "sim:jitter,42", "async:rr-starve,7".
+/// The part after the colon fills both SimBackendConfig's model and
+/// AsyncBackendConfig's strategy (only the named backend reads its config).
+/// Unknown registry names still parse (make() reports them); malformed
+/// syntax — empty name/model/seed, a non-numeric or out-of-range seed —
+/// returns nullopt.
 [[nodiscard]] std::optional<BackendSpec> parse_backend_spec(
     const std::string& spec);
 

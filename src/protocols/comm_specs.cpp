@@ -1,5 +1,7 @@
 #include "protocols/comm_specs.h"
 
+#include "async/ben_or.h"
+#include "async/bracha.h"
 #include "protocols/beyond_agreement.h"
 #include "protocols/broadcast.h"
 #include "protocols/crusader.h"
@@ -44,6 +46,10 @@ const std::vector<statics::CommSpec>& all_comm_specs() {
       wc_candidate_one_shot_echo_comm_spec(),
       bb_candidate_direct_comm_spec(),
       bb_candidate_relay_ring_comm_spec(2),
+      // Asynchronous protocols (src/async/): the kBudget linter and the
+      // `ba_cli bounds` surface cover the async backend through these.
+      async::ben_or_comm_spec(),
+      async::bracha_comm_spec(),
   };
   return specs;
 }

@@ -16,6 +16,9 @@
 #include <stdexcept>
 
 #include "adversary/omission.h"
+#include "async/async_system.h"
+#include "async/bracha.h"
+#include "async/scheduler.h"
 #include "protocols/common.h"
 #include "runtime/sync_system.h"
 
@@ -314,6 +317,65 @@ TEST(TraceLint, ChecksCanBeDisabledIndividually) {
   opts.budget = false;
   LintReport report = lint_trace(res.trace, opts);
   EXPECT_FALSE(has_violation(report, LintCheck::kBudget)) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Async virtual-round semantics (LintOptions::async_model).
+// ---------------------------------------------------------------------------
+
+/// A Bracha run cut after three deliveries: the trace is honest but ends
+/// with messages still in flight (receive-omissions at correct processes).
+async::AsyncRunResult truncated_bracha_run() {
+  const SystemParams params{4, 1};
+  std::vector<Value> proposals(params.n, Value::bit(1));
+  auto fifo = async::make_scheduler("fifo", 1, params.n);
+  async::AsyncRunOptions options;
+  options.stop_after = 3;
+  options.capture_pending = true;
+  return async::run_async(params, async::bracha_factory(), proposals,
+                          async::AsyncAdversary::none(), *fifo, options);
+}
+
+TEST(AsyncModelLint, InFlightMessagesAreNotOmissionViolations) {
+  const async::AsyncRunResult res = truncated_bracha_run();
+  ASSERT_FALSE(res.pending.empty());
+
+  // Synchronous reading: the same receive-omissions look like adversary
+  // omissions at correct processes and break the budget invariant.
+  const LintReport sync_read = lint_trace(res.run.trace);
+  EXPECT_TRUE(has_violation(sync_read, LintCheck::kBudget)) << sync_read;
+
+  // Async reading: they are the in-flight pool of a truncated run.
+  LintOptions opts;
+  opts.async_model = true;
+  const LintReport async_read = lint_trace(res.run.trace, opts);
+  EXPECT_TRUE(async_read.clean()) << async_read;
+}
+
+TEST(AsyncModelLint, QuiescenceMeansTheInFlightPoolDrained) {
+  async::AsyncRunResult res = truncated_bracha_run();
+  ASSERT_FALSE(res.run.quiesced);
+  // Forge the quiescence claim on a trace with messages still in flight.
+  res.run.trace.quiesced = true;
+  LintOptions opts;
+  opts.async_model = true;
+  const LintReport report = lint_trace(res.run.trace, opts);
+  EXPECT_TRUE(has_violation(report, LintCheck::kQuiescence)) << report;
+  std::ostringstream os;
+  os << report;
+  EXPECT_NE(os.str().find("still in flight"), std::string::npos);
+}
+
+TEST(AsyncModelLint, DeterminismReplayIsSkippedForAsyncTraces) {
+  // Round-based replay machinery cannot reconstruct a scheduler-driven
+  // delivery order: even with a factory supplied, async_model skips it
+  // instead of reporting spurious non-determinism.
+  const async::AsyncRunResult res = truncated_bracha_run();
+  LintOptions opts;
+  opts.async_model = true;
+  const LintReport report = lint_execution(res.run.trace, flooder(), opts);
+  EXPECT_FALSE(report.replayed);
+  EXPECT_TRUE(report.clean()) << report;
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Bracha echo-ready conformance (src/async/bracha.h) against the
+// aba_asyn_byz TLA+ guards: the integer-arithmetic quorums match the
+// spec's ceilings, the V0/V1 -> EC -> RD -> AC message-type ladder fires in
+// the documented order (including the single-delivery cascade), the
+// all-zero instance stays silent and undecided under Byzantine READY noise
+// below the amplification threshold, and the all-one instance accepts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ba.h"
+#include "protocols/common.h"
+
+namespace ba::async {
+namespace {
+
+using protocols::has_tag;
+using protocols::tagged;
+
+std::vector<Value> bit_proposals(const std::vector<int>& bits) {
+  std::vector<Value> out;
+  out.reserve(bits.size());
+  for (const int b : bits) out.push_back(Value::bit(b));
+  return out;
+}
+
+TEST(BrachaGuards, MatchTheTlaCeilings) {
+  // aba_asyn_byz guards: echo quorum ceil((n + t + 1) / 2), ready
+  // amplification t + 1, ready (acceptance) quorum 2t + 1.
+  static_assert(bracha_echo_quorum(4, 1) == 3);
+  static_assert(bracha_echo_quorum(7, 2) == 5);
+  static_assert(bracha_ready_support(1) == 2);
+  static_assert(bracha_ready_support(2) == 3);
+  static_assert(bracha_ready_quorum(1) == 3);
+  static_assert(bracha_ready_quorum(2) == 5);
+  for (std::uint32_t n = 4; n <= 13; ++n) {
+    for (std::uint32_t t = 1; 3 * t < n; ++t) {
+      const std::uint32_t q = bracha_echo_quorum(n, t);
+      // q is the least integer with 2q >= n + t + 1 (the exact ceiling).
+      EXPECT_GE(2 * q, n + t + 1) << n << "," << t;
+      EXPECT_LT(2 * (q - 1), n + t + 1) << n << "," << t;
+    }
+  }
+}
+
+TEST(BrachaLadder, V1StartsByBroadcastingEcho) {
+  const AsyncContext ctx{SystemParams{4, 1}, /*self=*/2, Value::bit(1)};
+  const auto process = bracha_factory()(ctx);
+  const Outbox out = process->on_start();
+  ASSERT_EQ(out.size(), 3u);
+  for (const Outgoing& o : out) {
+    EXPECT_TRUE(has_tag(o.payload, "echo"));
+    EXPECT_NE(o.to, ctx.self);
+  }
+  EXPECT_FALSE(process->decision().has_value());
+  EXPECT_FALSE(process->halted());
+}
+
+TEST(BrachaLadder, V0StaysSilentUntilEvidence) {
+  const AsyncContext ctx{SystemParams{4, 1}, /*self=*/0, Value::bit(0)};
+  const auto process = bracha_factory()(ctx);
+  EXPECT_TRUE(process->on_start().empty());
+  // One READY (below the t + 1 = 2 amplification support) moves nothing.
+  EXPECT_TRUE(process->on_message(1, tagged("ready", {})).empty());
+  // A duplicate READY from the same sender is dead: per-sender dedup gives
+  // a Byzantine peer exactly one vote per message type.
+  EXPECT_TRUE(process->on_message(1, tagged("ready", {})).empty());
+  EXPECT_FALSE(process->decision().has_value());
+}
+
+TEST(BrachaLadder, ReadySupportCascadesEchoReadyAccept) {
+  // Delivering the second (distinct-sender) READY reaches the t + 1
+  // support: the V0 process echoes, its own echo plus the ready evidence
+  // fires READY, and the self-ready completes the 2t + 1 acceptance quorum
+  // — the full EC -> RD -> AC cascade inside one delivery.
+  const AsyncContext ctx{SystemParams{4, 1}, /*self=*/0, Value::bit(0)};
+  const auto process = bracha_factory()(ctx);
+  EXPECT_TRUE(process->on_start().empty());
+  EXPECT_TRUE(process->on_message(1, tagged("ready", {})).empty());
+  const Outbox out = process->on_message(2, tagged("ready", {}));
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(has_tag(out[i].payload, "echo")) << i;
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_TRUE(has_tag(out[i].payload, "ready")) << i;
+  }
+  ASSERT_TRUE(process->decision().has_value());
+  EXPECT_EQ(*process->decision(), Value::bit(1));
+  EXPECT_TRUE(process->halted());
+}
+
+TEST(BrachaLadder, EchoQuorumAloneAlsoFiresTheLadder) {
+  // Three distinct ECHOes reach the echo quorum (n + t + 2) / 2 = 3 at
+  // (4, 1): the process echoes and readies, but with only its own READY it
+  // must NOT accept yet.
+  const AsyncContext ctx{SystemParams{4, 1}, /*self=*/0, Value::bit(0)};
+  const auto process = bracha_factory()(ctx);
+  EXPECT_TRUE(process->on_start().empty());
+  EXPECT_TRUE(process->on_message(1, tagged("echo", {})).empty());
+  EXPECT_TRUE(process->on_message(2, tagged("echo", {})).empty());
+  const Outbox out = process->on_message(3, tagged("echo", {}));
+  // Self-echo counts toward the quorum, so two external echoes would
+  // suffice only with the self-echo already sent; from V0 the third
+  // external echo triggers both broadcasts at once.
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_FALSE(process->decision().has_value());
+  EXPECT_FALSE(process->halted());
+}
+
+TEST(BrachaRuns, AllZeroInstanceStaysSilentAndUndecided) {
+  const SystemParams params{4, 1};
+  auto fifo = make_scheduler("fifo", 1, params.n);
+  const AsyncRunResult res =
+      run_async(params, bracha_factory(), bit_proposals({0, 0, 0, 0}),
+                AsyncAdversary::none(), *fifo);
+  EXPECT_TRUE(res.run.quiesced);
+  EXPECT_EQ(res.run.messages_sent_by_correct, 0u);
+  EXPECT_EQ(res.run.trace.rounds, 0u);
+  for (ProcessId p = 0; p < params.n; ++p) {
+    EXPECT_FALSE(res.run.decisions[p].has_value()) << "p" << p;
+  }
+}
+
+/// Byzantine replica that spams READY from the start — the adversarial
+/// noise the t + 1 amplification support is calibrated against.
+class ReadySpammer final : public AsyncProcess {
+ public:
+  explicit ReadySpammer(const AsyncContext& ctx)
+      : n_(ctx.params.n), self_(ctx.self) {}
+  Outbox on_start() override {
+    Outbox out;
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (p != self_) out.push_back(Outgoing{p, tagged("ready", {})});
+    }
+    return out;
+  }
+  Outbox on_message(ProcessId, const Value&) override { return {}; }
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+
+ private:
+  std::uint32_t n_;
+  ProcessId self_;
+};
+
+TEST(BrachaRuns, ByzantineReadiesBelowSupportCannotForgeAcceptance) {
+  // t = 1 Byzantine READY broadcaster against three correct V0 processes:
+  // one READY is below the t + 1 = 2 support, so no correct process ever
+  // sends or decides — the validity half of the acceptance gadget.
+  const SystemParams params{4, 1};
+  AsyncAdversary adversary;
+  adversary.faulty.insert(3);
+  adversary.byzantine.insert(3);
+  adversary.byzantine_factory = [](const AsyncContext& ctx) {
+    return std::make_unique<ReadySpammer>(ctx);
+  };
+  auto fifo = make_scheduler("fifo", 1, params.n);
+  const AsyncRunResult res =
+      run_async(params, bracha_factory(), bit_proposals({0, 0, 0, 0}),
+                adversary, *fifo);
+  EXPECT_TRUE(res.run.quiesced);
+  EXPECT_EQ(res.run.messages_sent_by_correct, 0u);
+  EXPECT_EQ(res.run.messages_sent_total, 3u);  // the spammer's broadcast
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_FALSE(res.run.decisions[p].has_value()) << "p" << p;
+  }
+}
+
+TEST(BrachaRuns, AllOneInstanceAcceptsAtBothTestPoints) {
+  for (const SystemParams params : {SystemParams{4, 1}, SystemParams{7, 2}}) {
+    auto fifo = make_scheduler("fifo", 1, params.n);
+    const AsyncRunResult res = run_async(
+        params, bracha_factory(),
+        bit_proposals(std::vector<int>(params.n, 1)), AsyncAdversary::none(),
+        *fifo);
+    EXPECT_TRUE(res.run.quiesced);
+    for (ProcessId p = 0; p < params.n; ++p) {
+      ASSERT_TRUE(res.run.decisions[p].has_value())
+          << params.n << "," << params.t << " p" << p;
+      EXPECT_EQ(*res.run.decisions[p], Value::bit(1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ba::async

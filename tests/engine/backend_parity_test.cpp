@@ -70,10 +70,12 @@ TEST(EngineRegistry, KnowsTheBuiltins) {
   Registry& reg = Registry::global();
   EXPECT_TRUE(reg.knows("lockstep"));
   EXPECT_TRUE(reg.knows("sim"));
+  EXPECT_TRUE(reg.knows("async"));
   EXPECT_FALSE(reg.knows("warp-drive"));
   const std::vector<std::string> names = reg.names();
   EXPECT_NE(std::find(names.begin(), names.end(), "lockstep"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "sim"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "async"), names.end());
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
@@ -100,11 +102,24 @@ TEST(EngineRegistry, ParsesBackendSpecs) {
   EXPECT_EQ(with_seed->sim.model, "gst");
   EXPECT_EQ(with_seed->sim.seed, 42u);
 
+  // The model token doubles as the async strategy: only the named backend
+  // reads its half of the config.
+  auto async_spec = parse_backend_spec("async:rr-starve,7");
+  ASSERT_TRUE(async_spec.has_value());
+  EXPECT_EQ(async_spec->name, "async");
+  EXPECT_EQ(async_spec->async.strategy, "rr-starve");
+  EXPECT_EQ(async_spec->async.seed, 7u);
+
   EXPECT_FALSE(parse_backend_spec("").has_value());
   EXPECT_FALSE(parse_backend_spec(":jitter").has_value());
   EXPECT_FALSE(parse_backend_spec("sim:").has_value());
   EXPECT_FALSE(parse_backend_spec("sim:jitter,").has_value());
   EXPECT_FALSE(parse_backend_spec("sim:jitter,4x2").has_value());
+  EXPECT_FALSE(parse_backend_spec("async:").has_value());
+  EXPECT_FALSE(parse_backend_spec("async:fifo,").has_value());
+  // A seed past uint64 range is malformed, not silently wrapped.
+  EXPECT_FALSE(
+      parse_backend_spec("async:fifo,99999999999999999999999999").has_value());
 }
 
 // The diagnostics are part of the CLI surface (--backend forwards them to
@@ -118,7 +133,7 @@ TEST(EngineRegistry, UnknownBackendErrorNamesTheRegistry) {
   } catch (const std::invalid_argument& e) {
     EXPECT_STREQ(e.what(),
                  "unknown execution backend 'warp-drive' "
-                 "(registered: lockstep | sim)");
+                 "(registered: async | lockstep | sim)");
   }
 }
 
@@ -134,6 +149,45 @@ TEST(EngineRegistry, MalformedSpecErrorRestatesTheGrammar) {
           << bad;
     }
   }
+}
+
+TEST(EngineBackend, AsyncConfigValidationIsEager) {
+  AsyncBackendConfig bad;
+  bad.strategy = "telepathy";
+  try {
+    async::AsyncBackend backend{bad};
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "AsyncBackend: unknown strategy 'telepathy' "
+                 "(fifo | random | delay-decider | rr-starve)");
+  }
+}
+
+TEST(EngineBackend, AsyncRefusesSynchronousProtocols) {
+  const BackendHandle be = make_backend("async");
+  const ConformanceCase c = conformance_cases().front();
+  try {
+    (void)be->run(c.params, c.factory, c.proposals, Adversary::none());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "AsyncBackend: synchronous protocols cannot run on the "
+                 "async scheduler; use run_async with an async protocol "
+                 "(ben-or | ben-or-broken | ben-or-local | bracha)");
+  }
+}
+
+TEST(EngineBackend, AsyncCapabilitiesAndName) {
+  const BackendHandle be = make_backend("async:delay-decider,3");
+  EXPECT_STREQ(be->name(), "async");
+  EXPECT_TRUE(be->has_capability(Capability::kTraces));
+  EXPECT_TRUE(be->has_capability(Capability::kLint));
+  EXPECT_FALSE(be->has_capability(Capability::kNetMetrics));
+  const auto* async_be = dynamic_cast<const async::AsyncBackend*>(be.get());
+  ASSERT_NE(async_be, nullptr);
+  EXPECT_EQ(async_be->config().strategy, "delay-decider");
+  EXPECT_EQ(async_be->config().seed, 3u);
 }
 
 TEST(EngineBackend, SimConfigValidation) {

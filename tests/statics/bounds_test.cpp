@@ -23,9 +23,9 @@ using protocols::find_comm_spec;
 
 TEST(CommSpecRegistry, EveryProtocolDeclaresASpec) {
   // One entry per protocol family in src/protocols/ (correct protocols plus
-  // the deliberately broken candidates). Growing the library should grow
-  // this count alongside a new golden entry below.
-  EXPECT_EQ(all_comm_specs().size(), 23u);
+  // the deliberately broken candidates) and in src/async/. Growing the
+  // library should grow this count alongside a new golden entry below.
+  EXPECT_EQ(all_comm_specs().size(), 25u);
   for (const CommSpec& spec : all_comm_specs()) {
     EXPECT_FALSE(spec.protocol.empty());
     EXPECT_FALSE(spec.problem.empty());
@@ -56,12 +56,16 @@ TEST(CommSpecRegistry, EverySurfaceNameResolves) {
        {"silent", "beacon", "gossip", "one-shot-echo", "ds-weak",
         "phase-king", "phase-king-strong", "floodset", "eig-strong",
         "silent-default", "leader-beacon", "gossip-ring-2",
-        "dolev-strong-weak"}) {
+        "dolev-strong-weak", "ben-or", "bracha"}) {
     EXPECT_NE(find_comm_spec(name), nullptr) << name;
   }
   EXPECT_EQ(find_comm_spec("no-such-protocol"), nullptr);
   // Aliases resolve to the same spec object as the canonical name.
   EXPECT_EQ(find_comm_spec("ds-weak"), find_comm_spec("dolev-strong-weak"));
+  // The async Ben-Or variants share one communication envelope: the coin
+  // flavour and the broken thresholds change decisions, not message shape.
+  EXPECT_EQ(find_comm_spec("ben-or-local"), find_comm_spec("ben-or"));
+  EXPECT_EQ(find_comm_spec("ben-or-broken"), find_comm_spec("ben-or"));
 }
 
 TEST(GoldenBounds, ClosedFormsMatchThePaperArithmetic) {
@@ -92,6 +96,9 @@ TEST(GoldenBounds, ClosedFormsMatchThePaperArithmetic) {
       {"one-shot-echo", {"n^2 - n", "1"}},
       {"bb-direct", {"n - 1", "1"}},
       {"bb-relay-ring", {"3*n - 1", "2"}},
+      // Asynchronous protocols (virtual-round envelopes, src/async/).
+      {"ben-or", {"128*n^2 - 128*n", "128"}},
+      {"bracha", {"2*n^2 - 2*n", "3"}},
   };
   ASSERT_EQ(golden.size(), all_comm_specs().size());
   for (const CommSpec& spec : all_comm_specs()) {

@@ -29,10 +29,25 @@
 //       run a protocol through the discrete-event simulator (src/sim/)
 //       and print decisions plus per-link network metrics; saved traces
 //       carry schema-v2 provenance (backend, model, seed)
+//   ba_cli explore --protocol P --n N --t T [--proposals b,b,...]
+//              [--faulty p,p,...] [--exhaustive] [--depth D] [--samples S]
+//              [--seed S] [--start-index I] [--coin-seed C] [--strategy X]
+//              [--strategy-seed S] [--jobs J] [--save FILE]
+//              [--save-trace FILE]
+//       bounded schedule exploration of an asynchronous protocol
+//       (src/async/): exhaustive prefix enumeration or seeded sampling;
+//       prints the campaign report, lints a representative async trace
+//       against the protocol's static budget, and on a safety violation
+//       emits a minimized replayable certificate (exit 1)
+//   ba_cli explore --replay FILE [--save-trace FILE]
+//       re-execute a failing-schedule certificate and confirm the recorded
+//       violation reproduces (exit 0 when it does)
 //
 // Every execution dispatches through the engine::Registry: SPEC is
-// `lockstep` or `sim[:model[,seed]]` (e.g. `sim:jitter,42`); `run` defaults
-// to lockstep, `sim` to the sim backend refined by its model flags.
+// `lockstep`, `sim[:model[,seed]]`, or `async[:strategy[,seed]]` (e.g.
+// `sim:jitter,42`, `async:rr-starve,7`); `run` defaults to lockstep, `sim`
+// to the sim backend refined by its model flags. The async backend refuses
+// synchronous protocols — its surface is `explore` and the async API.
 //
 // protocols: see tool_protocols.h
 // properties: weak | strong | sender | ic | any-proposed | constant
@@ -71,10 +86,22 @@ int usage() {
                "sync|jitter|gst]\n"
                "         [--seed S] [--gst R] [--lag K] [--round-ticks T] "
                "[--backend SPEC] [--save-trace FILE]\n"
-               "backend SPEC: lockstep | sim[:model[,seed]]\n"
+               "  ba_cli explore --protocol P --n N --t T "
+               "[--proposals b,b,...] [--faulty p,p,...]\n"
+               "         [--exhaustive] [--depth D] [--samples S] [--seed S] "
+               "[--start-index I]\n"
+               "         [--coin-seed C] [--strategy X] [--strategy-seed S] "
+               "[--jobs J]\n"
+               "         [--save FILE] [--save-trace FILE]\n"
+               "  ba_cli explore --replay FILE [--save-trace FILE]\n"
+               "backend SPEC: lockstep | sim[:model[,seed]] | "
+               "async[:strategy[,seed]]\n"
                "protocols: %s\n"
+               "async protocols: %s\n"
+               "async strategies: %s\n"
                "properties: weak strong sender ic any-proposed constant\n",
-               tools::protocol_names());
+               tools::protocol_names(), async::async_protocol_list(),
+               async::scheduler_strategy_list());
   return 2;
 }
 
@@ -301,8 +328,15 @@ int cmd_run(int argc, char** argv) {
         statics::budget_at(statics::analyze(*spec), SystemParams{n, t})
             .messages;
   }
-  RunResult res = backend->second->run(SystemParams{n, t}, *protocol,
-                                       proposals, Adversary::none(), opts);
+  RunResult res;
+  try {
+    res = backend->second->run(SystemParams{n, t}, *protocol, proposals,
+                               Adversary::none(), opts);
+  } catch (const std::exception& e) {
+    // E.g. the async backend refuses synchronous protocols by contract.
+    std::fprintf(stderr, "run: %s\n", e.what());
+    return 2;
+  }
   for (ProcessId p = 0; p < n; ++p) {
     std::printf("p%u: proposes %s decides %s (round %u)\n", p,
                 proposals[p].to_string().c_str(),
@@ -574,6 +608,280 @@ int cmd_sweep(int argc, char** argv) {
   return result.theorem2_consistent() ? 0 : 1;
 }
 
+std::optional<std::vector<int>> parse_bit_list(const std::string& spec) {
+  std::vector<int> bits;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item != "0" && item != "1") return std::nullopt;
+    bits.push_back(item == "1" ? 1 : 0);
+  }
+  if (bits.empty()) return std::nullopt;
+  return bits;
+}
+
+std::optional<ProcessSet> parse_id_list(const std::string& spec) {
+  ProcessSet ids;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty() ||
+        item.find_first_not_of("0123456789") != std::string::npos) {
+      return std::nullopt;
+    }
+    ids.insert(static_cast<ProcessId>(std::atoi(item.c_str())));
+  }
+  if (ids.empty()) return std::nullopt;
+  return ids;
+}
+
+/// Schema-v2 provenance for async traces: [name, strategy, seed, 0] (the
+/// fourth slot mirrors the sim backend's round_ticks and is meaningless for
+/// delivery-at-a-time execution).
+Value async_provenance(const std::string& strategy, std::uint64_t seed) {
+  return Value::vec({Value{std::string{"async"}}, Value{strategy},
+                     Value{static_cast<std::int64_t>(seed)},
+                     Value{static_cast<std::int64_t>(0)}});
+}
+
+void print_async_decisions(const SystemParams& params,
+                           const std::vector<int>& proposals,
+                           const ProcessSet& faulty,
+                           const async::AsyncRunResult& res) {
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (faulty.contains(p)) {
+      std::printf("p%u: crashed\n", p);
+      continue;
+    }
+    std::printf("p%u: proposes %d decides %s\n", p, proposals[p],
+                res.run.decisions[p]
+                    ? res.run.decisions[p]->to_string().c_str()
+                    : "<none>");
+  }
+}
+
+bool save_async_trace(const std::string& path,
+                      const async::AsyncRunResult& res,
+                      const std::string& strategy, std::uint64_t seed) {
+  const Bytes encoded = encode_trace_with_provenance(
+      res.run.trace, async_provenance(strategy, seed));
+  if (write_file(path, encoded)) {
+    std::printf("trace saved to %s (schema v2)\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  return false;
+}
+
+int cmd_explore_replay(const std::string& path,
+                       const std::string& save_trace) {
+  auto bytes = read_file(path);
+  if (!bytes) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  async::ScheduleCertificate cert;
+  try {
+    cert = async::ScheduleCertificate::decode(
+        std::string(bytes->begin(), bytes->end()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  }
+  async::AsyncRunOptions opts;
+  opts.max_deliveries = cert.max_deliveries;
+  opts.record_trace = true;
+  async::AsyncRunResult res;
+  try {
+    res = async::replay_certificate(cert, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  }
+  std::printf("certificate: %s violation of %s at n=%u t=%u "
+              "(%zu scripted choices, %s completion)\n",
+              cert.property.c_str(), cert.protocol.c_str(), cert.params.n,
+              cert.params.t, cert.choices.size(),
+              cert.completion_strategy.c_str());
+  print_async_decisions(cert.params, cert.proposals, cert.faulty, res);
+  auto violation = async::binary_consensus_safety(
+      cert.params, cert.proposals, cert.faulty, res.run.decisions);
+  const bool reproduced = violation && violation->property == cert.property;
+  if (reproduced) {
+    std::printf("replay: violation reproduced (%s: %s)\n",
+                violation->property.c_str(), violation->detail.c_str());
+  } else if (violation) {
+    std::printf("replay: DIFFERENT violation (%s, certificate claims %s)\n",
+                violation->property.c_str(), cert.property.c_str());
+  } else {
+    std::printf("replay: no violation -- certificate does not reproduce\n");
+  }
+  if (!save_trace.empty() &&
+      !save_async_trace(save_trace, res, cert.completion_strategy,
+                        cert.completion_seed)) {
+    return 1;
+  }
+  return reproduced ? 0 : 1;
+}
+
+int cmd_explore(int argc, char** argv) {
+  async::ExploreTask task;
+  async::ExploreOptions options;
+  std::string save_cert, save_trace, replay_path;
+  std::optional<std::uint32_t> n, t;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--protocol") == 0 && i + 1 < argc) {
+      task.protocol = argv[++i];
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--t") == 0 && i + 1 < argc) {
+      t = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--proposals") == 0 && i + 1 < argc) {
+      auto bits = parse_bit_list(argv[++i]);
+      if (!bits) {
+        std::fprintf(stderr, "explore: bad --proposals (want b,b,... with "
+                             "b in {0,1})\n");
+        return 2;
+      }
+      task.proposals = std::move(*bits);
+    } else if (std::strcmp(argv[i], "--faulty") == 0 && i + 1 < argc) {
+      auto ids = parse_id_list(argv[++i]);
+      if (!ids) {
+        std::fprintf(stderr, "explore: bad --faulty (want p,p,...)\n");
+        return 2;
+      }
+      task.faulty = std::move(*ids);
+    } else if (std::strcmp(argv[i], "--exhaustive") == 0) {
+      options.exhaustive = true;
+    } else if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
+      options.depth = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      options.samples = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--start-index") == 0 && i + 1 < argc) {
+      options.start_index = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--coin-seed") == 0 && i + 1 < argc) {
+      task.coin_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
+      task.completion_strategy = argv[++i];
+    } else if (std::strcmp(argv[i], "--strategy-seed") == 0 && i + 1 < argc) {
+      task.completion_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-deliveries") == 0 && i + 1 < argc) {
+      task.max_deliveries = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_cert = argv[++i];
+    } else if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
+      save_trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!replay_path.empty()) return cmd_explore_replay(replay_path, save_trace);
+  if (!n || !t) {
+    std::fprintf(stderr, "explore: --n and --t are required\n");
+    return 2;
+  }
+  task.params = SystemParams{*n, *t};
+  if (task.proposals.empty()) {
+    // Default instance: alternating proposals, the adversarially interesting
+    // split (unanimous inputs decide regardless of schedule by validity).
+    for (std::uint32_t p = 0; p < *n; ++p) {
+      task.proposals.push_back(static_cast<int>(p % 2));
+    }
+  }
+
+  async::ExploreReport report;
+  try {
+    report = async::explore(task, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s n=%u t=%u coin-seed %llu: explored %llu schedules (%s)\n",
+              task.protocol.c_str(), *n, *t,
+              static_cast<unsigned long long>(task.coin_seed),
+              static_cast<unsigned long long>(report.schedules),
+              options.exhaustive ? "exhaustive" : "sampling");
+  std::printf("deliveries %llu, quiesced %llu, all-decided %llu, "
+              "violations %llu\n",
+              static_cast<unsigned long long>(report.deliveries),
+              static_cast<unsigned long long>(report.quiesced),
+              static_cast<unsigned long long>(report.all_decided),
+              static_cast<unsigned long long>(report.violations));
+  std::printf("digest %016llx\n",
+              static_cast<unsigned long long>(report.digest));
+  if (!options.exhaustive) {
+    std::printf("next start-index: %llu\n",
+                static_cast<unsigned long long>(report.next_index));
+  }
+
+  // One representative run (empty scripted prefix, completion strategy
+  // throughout) carries the trace surface: lint it against the protocol's
+  // statically derived message budget and optionally save it for lint_trace.
+  async::ScheduleCertificate probe;
+  probe.protocol = task.protocol;
+  probe.params = task.params;
+  probe.proposals = task.proposals;
+  probe.faulty = task.faulty;
+  probe.coin_seed = task.coin_seed;
+  probe.completion_strategy = task.completion_strategy;
+  probe.completion_seed = task.completion_seed;
+  probe.max_deliveries = task.max_deliveries;
+  async::AsyncRunOptions ropts;
+  ropts.max_deliveries = task.max_deliveries;
+  ropts.record_trace = true;
+  ropts.lint_trace = true;
+  if (const statics::CommSpec* spec =
+          protocols::find_comm_spec(task.protocol)) {
+    ropts.message_budget =
+        statics::budget_at(statics::analyze(*spec), task.params).messages;
+  }
+  async::AsyncRunResult rep;
+  try {
+    rep = async::replay_certificate(probe, ropts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore: %s\n", e.what());
+    return 2;
+  }
+  std::printf("representative run (%s completion): %llu deliveries, "
+              "quiesced=%s\n",
+              task.completion_strategy.c_str(),
+              static_cast<unsigned long long>(rep.deliveries),
+              rep.run.quiesced ? "yes" : "no");
+  if (rep.run.lint) {
+    std::printf("trace lint: %s\n", rep.run.lint->summary().c_str());
+  }
+  if (!save_trace.empty() &&
+      !save_async_trace(save_trace, rep, task.completion_strategy,
+                        task.completion_seed)) {
+    return 1;
+  }
+
+  if (report.certificate) {
+    const async::ScheduleCertificate& cert = *report.certificate;
+    std::printf("violation (%s): %s\n", cert.property.c_str(),
+                cert.detail.c_str());
+    std::printf("minimized certificate: %zu scripted choices\n",
+                cert.choices.size());
+    if (!save_cert.empty()) {
+      const std::string text = cert.encode();
+      if (write_file(save_cert, Bytes(text.begin(), text.end()))) {
+        std::printf("certificate saved to %s\n", save_cert.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", save_cert.c_str());
+      }
+    }
+    return 1;
+  }
+  std::printf("no safety violations across explored schedules\n");
+  return rep.run.lint_clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -588,5 +896,6 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
   if (cmd == "bounds") return cmd_bounds(argc - 2, argv + 2);
   if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
+  if (cmd == "explore") return cmd_explore(argc - 2, argv + 2);
   return usage();
 }

@@ -1,0 +1,46 @@
+# The failing-schedule certificate pipeline, end to end: explore the broken
+# Ben-Or variant (must find a violation, exit 1, and save a certificate),
+# replay the certificate (must reproduce the recorded violation, exit 0, and
+# save the replayed trace), audit the trace with the async-aware linter, and
+# reject a corrupted certificate with a decode error.
+set(cert "${WORKDIR}/ben_or_broken.cert")
+set(trace "${WORKDIR}/ben_or_broken_replay.trace")
+
+execute_process(COMMAND ${CLI} explore --protocol ben-or-broken --n 4 --t 1
+                        --exhaustive --depth 2 --save ${cert}
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 1)
+  message(FATAL_ERROR "explore on ben-or-broken: want exit 1 (violation), "
+                      "got ${rc1}")
+endif()
+if(NOT EXISTS ${cert})
+  message(FATAL_ERROR "explore --save did not write the certificate")
+endif()
+
+execute_process(COMMAND ${CLI} explore --replay ${cert} --save-trace ${trace}
+                OUTPUT_VARIABLE replay_out
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "certificate replay failed: ${rc2}")
+endif()
+if(NOT replay_out MATCHES "violation reproduced")
+  message(FATAL_ERROR "replay did not reproduce the violation:\n${replay_out}")
+endif()
+
+# The replayed trace carries async provenance; the linter must pick the
+# async model and find the message accounting intact (safety violations are
+# decision-level, not trace-level).
+execute_process(COMMAND ${LINTER} ${trace} RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "lint_trace on the replayed async trace failed: ${rc3}")
+endif()
+
+set(corrupt "${WORKDIR}/ben_or_broken.cert.corrupt")
+file(READ ${cert} cert_text)
+string(REPLACE "ba-async-cert v1" "ba-async-cert v9" cert_text "${cert_text}")
+file(WRITE ${corrupt} "${cert_text}")
+execute_process(COMMAND ${CLI} explore --replay ${corrupt}
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 2)
+  message(FATAL_ERROR "replay of a corrupted certificate: want 2, got ${rc4}")
+endif()

@@ -88,12 +88,12 @@ int main(int argc, char** argv) {
   // trace claiming an unknown execution substrate is suspect regardless of
   // its invariants.
   bool provenance_ok = true;
+  std::string backend_name;
   if (const Value& prov = provenance; !prov.is_null()) {
-    const std::string backend_name =
-        prov.is_vec() && !prov.as_vec().empty() &&
-                prov.as_vec().front().is_str()
-            ? prov.as_vec().front().as_str()
-            : std::string{};
+    backend_name = prov.is_vec() && !prov.as_vec().empty() &&
+                           prov.as_vec().front().is_str()
+                       ? prov.as_vec().front().as_str()
+                       : std::string{};
     if (backend_name.empty() ||
         !ba::engine::Registry::global().knows(backend_name)) {
       provenance_ok = false;
@@ -110,6 +110,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Async-backend traces use the virtual-round encoding: lint under the
+  // async invariant semantics, and skip the synchronous determinism replay
+  // (--protocol names a round-based state machine; async processes are
+  // message-driven, so the replay vocabulary does not apply).
+  analysis::LintOptions options;
+  options.async_model = backend_name == "async";
+  if (options.async_model && !protocol_name.empty()) {
+    std::fprintf(stderr,
+                 "lint_trace: warning: --protocol ignored for async-backend "
+                 "traces (no synchronous replay of message-driven "
+                 "processes)\n");
+    protocol_name.clear();
+  }
+
   analysis::LintReport report;
   if (!protocol_name.empty()) {
     auto protocol = tools::make_protocol(protocol_name, trace->params.n);
@@ -118,9 +132,9 @@ int main(int argc, char** argv) {
                    protocol_name.c_str());
       return usage();
     }
-    report = analysis::lint_execution(*trace, *protocol);
+    report = analysis::lint_execution(*trace, *protocol, options);
   } else {
-    report = analysis::lint_trace(*trace);
+    report = analysis::lint_trace(*trace, options);
   }
 
   if (!quiet) {
