@@ -114,4 +114,125 @@ std::optional<SigChain> SigChain::from_value(const Value& v) {
   return chain;
 }
 
+std::uint32_t ChainArena::root(const Value& value) {
+  auto it = root_ids_.find(value);
+  if (it != root_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.root_ref = static_cast<std::uint32_t>(roots_.size());
+  BytesWriter w;
+  w.value(value);
+  node.prefix = w.take();
+  roots_.push_back(value);
+  nodes_.push_back(std::move(node));
+  root_ids_.emplace(value, id);
+  return id;
+}
+
+std::uint32_t ChainArena::append(std::uint32_t parent, const Signature& sig) {
+  const ChildKey key{parent, sig.signer, sig.mac};
+  auto it = child_ids_.find(key);
+  if (it != child_ids_.end()) return it->second;
+  const Node& par = nodes_[parent];
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.parent = parent;
+  node.root_ref = par.root_ref;
+  node.length = par.length + 1;
+  node.sig = sig;
+  node.mac_ok = auth_->verify(sig, par.prefix);
+  if (node.mac_ok) {
+    // Incremental prefix: the parent's signing bytes plus this signature's
+    // canonical u32/u64 encoding — byte-identical to the seed's
+    // SigChain::prefix_bytes, never rebuilt from the chain front.
+    BytesWriter w;
+    w.u32(sig.signer);
+    w.u64(sig.mac);
+    node.prefix = par.prefix;
+    node.prefix.insert(node.prefix.end(), w.data().begin(), w.data().end());
+  }
+  // Cached-negative nodes keep an empty prefix: verification stops at the
+  // first bad signature, so their children are never materialized.
+  nodes_.push_back(std::move(node));
+  child_ids_.emplace(key, id);
+  return id;
+}
+
+std::uint32_t ChainArena::extend(std::uint32_t parent, const Signer& signer) {
+  return append(parent, signer.sign(nodes_[parent].prefix));
+}
+
+bool ChainArena::contains_signer(std::uint32_t node, ProcessId p) const {
+  for (std::uint32_t cur = node; nodes_[cur].parent != kNoNode;
+       cur = nodes_[cur].parent) {
+    if (nodes_[cur].sig.signer == p) return true;
+  }
+  return false;
+}
+
+Value ChainArena::to_value(std::uint32_t node) const {
+  ValueVec out;
+  out.resize(static_cast<std::size_t>(nodes_[node].length) + 2);
+  std::size_t i = out.size();
+  for (std::uint32_t cur = node; nodes_[cur].parent != kNoNode;
+       cur = nodes_[cur].parent) {
+    out[--i] = nodes_[cur].sig.to_value();
+  }
+  out[0] = Value{"chain"};
+  out[1] = value_of(node);
+  return Value{std::move(out)};
+}
+
+std::vector<ChainArena::Accepted> ChainArena::verify_batch(
+    std::span<const Value* const> chains, std::size_t min_len,
+    std::optional<ProcessId> expected_first) {
+  std::vector<Accepted> out;
+  for (const Value* cv : chains) {
+    // SigChain::from_value's parse rules, without materializing a SigChain.
+    if (!cv->is_vec()) continue;
+    const ValueVec& vec = cv->as_vec();
+    if (vec.size() < 2 || !vec[0].is_str() || vec[0].as_str() != "chain") {
+      continue;
+    }
+    sig_buf_.clear();
+    bool ok = true;
+    for (std::size_t i = 2; i < vec.size(); ++i) {
+      auto sig = Signature::from_value(vec[i]);
+      if (!sig) {
+        ok = false;
+        break;
+      }
+      sig_buf_.push_back(*sig);
+    }
+    if (!ok) continue;
+    // SigChain::verify's acceptance rules: length, expected first signer,
+    // distinct signers, every MAC valid over its prefix.
+    if (sig_buf_.size() < min_len) continue;
+    if (expected_first &&
+        (sig_buf_.empty() || sig_buf_[0].signer != *expected_first)) {
+      continue;
+    }
+    for (std::size_t i = 1; i < sig_buf_.size() && ok; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (sig_buf_[j].signer == sig_buf_[i].signer) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    std::uint32_t node = root(vec[1]);
+    for (const Signature& sig : sig_buf_) {
+      node = append(node, sig);
+      if (!nodes_[node].mac_ok) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    out.push_back(Accepted{node, vec[1]});
+  }
+  return out;
+}
+
 }  // namespace ba::crypto

@@ -15,8 +15,11 @@
 // runtime stays payload-agnostic.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/siphash.h"
@@ -104,6 +107,102 @@ class SigChain {
 
   Value value_;
   std::vector<Signature> sigs_;
+};
+
+/// Arena-backed signature-chain store (the Dolev-Strong fast path). Chains
+/// are (parent-chain-id, signer) pairs in a per-run arena: every distinct
+/// prefix is one node holding its serialized signing bytes, extended
+/// incrementally from the parent's cached buffer instead of re-encoded from
+/// scratch, and each node's MAC is checked at most once per run. A relayed
+/// chain that extends an already-verified prefix therefore costs one MAC
+/// instead of the O(length) MACs over O(length^2) rebuilt bytes that
+/// `SigChain::verify` pays — `verify_batch` checks a whole round's inbox in
+/// one pass against the arena. Acceptance is exactly
+/// `SigChain::from_value` + `SigChain::verify` (pinned by
+/// tests/crypto/chain_arena_test.cpp), and `to_value` reproduces the seed
+/// chain encoding byte-for-byte, so wire payloads and traces are unchanged.
+///
+/// Memory is O(bytes of distinct, genuinely signed chain material seen in
+/// the run): invalid chains add at most one (cached-negative) node beyond
+/// their longest valid prefix, and valid prefixes need real signatures,
+/// which only the run's processes can produce.
+class ChainArena {
+ public:
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  explicit ChainArena(std::shared_ptr<const Authenticator> auth)
+      : auth_(std::move(auth)) {}
+
+  /// Interned zero-signature chain over `value`.
+  std::uint32_t root(const Value& value);
+
+  /// `parent` extended by this signer's endorsement of the parent's prefix
+  /// bytes (deduplicated; always verified).
+  std::uint32_t extend(std::uint32_t parent, const Signer& signer);
+
+  [[nodiscard]] std::uint32_t length(std::uint32_t node) const {
+    return nodes_[node].length;
+  }
+  /// The value the chain endorses.
+  [[nodiscard]] const Value& value_of(std::uint32_t node) const {
+    return roots_[nodes_[node].root_ref];
+  }
+  [[nodiscard]] bool contains_signer(std::uint32_t node, ProcessId p) const;
+
+  /// The seed `SigChain::to_value` encoding: ["chain", value, sigs...].
+  [[nodiscard]] Value to_value(std::uint32_t node) const;
+
+  struct Accepted {
+    std::uint32_t node{kNoNode};
+    Value value;
+  };
+
+  /// One-pass verification of a round's worth of chain payload fields.
+  /// Each element is screened with `SigChain::from_value`'s parse rules and
+  /// `SigChain::verify(auth, min_len, expected_first)`'s acceptance rules;
+  /// the accepted chains come back in input order. MAC checks hit the
+  /// arena's verified-prefix memo, so only signatures never seen before are
+  /// actually hashed.
+  std::vector<Accepted> verify_batch(std::span<const Value* const> chains,
+                                     std::size_t min_len,
+                                     std::optional<ProcessId> expected_first);
+
+ private:
+  struct Node {
+    std::uint32_t parent{kNoNode};
+    std::uint32_t root_ref{0};  // index into roots_
+    std::uint32_t length{0};    // signatures on the chain so far
+    Signature sig;              // meaningless for roots
+    bool mac_ok{true};          // roots vacuously verified
+    Bytes prefix;               // signing bytes: value then every signature
+  };
+
+  struct ChildKey {
+    std::uint32_t parent;
+    ProcessId signer;
+    std::uint64_t mac;
+
+    friend bool operator==(const ChildKey&, const ChildKey&) = default;
+  };
+  struct ChildKeyHash {
+    std::size_t operator()(const ChildKey& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.parent) << 32) ^ k.signer;
+      h = (h ^ k.mac) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  /// Child of `parent` carrying `sig`; creates (and MAC-checks) the node on
+  /// first sight, returns the cached node afterwards. The returned node may
+  /// have mac_ok == false (cached-negative). Precondition: parent is valid.
+  std::uint32_t append(std::uint32_t parent, const Signature& sig);
+
+  std::shared_ptr<const Authenticator> auth_;
+  std::vector<Node> nodes_;
+  std::vector<Value> roots_;
+  std::map<Value, std::uint32_t> root_ids_;
+  std::unordered_map<ChildKey, std::uint32_t, ChildKeyHash> child_ids_;
+  std::vector<Signature> sig_buf_;  // scratch for verify_batch parses
 };
 
 }  // namespace ba::crypto

@@ -10,6 +10,14 @@ inline std::uint64_t rotl(std::uint64_t x, int b) {
 struct SipState {
   std::uint64_t v0, v1, v2, v3;
 
+  explicit SipState(const SipKey& key)
+      : v0(key.k0 ^ 0x736f6d6570736575ULL),
+        v1(key.k1 ^ 0x646f72616e646f6dULL),
+        v2(key.k0 ^ 0x6c7967656e657261ULL),
+        v3(key.k1 ^ 0x7465646279746573ULL) {}
+  SipState(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d)
+      : v0(a), v1(b), v2(c), v3(d) {}
+
   void round() {
     v0 += v1;
     v1 = rotl(v1, 13);
@@ -26,18 +34,30 @@ struct SipState {
     v1 ^= v2;
     v2 = rotl(v2, 32);
   }
+
+  void compress(std::uint64_t m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  [[nodiscard]] std::uint64_t finalize(std::uint64_t last) {
+    compress(last);
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
 };
 
 }  // namespace
 
 std::uint64_t siphash24(const SipKey& key,
                         std::span<const std::uint8_t> data) {
-  SipState s{
-      key.k0 ^ 0x736f6d6570736575ULL,
-      key.k1 ^ 0x646f72616e646f6dULL,
-      key.k0 ^ 0x6c7967656e657261ULL,
-      key.k1 ^ 0x7465646279746573ULL,
-  };
+  SipState s(key);
 
   const std::size_t len = data.size();
   const std::size_t end = len - (len % 8);
@@ -46,27 +66,14 @@ std::uint64_t siphash24(const SipKey& key,
     for (int b = 0; b < 8; ++b) {
       m |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
     }
-    s.v3 ^= m;
-    s.round();
-    s.round();
-    s.v0 ^= m;
+    s.compress(m);
   }
 
   std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
   for (std::size_t i = end; i < len; ++i) {
     last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
   }
-  s.v3 ^= last;
-  s.round();
-  s.round();
-  s.v0 ^= last;
-
-  s.v2 ^= 0xff;
-  s.round();
-  s.round();
-  s.round();
-  s.round();
-  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+  return s.finalize(last);
 }
 
 SipKey derive_key(std::uint64_t master_seed, std::uint64_t context) {
@@ -80,6 +87,64 @@ SipKey derive_key(std::uint64_t master_seed, std::uint64_t context) {
   buf[8] = 1;
   std::uint64_t k1 = siphash24(base, buf);
   return SipKey{k0, k1};
+}
+
+SipHasher::SipHasher(const SipKey& key) {
+  const SipState s(key);
+  v_ = {s.v0, s.v1, s.v2, s.v3};
+}
+
+void SipHasher::absorb(std::span<const std::uint8_t> data) {
+  len_ += data.size();
+  std::size_t i = 0;
+  // Top up the pending block first.
+  while (pending_len_ > 0 && pending_len_ < 8 && i < data.size()) {
+    pending_ |= static_cast<std::uint64_t>(data[i++]) << (8 * pending_len_);
+    ++pending_len_;
+  }
+  SipState s(v_[0], v_[1], v_[2], v_[3]);
+  if (pending_len_ == 8) {
+    s.compress(pending_);
+    pending_ = 0;
+    pending_len_ = 0;
+  }
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t m = 0;
+    for (int b = 0; b < 8; ++b) {
+      m |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+    }
+    s.compress(m);
+  }
+  v_ = {s.v0, s.v1, s.v2, s.v3};
+  for (; i < data.size(); ++i) {
+    pending_ |= static_cast<std::uint64_t>(data[i]) << (8 * pending_len_);
+    ++pending_len_;
+  }
+}
+
+void SipHasher::absorb_u32(std::uint32_t v) {
+  std::array<std::uint8_t, 4> buf;
+  for (int i = 0; i < 4; ++i) {
+    buf[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+  absorb(buf);
+}
+
+void SipHasher::absorb_u64(std::uint64_t v) {
+  std::array<std::uint8_t, 8> buf;
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+  absorb(buf);
+}
+
+std::uint64_t SipHasher::digest() const {
+  SipState s(v_[0], v_[1], v_[2], v_[3]);
+  const std::uint64_t last =
+      pending_ | (static_cast<std::uint64_t>(len_ & 0xff) << 56);
+  return s.finalize(last);
 }
 
 }  // namespace ba::crypto

@@ -6,6 +6,17 @@
 // unforgeability, which a secret-keyed PRF provides against the simulated
 // adversary (strategies never see other processes' keys — see
 // crypto/signature.h for the capability discipline).
+//
+// Two APIs:
+//   * `siphash24` — one-shot hash of a byte span;
+//   * `SipHasher` — the same function as a resumable stream. A hasher can be
+//     copied mid-stream and each copy extended independently, so tree- and
+//     chain-shaped keys (EIG paths, signature chains) derive a child's digest
+//     from a snapshot of the parent's state in O(suffix) instead of
+//     re-hashing the whole path. `digest()` is non-destructive and
+//     bit-identical to `siphash24` over the full absorbed byte sequence
+//     (tests/crypto/siphash_incremental_test.cpp pins this on 10^5 random
+//     paths).
 
 #include <array>
 #include <cstdint>
@@ -26,5 +37,33 @@ std::uint64_t siphash24(const SipKey& key, std::span<const std::uint8_t> data);
 /// Deterministic key derivation: splits a 64-bit master seed and a context
 /// label into independent SipKeys (used to give each process its own key).
 SipKey derive_key(std::uint64_t master_seed, std::uint64_t context);
+
+/// Streaming SipHash-2-4. Absorb bytes in any chunking; `digest()` returns
+/// exactly `siphash24(key, <all bytes absorbed so far>)`. Copyable: a copy
+/// snapshots the stream state, so a parent prefix is compressed once and
+/// shared by every child extension.
+class SipHasher {
+ public:
+  explicit SipHasher(const SipKey& key);
+
+  void absorb(std::span<const std::uint8_t> data);
+  /// Absorbs the 4 little-endian bytes of `v` (the encoding used for path
+  /// elements and signer ids throughout the library).
+  void absorb_u32(std::uint32_t v);
+  /// Absorbs the 8 little-endian bytes of `v`.
+  void absorb_u64(std::uint64_t v);
+
+  /// Finalizes a copy of the state; the hasher itself remains extendable.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Total bytes absorbed so far.
+  [[nodiscard]] std::uint64_t absorbed() const { return len_; }
+
+ private:
+  std::array<std::uint64_t, 4> v_;
+  std::uint64_t pending_{0};      // tail bytes not yet compressed, LE-packed
+  std::uint32_t pending_len_{0};  // 0..7
+  std::uint64_t len_{0};
+};
 
 }  // namespace ba::crypto

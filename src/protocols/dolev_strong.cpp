@@ -38,13 +38,14 @@ class DolevStrongProcess final : public DecidingProcess {
         instance_(instance),
         auth_(std::move(auth)),
         signer_(auth_, ctx.self),
-        proposal_(ctx.proposal) {}
+        proposal_(ctx.proposal),
+        arena_(auth_) {}
 
   Outbox outbox_for_round(Round r) override {
     Outbox out;
     if (r == 1 && self_ == sender_) {
-      crypto::SigChain chain(wrap_value(instance_, proposal_));
-      chain.extend(signer_);
+      const std::uint32_t chain =
+          arena_.extend(arena_.root(wrap_value(instance_, proposal_)), signer_);
       extracted_.insert(proposal_);
       out = chains_to_all({chain});
       return out;
@@ -58,8 +59,29 @@ class DolevStrongProcess final : public DecidingProcess {
   void deliver(Round r, const Inbox& inbox) override {
     pending_relay_.clear();
     if (r <= last_round()) {
+      // Batch-verify the round's inbox in one arena pass: chains accepted
+      // at the end of round r carry >= r distinct signatures, the first
+      // being the designated sender's. Relayed chains share their verified
+      // prefix with chains checked in earlier rounds, so only the
+      // signatures this round added are actually MAC-checked.
+      chain_fields_.clear();
       for (const Message& m : inbox) {
-        ingest(m.payload, r);
+        if (!has_tag(m.payload, "ds")) continue;
+        const ValueVec& fields = m.payload.as_vec();
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+          chain_fields_.push_back(&fields[i]);
+        }
+      }
+      for (const crypto::ChainArena::Accepted& acc :
+           arena_.verify_batch(chain_fields_, r, sender_)) {
+        auto v = unwrap_value(acc.value, instance_);
+        if (!v) continue;
+        if (extracted_.contains(*v)) continue;
+        if (extracted_.size() >= 2) continue;  // two values prove equivocation
+        extracted_.insert(*v);
+        if (r < last_round() && !arena_.contains_signer(acc.node, self_)) {
+          pending_relay_.push_back(arena_.extend(acc.node, signer_));
+        }
       }
     }
     if (r == last_round()) {
@@ -74,11 +96,11 @@ class DolevStrongProcess final : public DecidingProcess {
  private:
   [[nodiscard]] Round last_round() const { return params_.t + 1; }
 
-  Outbox chains_to_all(const std::vector<crypto::SigChain>& chains) {
+  Outbox chains_to_all(const std::vector<std::uint32_t>& chains) {
     ValueVec payload_fields;
     payload_fields.reserve(chains.size());
-    for (const crypto::SigChain& c : chains) {
-      payload_fields.push_back(c.to_value());
+    for (std::uint32_t c : chains) {
+      payload_fields.push_back(arena_.to_value(c));
     }
     Value payload = tagged("ds", std::move(payload_fields));
     Outbox out;
@@ -88,28 +110,6 @@ class DolevStrongProcess final : public DecidingProcess {
     return out;
   }
 
-  void ingest(const Value& payload, Round r) {
-    if (!has_tag(payload, "ds")) return;
-    const ValueVec& fields = payload.as_vec();
-    for (std::size_t i = 1; i < fields.size(); ++i) {
-      auto chain = crypto::SigChain::from_value(fields[i]);
-      if (!chain) continue;
-      // A chain accepted at the end of round r carries >= r distinct
-      // signatures, the first being the designated sender's.
-      if (!chain->verify(*auth_, r, sender_)) continue;
-      auto v = unwrap_value(chain->value(), instance_);
-      if (!v) continue;
-      if (extracted_.contains(*v)) continue;
-      if (extracted_.size() >= 2) continue;  // two values prove equivocation
-      extracted_.insert(*v);
-      if (r < last_round() && !chain->contains_signer(self_)) {
-        crypto::SigChain extended = *chain;
-        extended.extend(signer_);
-        pending_relay_.push_back(std::move(extended));
-      }
-    }
-  }
-
   SystemParams params_;
   ProcessId self_;
   ProcessId sender_;
@@ -117,9 +117,11 @@ class DolevStrongProcess final : public DecidingProcess {
   std::shared_ptr<const crypto::Authenticator> auth_;
   crypto::Signer signer_;
   Value proposal_;
+  crypto::ChainArena arena_;
 
   std::set<Value> extracted_;
-  std::vector<crypto::SigChain> pending_relay_;
+  std::vector<std::uint32_t> pending_relay_;  // arena chain ids
+  std::vector<const Value*> chain_fields_;    // scratch, inbox order
 };
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Unit tests for the dense path-id arithmetic underlying the EIG arena
+// encoding: base-n digit packing, lexicographic ordering within a level,
+// saturation at the uint64 boundary, and the layout_fits gate that decides
+// when the arena is allowed to allocate dense levels.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "protocols/eig.h"
+
+namespace ba::protocols::eig_paths {
+namespace {
+
+TEST(EigPaths, ChildIdIsBaseNPacking) {
+  // id(2,0,1) base 5 = (2*5 + 0)*5 + 1 = 51.
+  std::uint64_t id = kRootId;
+  id = child_id(id, 5, 2);
+  id = child_id(id, 5, 0);
+  id = child_id(id, 5, 1);
+  EXPECT_EQ(id, 51u);
+}
+
+TEST(EigPaths, DecodePathRoundTrips) {
+  constexpr std::uint32_t n = 7;
+  std::vector<ProcessId> digits{3, 3, 0, 6, 1};  // repeats allowed
+  std::uint64_t id = kRootId;
+  for (ProcessId d : digits) id = child_id(id, n, d);
+  std::vector<ProcessId> out;
+  decode_path(id, n, static_cast<std::uint32_t>(digits.size()), out);
+  EXPECT_EQ(out, digits);
+}
+
+TEST(EigPaths, DecodeRootIsEmpty) {
+  std::vector<ProcessId> out{1, 2, 3};
+  decode_path(kRootId, 4, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// Ascending dense ids within a level must enumerate labels in lexicographic
+// order — the property that keeps arena report payloads byte-identical to
+// the seed's std::map iteration.
+TEST(EigPaths, AscendingIdsAreLexicographicLabels) {
+  constexpr std::uint32_t n = 4;
+  constexpr std::uint32_t level = 3;
+  std::vector<ProcessId> prev;
+  std::vector<ProcessId> cur;
+  const std::uint64_t size = level_size(n, level);
+  ASSERT_EQ(size, 64u);
+  for (std::uint64_t id = 0; id < size; ++id) {
+    decode_path(id, n, level, cur);
+    if (id > 0) {
+      EXPECT_LT(prev, cur) << "id " << id;  // strict lexicographic increase
+    }
+    prev = cur;
+  }
+}
+
+TEST(EigPaths, PathContains) {
+  constexpr std::uint32_t n = 6;
+  std::uint64_t id = kRootId;
+  for (ProcessId d : {2u, 5u, 2u}) id = child_id(id, n, d);
+  EXPECT_TRUE(path_contains(id, n, 3, 2));
+  EXPECT_TRUE(path_contains(id, n, 3, 5));
+  EXPECT_FALSE(path_contains(id, n, 3, 0));
+  EXPECT_FALSE(path_contains(id, n, 3, 4));
+  // Level 0 (the root label) contains nothing — including digit 0, which is
+  // the root's dense id.
+  EXPECT_FALSE(path_contains(kRootId, n, 0, 0));
+}
+
+TEST(EigPaths, LevelSizeExactSmall) {
+  EXPECT_EQ(level_size(5, 0), 1u);
+  EXPECT_EQ(level_size(5, 1), 5u);
+  EXPECT_EQ(level_size(5, 3), 125u);
+  EXPECT_EQ(level_size(2, 10), 1024u);
+  // n = 1 is degenerate but well defined: one label per level.
+  EXPECT_EQ(level_size(1, 9), 1u);
+}
+
+TEST(EigPaths, LevelSizeSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // 2^64 overflows by exactly one doubling: must saturate, not wrap to 0.
+  EXPECT_EQ(level_size(2, 64), kMax);
+  EXPECT_EQ(level_size(2, 63), 1ull << 63);
+  // Large-base blowups.
+  EXPECT_EQ(level_size(1u << 16, 3), 1ull << 48);
+  EXPECT_EQ(level_size(1u << 16, 5), kMax);
+  // (2^32-1)^2 still fits in 64 bits; the cube does not.
+  EXPECT_EQ(level_size(0xffffffffu, 2), 0xffffffffULL * 0xffffffffULL);
+  EXPECT_EQ(level_size(0xffffffffu, 3), kMax);
+}
+
+TEST(EigPaths, LayoutFitsGatesPathologicalCorners) {
+  // Every tier-1 operating point fits.
+  EXPECT_TRUE(layout_fits(4, 1));
+  EXPECT_TRUE(layout_fits(64, 1));
+  EXPECT_TRUE(layout_fits(10, 3));
+  EXPECT_TRUE(layout_fits(128, 1));
+  // Exponential corners must fall back to the reference implementation
+  // rather than attempt astronomically sized dense levels.
+  EXPECT_FALSE(layout_fits(128, 9));
+  EXPECT_FALSE(layout_fits(1000, 6));
+}
+
+}  // namespace
+}  // namespace ba::protocols::eig_paths

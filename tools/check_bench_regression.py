@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_runtime.json.
+
+Compares a freshly generated runtime-throughput bench report against the
+committed baseline at the repo root and fails when any (protocol, n) row got
+meaningfully worse:
+
+  * msgs_per_sec dropped by more than --max-throughput-drop (default 30%), or
+  * peak_rss_kb grew by more than --max-rss-growth (default 50%).
+
+peak_rss_kb is a process-wide high-water mark (see bench/bench_runtime.cpp),
+so the RSS check is applied per row but is really a coarse whole-binary
+footprint guard. Rows present only in the candidate (new operating points,
+e.g. a freshly added n) pass; rows present only in the baseline fail, since
+silently dropping an operating point is how regressions hide.
+
+The workload-shape counters (rounds_per_run, msgs_per_run) must match the
+baseline exactly: if the workload itself drifted, throughput numbers are not
+comparable and the baseline must be consciously regenerated.
+
+Waiver: pass --waive, or run with the HEAD commit message containing the tag
+[bench-reset] (checked via git when --git-waiver is given). A waived run
+still prints the full comparison but always exits 0 — the intended use is a
+commit that deliberately regenerates the baseline on different hardware.
+
+Usage:
+  check_bench_regression.py CANDIDATE [--baseline PATH] [--git-waiver]
+Exit status: 0 = within budget (or waived), 1 = regression, 2 = usage error.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+WAIVER_TAG = "[bench-reset]"
+
+
+def load_rows(path: Path) -> dict:
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if doc.get("experiment") != "runtime_throughput":
+        sys.exit(f"error: {path} is not a runtime_throughput report")
+    return {(row["protocol"], row["n"]): row for row in doc["rows"]}
+
+
+def head_commit_waives(repo_root: Path) -> bool:
+    try:
+        msg = subprocess.run(
+            ["git", "-C", str(repo_root), "log", "-1", "--format=%B"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return False
+    return WAIVER_TAG in msg
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", type=Path,
+                        help="freshly generated BENCH_runtime.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_runtime.json",
+                        help="committed baseline (default: repo root copy)")
+    parser.add_argument("--max-throughput-drop", type=float, default=0.30,
+                        help="fractional msgs_per_sec drop allowed per row")
+    parser.add_argument("--max-rss-growth", type=float, default=0.50,
+                        help="fractional peak_rss_kb growth allowed per row")
+    parser.add_argument("--waive", action="store_true",
+                        help="report but never fail")
+    parser.add_argument("--git-waiver", action="store_true",
+                        help=f"also waive when HEAD's message has {WAIVER_TAG}")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    candidate = load_rows(args.candidate)
+
+    waived = args.waive
+    if not waived and args.git_waiver:
+        waived = head_commit_waives(args.baseline.resolve().parent)
+        if waived:
+            print(f"note: HEAD commit carries {WAIVER_TAG}; "
+                  "reporting only, not gating")
+
+    failures = []
+    for key in sorted(baseline):
+        proto, n = key
+        label = f"{proto} n={n}"
+        if key not in candidate:
+            failures.append(f"{label}: row missing from candidate report")
+            continue
+        base, cand = baseline[key], candidate[key]
+
+        for shape in ("rounds_per_run", "msgs_per_run"):
+            if abs(base[shape] - cand[shape]) > 1e-9:
+                failures.append(
+                    f"{label}: workload drift — {shape} "
+                    f"{base[shape]} -> {cand[shape]} "
+                    "(regenerate the baseline deliberately)")
+
+        base_tp, cand_tp = base["msgs_per_sec"], cand["msgs_per_sec"]
+        ratio = cand_tp / base_tp if base_tp > 0 else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - args.max_throughput_drop:
+            verdict = "THROUGHPUT REGRESSION"
+            failures.append(
+                f"{label}: msgs_per_sec {base_tp:.0f} -> {cand_tp:.0f} "
+                f"({(1.0 - ratio) * 100:.1f}% drop > "
+                f"{args.max_throughput_drop * 100:.0f}% budget)")
+        print(f"  {label:<24} msgs/s {base_tp:>12.0f} -> {cand_tp:>12.0f} "
+              f"({ratio:6.2f}x)  {verdict}")
+
+        base_rss, cand_rss = base["peak_rss_kb"], cand["peak_rss_kb"]
+        if base_rss > 0 and cand_rss > base_rss * (1.0 + args.max_rss_growth):
+            failures.append(
+                f"{label}: peak_rss_kb {base_rss:.0f} -> {cand_rss:.0f} "
+                f"(> {args.max_rss_growth * 100:.0f}% growth budget)")
+
+    for key in sorted(set(candidate) - set(baseline)):
+        print(f"  {key[0]} n={key[1]:<18} new operating point (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:")
+        for f in failures:
+            print(f"  FAIL: {f}")
+        if waived:
+            print("waived: exiting 0")
+            return 0
+        print(f"\nIf this change deliberately rebases perf (new hardware, "
+              f"regenerated baseline), commit with {WAIVER_TAG} in the "
+              "message or pass --waive.")
+        return 1
+
+    print("\nall rows within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
