@@ -1,0 +1,84 @@
+// E22 — campaign service throughput: a 10,000-spec campaign (phase-king +
+// floodset at n=4 under fault-free and crash:1 plans) sharded across real
+// forked ba_cli worker processes.
+//
+// Expected shape: rows_per_sec is dominated by per-task protocol execution
+// (the coordinator's fork/lease/merge overhead amortizes to noise at this
+// campaign size), so it should scale with worker count up to the machine's
+// core count. The workers = 2 run drops BENCH_service.json next to the
+// binary — the perf-trajectory artifact gated by
+// tools/check_bench_regression.py against the repo-root baseline (also
+// produced by `ba_cli serve --bench`).
+
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "service/campaign.h"
+#include "service/runner.h"
+
+namespace ba::bench {
+namespace {
+
+service::CampaignSpec bench_spec() {
+  service::CampaignSpec spec;
+  spec.name = "bench-service";
+  spec.master_seed = 424242;
+  spec.protocols = {"phase-king", "floodset"};
+  spec.grid = {{4, 1}};
+  spec.backends = {"lockstep"};
+  spec.faults = {"fault-free", "crash:1"};
+  spec.seeds = 2500;
+  spec.validate();
+  return spec;  // 2 * 1 * 1 * 2 * 2500 = 10,000 tasks
+}
+
+void ServiceCampaign(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const service::CampaignSpec spec = bench_spec();
+  const std::filesystem::path state_dir =
+      std::filesystem::temp_directory_path() /
+      ("ba_bench_service_" + std::to_string(workers));
+
+  service::ServeSummary summary;
+  for (auto _ : state) {
+    // A fresh state dir per iteration: every task really runs (no cache
+    // hits), so rows_per_sec measures execution, not resume bookkeeping.
+    std::filesystem::remove_all(state_dir);
+    service::ServeOptions options;
+    options.state_dir = state_dir.string();
+    options.workers = workers;
+    options.worker_exe = BA_CLI_EXE;
+    options.quiet = true;
+    summary = service::serve_campaign(spec, options);
+  }
+  std::filesystem::remove_all(state_dir);
+
+  const double rows_per_sec =
+      summary.wall_micros == 0
+          ? 0
+          : static_cast<double>(summary.tasks_run) * 1e6 /
+                static_cast<double>(summary.wall_micros);
+  state.counters["specs"] = static_cast<double>(summary.tasks_total);
+  state.counters["workers"] = workers;
+  state.counters["respawns"] = summary.respawns;
+  state.counters["wall_s"] =
+      static_cast<double>(summary.wall_micros) / 1e6;
+  state.counters["rows_per_sec"] = rows_per_sec;
+
+  if (workers == 2) {
+    std::ofstream out("BENCH_service.json");
+    out << service::bench_service_json(spec, summary);
+  }
+}
+
+}  // namespace
+}  // namespace ba::bench
+
+BENCHMARK(ba::bench::ServiceCampaign)
+    ->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

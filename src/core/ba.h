@@ -57,9 +57,14 @@
 #include "protocols/interactive_consistency.h"
 #include "protocols/parallel.h"
 #include "protocols/phase_king.h"
+#include "protocols/registry.h"
 #include "protocols/turpin_coan.h"
 #include "protocols/weak_consensus.h"
 #include "reductions/classic.h"
+#include "service/campaign.h"
+#include "service/ndjson.h"
+#include "service/runner.h"
+#include "service/worker.h"
 #include "reductions/from_ic.h"
 #include "reductions/weak_from_any.h"
 #include "runtime/sync_system.h"

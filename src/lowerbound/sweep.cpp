@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <ostream>
 
 #include "crypto/signature.h"
@@ -59,13 +60,17 @@ std::optional<double> obs_static_ratio(const SweepRow& row) {
 
 }  // namespace
 
+/// The per-row half of the Theorem 2 verdict, folded incrementally so
+/// streaming sweeps (keep_rows off) still report consistency.
+bool row_consistent(const SweepRow& row) {
+  if (row.violation) return row.certificate_verified;
+  return row.max_messages >= row.bound;
+}
+
 bool SweepResult::theorem2_consistent() const {
+  if (rows.empty()) return streamed_consistent;
   for (const SweepRow& row : rows) {
-    if (row.violation) {
-      if (!row.certificate_verified) return false;
-    } else {
-      if (row.max_messages < row.bound) return false;
-    }
+    if (!row_consistent(row)) return false;
   }
   return true;
 }
@@ -75,23 +80,42 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
                              const SweepOptions& options) {
   SweepResult result;
   const std::size_t points = entries.size() * grid.size();
+  result.points = points;
   const auto start = std::chrono::steady_clock::now();
   if (options.jobs == 1) {
     // Serial reference path: the parallel path must match it bit-for-bit.
-    result.rows.reserve(points);
+    if (options.keep_rows) result.rows.reserve(points);
+    std::size_t index = 0;
     for (const SweepEntry& entry : entries) {
       for (const SystemParams& params : grid) {
-        result.rows.push_back(sweep_point(entry, params, options.attack));
+        SweepRow row = sweep_point(entry, params, options.attack);
+        result.streamed_consistent =
+            result.streamed_consistent && row_consistent(row);
+        if (options.on_row) options.on_row(index, row);
+        if (options.keep_rows) result.rows.push_back(std::move(row));
+        ++index;
       }
     }
     result.jobs_used = 1;
   } else {
     parallel::ExperimentPool pool(options.jobs);
-    result.rows = pool.map<SweepRow>(points, [&](std::size_t index) {
-      const SweepEntry& entry = entries[index / grid.size()];
-      const SystemParams& params = grid[index % grid.size()];
-      return sweep_point(entry, params, options.attack);
-    });
+    // Serializes on_row and the consistency fold; sweep_point itself runs
+    // unlocked on the workers.
+    std::mutex row_mu;
+    if (options.keep_rows) result.rows.resize(points);
+    for (std::size_t index = 0; index < points; ++index) {
+      pool.submit([&, index] {
+        const SweepEntry& entry = entries[index / grid.size()];
+        const SystemParams& params = grid[index % grid.size()];
+        SweepRow row = sweep_point(entry, params, options.attack);
+        const std::lock_guard<std::mutex> lock(row_mu);
+        result.streamed_consistent =
+            result.streamed_consistent && row_consistent(row);
+        if (options.on_row) options.on_row(index, row);
+        if (options.keep_rows) result.rows[index] = std::move(row);
+      });
+    }
+    pool.collect();
     result.jobs_used = pool.jobs();
   }
   result.wall_micros = static_cast<std::uint64_t>(
@@ -145,11 +169,11 @@ void write_bench_json(std::ostream& os, const SweepResult& result) {
   const double points_per_sec =
       result.wall_micros == 0
           ? 0.0
-          : static_cast<double>(result.rows.size()) / wall_seconds;
+          : static_cast<double>(result.points) / wall_seconds;
   os << "{\n"
      << "  \"experiment\": \"theorem2_attack_sweep\",\n"
      << "  \"jobs\": " << result.jobs_used << ",\n"
-     << "  \"points\": " << result.rows.size() << ",\n"
+     << "  \"points\": " << result.points << ",\n"
      << "  \"wall_seconds\": " << wall_seconds << ",\n"
      << "  \"points_per_sec\": " << points_per_sec << ",\n"
      << "  \"theorem2_consistent\": "
@@ -182,6 +206,32 @@ void write_bench_json(std::ostream& os, const SweepResult& result) {
        << (i + 1 < result.rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+}
+
+std::string encode_sweep_row_ndjson(const SweepRow& row) {
+  const auto append_escaped = [](std::string& out, const std::string& s) {
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+  };
+  std::string out = "{\"protocol\":\"";
+  append_escaped(out, row.protocol_name);
+  out += "\",\"n\":" + std::to_string(row.params.n);
+  out += ",\"t\":" + std::to_string(row.params.t);
+  out += ",\"messages\":" + std::to_string(row.max_messages);
+  out += ",\"bound\":" + std::to_string(row.bound);
+  out += ",\"static_bound\":";
+  out += row.static_bound ? std::to_string(*row.static_bound) : "null";
+  out += ",\"violation\":";
+  out += row.violation ? "true" : "false";
+  out += ",\"kind\":\"";
+  append_escaped(out, row.violation_kind);
+  out += "\",\"certificate_verified\":";
+  out += row.certificate_verified ? "true" : "false";
+  out += ",\"certificate_bytes\":" + std::to_string(row.certificate.size());
+  out += "}";
+  return out;
 }
 
 std::vector<SweepEntry> standard_sweep_entries() {

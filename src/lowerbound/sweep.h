@@ -64,14 +64,31 @@ struct SweepOptions {
   /// Worker threads to fan grid points across: 1 (default) runs the serial
   /// reference path in the calling thread; 0 means hardware concurrency.
   unsigned jobs{1};
+  /// Streaming hook: called once per grid point with (index, row) the
+  /// moment the point completes. Calls are serialized (never concurrent)
+  /// but arrive in completion order when jobs != 1 — pair with
+  /// service::OrderedNdjsonWriter to emit index-ordered output. The index
+  /// is entry-major (index = entry_i * |grid| + grid_i), identical to the
+  /// rows vector's order.
+  std::function<void(std::size_t, const SweepRow&)> on_row;
+  /// Keep rows in SweepResult::rows (default). Off streams large grids
+  /// through on_row with O(1) row memory; theorem2_consistent() still works
+  /// (consistency is folded per row as the sweep runs).
+  bool keep_rows{true};
 };
 
 struct SweepResult {
+  /// Empty when SweepOptions::keep_rows was off; see `points`.
   std::vector<SweepRow> rows;
+  /// Grid points evaluated (rows.size() when rows are kept).
+  std::size_t points{0};
   /// Resolved worker count the sweep ran with (1 for the serial path).
   unsigned jobs_used{1};
   /// Wall-clock time of the grid evaluation, microseconds.
   std::uint64_t wall_micros{0};
+  /// Per-row consistency verdict folded while the sweep ran; what
+  /// theorem2_consistent() reports when `rows` was not kept.
+  bool streamed_consistent{true};
 
   /// True iff every sub-threshold protocol was broken with a verified
   /// certificate and every surviving protocol clears the bound.
@@ -91,6 +108,12 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
 
 /// Renders the rows as a GitHub-flavored markdown table.
 void write_markdown(std::ostream& os, const SweepResult& result);
+
+/// One grid point as a self-describing NDJSON line (no trailing newline):
+/// the streaming row format of `ba_cli sweep --out` (docs/SERVICE.md). The
+/// encoding is canonical — a fixed field order with no whitespace — so
+/// streamed outputs compare byte-for-byte across worker counts.
+[[nodiscard]] std::string encode_sweep_row_ndjson(const SweepRow& row);
 
 /// Renders the sweep as the machine-readable BENCH_sweep.json document:
 /// wall time, throughput, and one object per grid point (messages, bound,

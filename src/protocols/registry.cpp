@@ -1,0 +1,35 @@
+#include "protocols/registry.h"
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "protocols/early_stopping.h"
+#include "protocols/eig.h"
+#include "protocols/phase_king.h"
+#include "protocols/weak_consensus.h"
+
+namespace ba::protocols {
+
+std::optional<ProtocolFactory> make_protocol_by_name(const std::string& name,
+                                                     std::uint32_t n) {
+  if (name == "silent") return wc_candidate_silent(1);
+  if (name == "beacon") return wc_candidate_leader_beacon();
+  if (name == "gossip") return wc_candidate_gossip_ring(2, 3);
+  if (name == "one-shot-echo") return wc_candidate_one_shot_echo();
+  if (name == "ds-weak") {
+    auto auth = std::make_shared<crypto::Authenticator>(0xc11, n);
+    return weak_consensus_auth(auth);
+  }
+  if (name == "phase-king") return weak_consensus_unauth();
+  if (name == "phase-king-strong") return phase_king_consensus();
+  if (name == "floodset") return floodset_consensus();
+  if (name == "eig-strong") return eig_strong_consensus();
+  return std::nullopt;
+}
+
+const char* registered_protocol_names() {
+  return "silent beacon gossip one-shot-echo ds-weak phase-king "
+         "phase-king-strong floodset eig-strong";
+}
+
+}  // namespace ba::protocols

@@ -1,0 +1,28 @@
+#pragma once
+
+// Name -> factory registry for the synchronous protocols exposed on stable
+// string surfaces: the CLI tools (ba_cli, lint_trace) and the campaign
+// service (src/service/) resolve protocols through this one function so a
+// campaign spec, a sweep entry, and a `ba_cli run` invocation all mean the
+// same protocol by the same name. Names align with the comm-spec aliases in
+// protocols/comm_specs.{h,cpp} where both registries know the protocol.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runtime/process.h"
+
+namespace ba::protocols {
+
+/// The factory registered under `name` for an n-process system, or nullopt
+/// for an unknown name. Pure: equal (name, n) always produce equivalent
+/// factories (authenticated protocols derive their key material from fixed
+/// per-name seeds, so two lookups are interchangeable in any run).
+std::optional<ProtocolFactory> make_protocol_by_name(const std::string& name,
+                                                     std::uint32_t n);
+
+/// Space-separated list of every registered name (usage strings).
+const char* registered_protocol_names();
+
+}  // namespace ba::protocols

@@ -1,0 +1,544 @@
+#include "service/campaign.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "adversary/byzantine.h"
+#include "adversary/omission.h"
+#include "crypto/siphash.h"
+#include "engine/registry.h"
+#include "parallel/seed.h"
+#include "protocols/comm_specs.h"
+#include "protocols/registry.h"
+#include "service/json.h"
+#include "statics/analyzer.h"
+
+namespace ba::service {
+namespace {
+
+// Fixed domain-separated keys: spec hashes and row hashes must be stable
+// across builds and machines (they are written into cache files).
+constexpr crypto::SipKey kSpecHashKey{0x5e27c0de9a7b0001ULL,
+                                      0xba5eba11ca3d0002ULL};
+constexpr crypto::SipKey kRowHashKey{0x5e27c0de9a7b0003ULL,
+                                     0xba5eba11ca3d0004ULL};
+constexpr std::uint64_t kProposalContext = 0x9a0b0535ULL;
+constexpr std::uint64_t kFaultContext = 0xfa017ab1ULL;
+
+[[noreturn]] void spec_error(const std::string& what) {
+  throw std::runtime_error("campaign: " + what);
+}
+
+std::uint64_t hash_bytes(const crypto::SipKey& key, std::string_view bytes) {
+  return crypto::siphash24(
+      key, {reinterpret_cast<const std::uint8_t*>(bytes.data()),
+            bytes.size()});
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Splits "name" or "name:arg" fault syntax.
+std::pair<std::string, std::optional<std::uint64_t>> split_fault(
+    const std::string& fault) {
+  const auto colon = fault.find(':');
+  if (colon == std::string::npos) return {fault, std::nullopt};
+  const auto arg = parse_u64(std::string_view(fault).substr(colon + 1));
+  if (!arg) spec_error("fault plan '" + fault + "': malformed argument");
+  return {fault.substr(0, colon), arg};
+}
+
+/// The K highest process ids — the conventional corrupted suffix.
+ProcessSet tail_group(const SystemParams& params, std::uint32_t k) {
+  return ProcessSet::range(params.n - k, params.n);
+}
+
+std::uint32_t checked_budget(const std::string& fault,
+                             const SystemParams& params,
+                             std::uint64_t k_raw) {
+  if (k_raw > params.t) {
+    spec_error("fault plan '" + fault + "': " + std::to_string(k_raw) +
+               " faults exceed budget t=" + std::to_string(params.t));
+  }
+  return static_cast<std::uint32_t>(k_raw);
+}
+
+SystemParams parse_grid_point(const Json& point) {
+  if (point.is_string()) {
+    const std::string& s = point.as_string();
+    const auto colon = s.find(':');
+    if (colon != std::string::npos) {
+      const auto n = parse_u64(std::string_view(s).substr(0, colon));
+      const auto t = parse_u64(std::string_view(s).substr(colon + 1));
+      if (n && t && SystemParams{static_cast<std::uint32_t>(*n),
+                                 static_cast<std::uint32_t>(*t)}
+                        .valid()) {
+        return {static_cast<std::uint32_t>(*n), static_cast<std::uint32_t>(*t)};
+      }
+    }
+    spec_error("grid point '" + s + "': want \"n:t\" with t < n");
+  }
+  const Json* n = point.find("n");
+  const Json* t = point.find("t");
+  if (!n || !t || !n->is_int() || !t->is_int()) {
+    spec_error("grid point: want \"n:t\" or {\"n\": .., \"t\": ..}");
+  }
+  SystemParams params{static_cast<std::uint32_t>(n->as_int()),
+                      static_cast<std::uint32_t>(t->as_int())};
+  if (n->as_int() < 0 || t->as_int() < 0 || !params.valid()) {
+    spec_error("grid point: invalid (n, t)");
+  }
+  return params;
+}
+
+std::vector<std::string> parse_string_array(const Json& v, const char* field) {
+  std::vector<std::string> out;
+  if (!v.is_array()) spec_error(std::string(field) + ": want an array");
+  for (const Json& item : v.as_array()) {
+    if (!item.is_string()) {
+      spec_error(std::string(field) + ": want an array of strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+CampaignSpec CampaignSpec::from_json(std::string_view text) {
+  const Json doc = Json::parse(text);
+  if (!doc.is_object()) spec_error("top level: want an object");
+  CampaignSpec spec;
+  spec.backends.clear();
+  spec.faults.clear();
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") {
+      spec.name = value.as_string();
+    } else if (key == "master_seed") {
+      if (!value.is_integer() || (value.is_int() && value.as_int() < 0)) {
+        spec_error("master_seed: want a non-negative integer");
+      }
+      spec.master_seed = value.as_uint();
+    } else if (key == "protocols") {
+      spec.protocols = parse_string_array(value, "protocols");
+    } else if (key == "grid") {
+      if (!value.is_array()) spec_error("grid: want an array");
+      for (const Json& point : value.as_array()) {
+        spec.grid.push_back(parse_grid_point(point));
+      }
+    } else if (key == "backends") {
+      spec.backends = parse_string_array(value, "backends");
+    } else if (key == "faults") {
+      spec.faults = parse_string_array(value, "faults");
+    } else if (key == "seeds") {
+      if (!value.is_int() || value.as_int() <= 0) {
+        spec_error("seeds: want a positive integer");
+      }
+      spec.seeds = static_cast<std::uint64_t>(value.as_int());
+    } else {
+      spec_error("unknown field '" + key + "'");
+    }
+  }
+  if (spec.backends.empty()) spec.backends.push_back("lockstep");
+  if (spec.faults.empty()) spec.faults.push_back("fault-free");
+  spec.validate();
+  return spec;
+}
+
+std::string CampaignSpec::to_json() const {
+  std::string out = "{\"name\":\"";
+  json_escape_to(out, name);
+  out += "\",\"master_seed\":";
+  append_u64(out, master_seed);
+  out += ",\"protocols\":[";
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    out += i ? ",\"" : "\"";
+    json_escape_to(out, protocols[i]);
+    out += "\"";
+  }
+  out += "],\"grid\":[";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    out += i ? ",\"" : "\"";
+    append_u64(out, grid[i].n);
+    out += ":";
+    append_u64(out, grid[i].t);
+    out += "\"";
+  }
+  out += "],\"backends\":[";
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    out += i ? ",\"" : "\"";
+    json_escape_to(out, backends[i]);
+    out += "\"";
+  }
+  out += "],\"faults\":[";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out += i ? ",\"" : "\"";
+    json_escape_to(out, faults[i]);
+    out += "\"";
+  }
+  out += "],\"seeds\":";
+  append_u64(out, seeds);
+  out += "}";
+  return out;
+}
+
+void CampaignSpec::validate() const {
+  if (protocols.empty()) spec_error("protocols: empty");
+  if (grid.empty()) spec_error("grid: empty");
+  if (backends.empty()) spec_error("backends: empty");
+  if (faults.empty()) spec_error("faults: empty");
+  if (seeds == 0) spec_error("seeds: must be >= 1");
+  for (const SystemParams& params : grid) {
+    if (!params.valid()) spec_error("grid: invalid (n, t) point");
+  }
+  for (const std::string& protocol : protocols) {
+    if (!protocols::make_protocol_by_name(protocol, grid.front().n)) {
+      spec_error("unknown protocol '" + protocol + "' (known: " +
+                 protocols::registered_protocol_names() + ")");
+    }
+  }
+  for (const std::string& backend : backends) {
+    const auto parsed = engine::parse_backend_spec(backend);
+    if (!parsed) {
+      spec_error("backend '" + backend +
+                 "': malformed spec (want name[:model[,seed]])");
+    }
+    if (parsed->name == "async") {
+      spec_error("backend '" + backend +
+                 "': the async backend refuses synchronous protocols; "
+                 "campaigns run the synchronous surface");
+    }
+    try {
+      (void)engine::Registry::global().make(*parsed);
+    } catch (const std::exception& e) {
+      spec_error("backend '" + backend + "': " + e.what());
+    }
+  }
+  for (const std::string& fault : faults) {
+    for (const SystemParams& params : grid) {
+      (void)make_fault_adversary(fault, params, 0);  // throws when invalid
+    }
+  }
+  // Overflow guard on the cross product (campaigns are large but bounded).
+  std::uint64_t count = seeds;
+  for (const std::uint64_t axis :
+       {protocols.size(), grid.size(), backends.size(), faults.size()}) {
+    if (axis != 0 && count > UINT64_MAX / axis) {
+      spec_error("task count overflows 64 bits");
+    }
+    count *= axis;
+  }
+}
+
+std::uint64_t CampaignSpec::task_count() const {
+  return protocols.size() * grid.size() * backends.size() * faults.size() *
+         seeds;
+}
+
+TaskSpec CampaignSpec::task_at(std::uint64_t index) const {
+  if (index >= task_count()) {
+    spec_error("task index " + std::to_string(index) + " out of range (" +
+               std::to_string(task_count()) + " tasks)");
+  }
+  TaskSpec task;
+  task.index = index;
+  std::uint64_t rest = index;
+  task.seed_index = rest % seeds;
+  rest /= seeds;
+  task.fault = faults[rest % faults.size()];
+  rest /= faults.size();
+  task.backend = backends[rest % backends.size()];
+  rest /= backends.size();
+  task.params = grid[rest % grid.size()];
+  rest /= grid.size();
+  task.protocol = protocols[rest];
+  task.seed = parallel::derive_task_seed(master_seed, index);
+  return task;
+}
+
+std::string canonical_task_encoding(const CampaignSpec& spec,
+                                    const TaskSpec& task) {
+  std::string out = "ba-campaign-task-v1|master=";
+  append_u64(out, spec.master_seed);
+  out += "|protocol=" + task.protocol + "|n=";
+  append_u64(out, task.params.n);
+  out += "|t=";
+  append_u64(out, task.params.t);
+  out += "|backend=" + task.backend + "|fault=" + task.fault + "|seed_index=";
+  append_u64(out, task.seed_index);
+  out += "|seed=";
+  append_u64(out, task.seed);
+  return out;
+}
+
+std::uint64_t task_spec_hash(const CampaignSpec& spec, const TaskSpec& task) {
+  return hash_bytes(kSpecHashKey, canonical_task_encoding(spec, task));
+}
+
+std::string encode_row(const CampaignRow& row) {
+  std::string out = "{\"spec\":\"" + hex16(row.spec_hash) +
+                    "\",\"protocol\":\"";
+  json_escape_to(out, row.protocol);
+  out += "\",\"n\":";
+  append_u64(out, row.params.n);
+  out += ",\"t\":";
+  append_u64(out, row.params.t);
+  out += ",\"backend\":\"";
+  json_escape_to(out, row.backend);
+  out += "\",\"fault\":\"";
+  json_escape_to(out, row.fault);
+  out += "\",\"seed_index\":";
+  append_u64(out, row.seed_index);
+  out += ",\"seed\":";
+  append_u64(out, row.seed);
+  out += ",\"rounds\":";
+  append_u64(out, row.rounds);
+  out += ",\"messages\":";
+  append_u64(out, row.messages);
+  out += ",\"static_bound\":";
+  if (row.static_bound) {
+    append_u64(out, *row.static_bound);
+  } else {
+    out += "null";
+  }
+  out += ",\"decided\":";
+  append_u64(out, row.decided);
+  out += row.agree ? ",\"agree\":true" : ",\"agree\":false";
+  // The row hash covers every byte emitted so far — any field mutation in a
+  // cached line flips it.
+  out += ",\"row_hash\":\"" + hex16(hash_bytes(kRowHashKey, out)) + "\"}";
+  return out;
+}
+
+std::optional<CampaignRow> decode_row(std::string_view line) {
+  static constexpr std::string_view kHashField = ",\"row_hash\":\"";
+  const auto hash_pos = line.rfind(kHashField);
+  if (hash_pos == std::string_view::npos) return std::nullopt;
+  const std::string_view prefix = line.substr(0, hash_pos);
+  const std::string_view tail = line.substr(hash_pos + kHashField.size());
+  if (tail.size() != 18 || tail.substr(16) != "\"}") return std::nullopt;
+  if (hex16(hash_bytes(kRowHashKey, prefix)) != tail.substr(0, 16)) {
+    return std::nullopt;
+  }
+  CampaignRow row;
+  try {
+    const Json doc = Json::parse(line);
+    const Json* spec = doc.find("spec");
+    if (!spec) return std::nullopt;
+    const auto spec_hash = [&]() -> std::optional<std::uint64_t> {
+      const std::string& hex = spec->as_string();
+      if (hex.size() != 16) return std::nullopt;
+      std::uint64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(hex.data(), hex.data() + 16, v, 16);
+      if (ec != std::errc{} || ptr != hex.data() + 16) return std::nullopt;
+      return v;
+    }();
+    if (!spec_hash) return std::nullopt;
+    row.spec_hash = *spec_hash;
+    const Json* field = nullptr;
+    if (!(field = doc.find("protocol"))) return std::nullopt;
+    row.protocol = field->as_string();
+    if (!(field = doc.find("n"))) return std::nullopt;
+    row.params.n = static_cast<std::uint32_t>(field->as_int());
+    if (!(field = doc.find("t"))) return std::nullopt;
+    row.params.t = static_cast<std::uint32_t>(field->as_int());
+    if (!(field = doc.find("backend"))) return std::nullopt;
+    row.backend = field->as_string();
+    if (!(field = doc.find("fault"))) return std::nullopt;
+    row.fault = field->as_string();
+    if (!(field = doc.find("seed_index"))) return std::nullopt;
+    row.seed_index = field->as_uint();
+    if (!(field = doc.find("seed"))) return std::nullopt;
+    row.seed = field->as_uint();
+    if (!(field = doc.find("rounds"))) return std::nullopt;
+    row.rounds = static_cast<Round>(field->as_uint());
+    if (!(field = doc.find("messages"))) return std::nullopt;
+    row.messages = field->as_uint();
+    if (!(field = doc.find("static_bound"))) return std::nullopt;
+    if (!field->is_null()) {
+      row.static_bound = field->as_uint();
+    }
+    if (!(field = doc.find("decided"))) return std::nullopt;
+    row.decided = static_cast<std::uint32_t>(field->as_int());
+    if (!(field = doc.find("agree"))) return std::nullopt;
+    row.agree = field->as_bool();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  // Canonical-form check: a line that decodes but would not re-encode to
+  // the same bytes (reordered fields, whitespace, extra fields) is rejected
+  // — the merge step may only ever emit canonical bytes.
+  if (encode_row(row) != line) return std::nullopt;
+  return row;
+}
+
+std::vector<Value> derive_proposals(std::uint64_t seed, std::uint32_t n) {
+  const crypto::SipKey key = crypto::derive_key(seed, kProposalContext);
+  const crypto::SipHasher base(key);
+  std::vector<Value> proposals;
+  proposals.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    crypto::SipHasher h = base;
+    h.absorb_u32(p);
+    proposals.push_back(Value::bit(static_cast<int>(h.digest() & 1)));
+  }
+  return proposals;
+}
+
+Adversary make_fault_adversary(const std::string& fault,
+                               const SystemParams& params,
+                               std::uint64_t seed) {
+  const auto [kind, arg] = split_fault(fault);
+  if (kind == "fault-free") {
+    if (arg) spec_error("fault plan 'fault-free' takes no argument");
+    return Adversary::none();
+  }
+  if (kind == "random-omissions") {
+    const std::uint64_t permille = arg.value_or(250);
+    if (permille > 1000) {
+      spec_error("fault plan '" + fault + "': permille > 1000");
+    }
+    return random_omissions(tail_group(params, params.t), seed,
+                            static_cast<std::uint32_t>(permille));
+  }
+  if (!arg) spec_error("fault plan '" + fault + "': missing :K argument");
+  const std::uint32_t k = checked_budget(fault, params, *arg);
+  if (kind == "crash") {
+    const crypto::SipKey key = crypto::derive_key(seed, kFaultContext);
+    const crypto::SipHasher base(key);
+    std::vector<std::pair<ProcessId, Round>> crashes;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      crypto::SipHasher h = base;
+      h.absorb_u32(i);
+      crashes.emplace_back(params.n - 1 - i,
+                           static_cast<Round>(1 + h.digest() % 4));
+    }
+    return crash_schedule(std::move(crashes));
+  }
+  if (kind == "mute") return mute_group(tail_group(params, k), 2);
+  if (kind == "isolate") return isolate_group(tail_group(params, k), 2);
+  if (kind == "silent-byz") {
+    Adversary adv;
+    adv.faulty = tail_group(params, k);
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_silent();
+    return adv;
+  }
+  if (kind == "noise-byz") {
+    Adversary adv;
+    adv.faulty = tail_group(params, k);
+    adv.byzantine = adv.faulty;
+    adv.byzantine_factory = byz_noise(seed, 12);
+    return adv;
+  }
+  spec_error("unknown fault plan '" + fault + "' (known: " +
+             fault_plan_names() + ")");
+}
+
+const char* fault_plan_names() {
+  return "fault-free crash:K mute:K isolate:K random-omissions:P "
+         "silent-byz:K noise-byz:K";
+}
+
+TaskRunner::TaskRunner(const CampaignSpec& spec) : spec_(spec) {
+  for (const std::string& backend : spec.backends) {
+    if (backends_.contains(backend)) continue;
+    const auto parsed = engine::parse_backend_spec(backend);
+    if (!parsed) {
+      spec_error("backend '" + backend + "': malformed spec");
+    }
+    backends_.emplace(backend, engine::Registry::global().make(*parsed));
+  }
+}
+
+CampaignRow TaskRunner::run(const TaskSpec& task) const {
+  const auto backend = backends_.find(task.backend);
+  if (backend == backends_.end()) {
+    spec_error("task backend '" + task.backend + "' not in campaign spec");
+  }
+  const auto factory =
+      protocols::make_protocol_by_name(task.protocol, task.params.n);
+  if (!factory) spec_error("unknown protocol '" + task.protocol + "'");
+
+  const std::vector<Value> proposals =
+      derive_proposals(task.seed, task.params.n);
+  const Adversary adversary =
+      make_fault_adversary(task.fault, task.params, task.seed);
+
+  RunOptions options;
+  options.record_trace = false;  // streaming campaigns never keep traces
+
+  const RunResult res = backend->second->run(task.params, *factory, proposals,
+                                             adversary, options);
+
+  CampaignRow row;
+  row.spec_hash = task_spec_hash(spec_, task);
+  row.protocol = task.protocol;
+  row.params = task.params;
+  row.backend = task.backend;
+  row.fault = task.fault;
+  row.seed_index = task.seed_index;
+  row.seed = task.seed;
+  row.rounds = res.rounds_executed;
+  row.messages = res.messages_sent_by_correct;
+
+  std::string bound_key = task.protocol + "|";
+  append_u64(bound_key, task.params.n);
+  bound_key += "|";
+  append_u64(bound_key, task.params.t);
+  const auto cached = bound_cache_.find(bound_key);
+  if (cached != bound_cache_.end()) {
+    row.static_bound = cached->second;
+  } else {
+    std::optional<std::uint64_t> bound;
+    if (const statics::CommSpec* comm =
+            protocols::find_comm_spec(task.protocol)) {
+      bound = statics::budget_at(statics::analyze(*comm), task.params).messages;
+    }
+    bound_cache_.emplace(std::move(bound_key), bound);
+    row.static_bound = bound;
+  }
+
+  std::optional<Value> decision;
+  bool agree = true;
+  std::uint32_t correct = 0;
+  for (ProcessId p = 0; p < task.params.n; ++p) {
+    if (adversary.is_faulty(p)) continue;
+    ++correct;
+    if (!res.decisions[p]) {
+      agree = false;
+      continue;
+    }
+    ++row.decided;
+    if (!decision) {
+      decision = *res.decisions[p];
+    } else if (!(*decision == *res.decisions[p])) {
+      agree = false;
+    }
+  }
+  row.agree = agree && row.decided == correct && correct > 0;
+  return row;
+}
+
+}  // namespace ba::service

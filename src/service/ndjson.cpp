@@ -1,0 +1,48 @@
+#include "service/ndjson.h"
+
+#include <stdexcept>
+
+namespace ba::service {
+
+NdjsonFileWriter::NdjsonFileWriter(const std::string& path, bool truncate)
+    : path_(path),
+      out_(path, truncate ? std::ios::out | std::ios::trunc
+                          : std::ios::out | std::ios::app) {
+  if (!out_) {
+    throw std::runtime_error("ndjson: cannot open " + path + " for writing");
+  }
+}
+
+void NdjsonFileWriter::write_line(std::string_view line) {
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.put('\n');
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("ndjson: write failed on " + path_);
+  }
+  ++lines_;
+}
+
+void OrderedNdjsonWriter::put(std::uint64_t index, std::string line) {
+  if (index < next_ || pending_.contains(index)) {
+    throw std::runtime_error("ordered ndjson: duplicate index " +
+                             std::to_string(index));
+  }
+  pending_.emplace(index, std::move(line));
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    sink_(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ++next_;
+  }
+}
+
+std::vector<std::string> read_ndjson_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  if (!in) return lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace ba::service

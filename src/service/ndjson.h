@@ -1,0 +1,77 @@
+#pragma once
+
+// Streaming NDJSON plumbing for the campaign service and the sweep CLI.
+//
+// Campaigns at 10^4..10^6 specs cannot accumulate rows in memory; every
+// producer in src/service/ writes rows to disk the moment they exist. Two
+// pieces:
+//
+//   * NdjsonFileWriter — append one line per row to a file, flushed per
+//     line, so a SIGKILLed worker loses at most the row it was writing
+//     (a torn final line fails decode_row's hash check and is recomputed).
+//   * OrderedNdjsonWriter — a reorder buffer for producers that complete
+//     out of order (the experiment pool): lines are emitted to the sink in
+//     strictly increasing index order, buffering only the out-of-order
+//     window, which keeps `ba_cli sweep --out` byte-identical across
+//     jobs ∈ {1, 2, 8}.
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ba::service {
+
+/// Line-at-a-time NDJSON file writer. Each write_line appends `line` plus a
+/// newline and flushes, so readers (and crash recovery) see every completed
+/// row. Throws std::runtime_error when the file cannot be opened.
+class NdjsonFileWriter {
+ public:
+  /// Opens `path`; truncates when `truncate`, appends otherwise.
+  explicit NdjsonFileWriter(const std::string& path, bool truncate = true);
+
+  /// `line` must not contain '\n'.
+  void write_line(std::string_view line);
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t lines_{0};
+};
+
+/// Reorder buffer: accepts (index, line) pairs in any order and forwards
+/// lines to the sink in index order 0, 1, 2, ... Pending lines are held
+/// only while a predecessor is outstanding.
+class OrderedNdjsonWriter {
+ public:
+  using Sink = std::function<void(std::string_view)>;
+
+  explicit OrderedNdjsonWriter(Sink sink) : sink_(std::move(sink)) {}
+
+  /// Emits or buffers one line. Indices must be unique; throws
+  /// std::runtime_error on a duplicate or already-emitted index.
+  void put(std::uint64_t index, std::string line);
+
+  /// True iff every buffered line has been emitted.
+  [[nodiscard]] bool drained() const { return pending_.empty(); }
+  [[nodiscard]] std::uint64_t emitted() const { return next_; }
+
+ private:
+  Sink sink_;
+  std::map<std::uint64_t, std::string> pending_;  // out-of-order window
+  std::uint64_t next_{0};
+};
+
+/// Reads `path` into one string per line (trailing newline dropped, no
+/// other trimming). A missing file yields an empty vector — for crash
+/// recovery, "no shard file yet" and "no rows yet" are the same state.
+[[nodiscard]] std::vector<std::string> read_ndjson_lines(
+    const std::string& path);
+
+}  // namespace ba::service

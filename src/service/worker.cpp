@@ -1,0 +1,127 @@
+#include "service/worker.h"
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "service/campaign.h"
+#include "service/ndjson.h"
+
+namespace ba::service {
+namespace {
+
+std::string shard_stem(std::uint32_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "shard-%03u", shard);
+  return buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("worker: cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One decimal task index per line; blank lines ignored.
+std::vector<std::uint64_t> read_lease(const std::string& path) {
+  std::vector<std::uint64_t> indices;
+  for (const std::string& line : read_ndjson_lines(path)) {
+    if (line.empty()) continue;
+    std::uint64_t index = 0;
+    std::size_t used = 0;
+    index = std::stoull(line, &used);
+    if (used != line.size()) {
+      throw std::runtime_error("worker: malformed lease line '" + line + "'");
+    }
+    indices.push_back(index);
+  }
+  if (indices.empty()) {
+    throw std::runtime_error("worker: empty or missing lease " + path);
+  }
+  return indices;
+}
+
+void write_heartbeat(const std::string& path, std::uint64_t rows) {
+  std::ofstream out(path, std::ios::trunc);
+  out << rows << "\n";
+  out.flush();
+}
+
+}  // namespace
+
+std::string campaign_json_path(const std::string& state_dir) {
+  return state_dir + "/campaign.json";
+}
+std::string cache_path(const std::string& state_dir) {
+  return state_dir + "/cache.ndjson";
+}
+std::string results_path(const std::string& state_dir) {
+  return state_dir + "/results.ndjson";
+}
+std::string shard_dir(const std::string& state_dir) {
+  return state_dir + "/shards";
+}
+std::string lease_dir(const std::string& state_dir) {
+  return state_dir + "/leases";
+}
+std::string shard_path(const std::string& state_dir, std::uint32_t shard) {
+  return shard_dir(state_dir) + "/" + shard_stem(shard) + ".ndjson";
+}
+std::string lease_path(const std::string& state_dir, std::uint32_t shard) {
+  return lease_dir(state_dir) + "/" + shard_stem(shard) + ".lease";
+}
+std::string heartbeat_path(const std::string& state_dir, std::uint32_t shard) {
+  return lease_dir(state_dir) + "/" + shard_stem(shard) + ".hb";
+}
+
+int run_shard_worker(const WorkerOptions& options) {
+  try {
+    const CampaignSpec spec =
+        CampaignSpec::from_json(read_file(campaign_json_path(options.state_dir)));
+    const std::vector<std::uint64_t> lease =
+        read_lease(lease_path(options.state_dir, options.shard));
+
+    // A respawned worker finds its predecessor's rows in the shard file;
+    // re-running those tasks would only append identical duplicate lines
+    // (rows are pure), but skipping them is what makes respawn cheap.
+    const std::string shard_file =
+        shard_path(options.state_dir, options.shard);
+    std::set<std::uint64_t> done;
+    for (const std::string& line : read_ndjson_lines(shard_file)) {
+      if (const auto row = decode_row(line)) done.insert(row->spec_hash);
+    }
+
+    NdjsonFileWriter out(shard_file, /*truncate=*/false);
+    const std::string hb = heartbeat_path(options.state_dir, options.shard);
+    write_heartbeat(hb, 0);
+
+    const TaskRunner runner(spec);
+    std::uint64_t written = 0;
+    for (const std::uint64_t index : lease) {
+      const TaskSpec task = spec.task_at(index);
+      if (done.contains(task_spec_hash(spec, task))) continue;
+      out.write_line(encode_row(runner.run(task)));
+      ++written;
+      write_heartbeat(hb, written);
+      if (options.die_after != 0 && written >= options.die_after) {
+        // Crash/resume test hook: die exactly the way an external
+        // `kill -9` looks to the coordinator.
+        std::raise(SIGKILL);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve-worker[%u]: %s\n", options.shard, e.what());
+    return 1;
+  }
+}
+
+}  // namespace ba::service

@@ -1,0 +1,64 @@
+#pragma once
+
+// The shard-worker side of the campaign service: what runs inside each
+// worker *process* forked by the coordinator (service/runner.h), and the
+// state-directory layout both sides share.
+//
+// A campaign state directory looks like
+//
+//   <state>/campaign.json        canonical spec (coordinator-written; a
+//                                resume with a different spec is refused)
+//   <state>/cache.ndjson         content-addressed result cache: one
+//                                authenticated row per completed task
+//   <state>/results.ndjson       final merged output, task order (written
+//                                only on successful completion)
+//   <state>/shards/shard-NNN.ndjson   per-shard streaming rows (append)
+//   <state>/leases/shard-NNN.lease    task indices leased to shard NNN,
+//                                     one decimal index per line
+//   <state>/leases/shard-NNN.hb       heartbeat: rows written by the
+//                                     current worker incarnation
+//
+// The worker is deliberately dumb: read the spec, read the lease, run each
+// leased task, append the row, bump the heartbeat. All scheduling policy —
+// chunking, dead-worker detection, lease reclaim, merging — lives in the
+// coordinator. Rows are pure functions of (spec, task), so a worker killed
+// and replaced mid-lease changes nothing about the merged bytes.
+
+#include <cstdint>
+#include <string>
+
+namespace ba::service {
+
+/// Path helpers for the layout above (shared by worker and coordinator).
+[[nodiscard]] std::string campaign_json_path(const std::string& state_dir);
+[[nodiscard]] std::string cache_path(const std::string& state_dir);
+[[nodiscard]] std::string results_path(const std::string& state_dir);
+[[nodiscard]] std::string shard_dir(const std::string& state_dir);
+[[nodiscard]] std::string lease_dir(const std::string& state_dir);
+[[nodiscard]] std::string shard_path(const std::string& state_dir,
+                                     std::uint32_t shard);
+[[nodiscard]] std::string lease_path(const std::string& state_dir,
+                                     std::uint32_t shard);
+[[nodiscard]] std::string heartbeat_path(const std::string& state_dir,
+                                         std::uint32_t shard);
+
+struct WorkerOptions {
+  std::string state_dir;
+  std::uint32_t shard{0};
+  /// Test hook for the crash/resume suite: after appending this many rows,
+  /// the worker raises SIGKILL against itself — indistinguishable from an
+  /// external kill. 0 disables.
+  std::uint64_t die_after{0};
+};
+
+/// Runs one shard worker to completion: loads the campaign spec and the
+/// shard's lease, skips leased tasks whose rows already sit in the shard
+/// file (a respawned worker resumes its own partial work), runs the rest in
+/// lease order, appends one authenticated NDJSON row per task, and bumps
+/// the heartbeat file after every row.
+///
+/// Returns a process exit code: 0 on completion, 1 on any error (the error
+/// is printed to stderr; the coordinator treats nonzero as a dead worker).
+int run_shard_worker(const WorkerOptions& options);
+
+}  // namespace ba::service

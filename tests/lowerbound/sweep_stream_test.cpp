@@ -1,0 +1,93 @@
+// The streaming face of run_attack_sweep: SweepOptions::on_row plus
+// service::OrderedNdjsonWriter must yield byte-identical NDJSON at every
+// worker count (this is what `ba_cli sweep --out` and the campaign service
+// are built on), and keep_rows=false must preserve the consistency verdict
+// while dropping the O(grid) row memory.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ba.h"
+#include "service/ndjson.h"
+
+namespace ba::lowerbound {
+namespace {
+
+std::string streamed_ndjson(unsigned jobs, bool keep_rows,
+                            SweepResult* result_out = nullptr) {
+  std::string out;
+  service::OrderedNdjsonWriter writer(
+      [&](std::string_view line) {
+        out.append(line);
+        out.push_back('\n');
+      });
+  SweepOptions options;
+  options.jobs = jobs;
+  options.keep_rows = keep_rows;
+  options.on_row = [&](std::size_t index, const SweepRow& row) {
+    writer.put(index, encode_sweep_row_ndjson(row));
+  };
+  const SweepResult result =
+      run_attack_sweep(standard_sweep_entries(), standard_sweep_grid(),
+                       options);
+  EXPECT_TRUE(writer.drained()) << "jobs=" << jobs;
+  EXPECT_EQ(writer.emitted(), result.points);
+  if (result_out != nullptr) *result_out = result;
+  return out;
+}
+
+TEST(SweepStreaming, OnRowIsByteIdenticalAcrossWorkerCounts) {
+  const std::string serial = streamed_ndjson(1, /*keep_rows=*/true);
+  ASSERT_FALSE(serial.empty());
+  for (const unsigned jobs : {2u, 4u}) {
+    EXPECT_EQ(streamed_ndjson(jobs, /*keep_rows=*/true), serial)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepStreaming, OnRowMatchesTheKeptRows) {
+  SweepResult result;
+  const std::string streamed = streamed_ndjson(2, /*keep_rows=*/true, &result);
+  ASSERT_EQ(result.rows.size(), result.points);
+  std::string from_rows;
+  for (const SweepRow& row : result.rows) {
+    from_rows += encode_sweep_row_ndjson(row);
+    from_rows.push_back('\n');
+  }
+  EXPECT_EQ(streamed, from_rows);
+}
+
+TEST(SweepStreaming, DroppedRowsKeepTheVerdictAndCount) {
+  SweepResult kept;
+  const std::string with_rows = streamed_ndjson(2, /*keep_rows=*/true, &kept);
+  SweepResult dropped;
+  const std::string without_rows =
+      streamed_ndjson(2, /*keep_rows=*/false, &dropped);
+  EXPECT_EQ(without_rows, with_rows);
+  EXPECT_TRUE(dropped.rows.empty());
+  EXPECT_EQ(dropped.points, kept.points);
+  EXPECT_EQ(dropped.theorem2_consistent(), kept.theorem2_consistent());
+  EXPECT_TRUE(dropped.theorem2_consistent());
+}
+
+TEST(SweepStreaming, EncodedRowsAreSelfDescribing) {
+  const auto entries = standard_sweep_entries();
+  const std::vector<SystemParams> grid = {{12, 11}};
+  const SweepResult result = run_attack_sweep(entries, grid);
+  ASSERT_FALSE(result.rows.empty());
+  const std::string line = encode_sweep_row_ndjson(result.rows.front());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"protocol\":"), std::string::npos);
+  EXPECT_NE(line.find("\"n\":12"), std::string::npos);
+  EXPECT_NE(line.find("\"t\":11"), std::string::npos);
+  EXPECT_NE(line.find("\"messages\":"), std::string::npos);
+  EXPECT_NE(line.find("\"bound\":"), std::string::npos);
+  EXPECT_NE(line.find("\"violation\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ba::lowerbound

@@ -1,0 +1,219 @@
+// End-to-end campaign service tests, in-process where possible and through
+// real forked ba_cli worker processes (BA_CLI_EXE) where the contract is
+// about processes: sharded == serial, kill/resume, cache poisoning.
+// The multi-worker SIGKILL/resume path is additionally pinned end-to-end by
+// tools/serve_resume_test.cmake against the installed CLI.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/campaign.h"
+#include "service/ndjson.h"
+#include "service/runner.h"
+#include "service/worker.h"
+
+namespace ba::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.name = "runner-test";
+  spec.master_seed = 2024;
+  spec.protocols = {"phase-king"};
+  spec.grid = {{4, 1}};
+  spec.backends = {"lockstep"};
+  spec.faults = {"fault-free", "crash:1"};
+  spec.seeds = 6;
+  spec.validate();
+  return spec;  // 12 tasks
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A scratch directory removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    dir_ = fs::temp_directory_path() /
+           ("ba_service_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+ private:
+  fs::path dir_;
+};
+
+ServeOptions base_options(const std::string& state_dir) {
+  ServeOptions options;
+  options.state_dir = state_dir;
+  options.workers = 3;
+  options.worker_exe = BA_CLI_EXE;
+  options.quiet = true;
+  return options;
+}
+
+TEST(SerialRunner, IsDeterministicAndComplete) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("serial");
+  const ServeSummary a = run_campaign_serial(spec, tmp.path("a.ndjson"));
+  const ServeSummary b = run_campaign_serial(spec, tmp.path("b.ndjson"));
+  EXPECT_EQ(a.tasks_total, spec.task_count());
+  EXPECT_EQ(a.tasks_run, spec.task_count());
+  const std::string bytes = slurp(tmp.path("a.ndjson"));
+  EXPECT_EQ(bytes, slurp(tmp.path("b.ndjson")));
+
+  // Every line authenticates, and they come out in task order.
+  const std::vector<std::string> lines =
+      read_ndjson_lines(tmp.path("a.ndjson"));
+  ASSERT_EQ(lines.size(), spec.task_count());
+  for (std::uint64_t i = 0; i < lines.size(); ++i) {
+    const auto row = decode_row(lines[i]);
+    ASSERT_TRUE(row.has_value()) << lines[i];
+    EXPECT_EQ(row->spec_hash, task_spec_hash(spec, spec.task_at(i)));
+    EXPECT_EQ(row->seed_index, spec.task_at(i).seed_index);
+    EXPECT_TRUE(row->agree) << "phase-king must agree under " << row->fault;
+  }
+}
+
+TEST(TaskRunner, RowsArePureFunctionsOfSpecAndTask) {
+  const CampaignSpec spec = tiny_spec();
+  TaskRunner runner(spec);
+  const CampaignRow once = runner.run(spec.task_at(7));
+  const CampaignRow again = runner.run(spec.task_at(7));
+  EXPECT_EQ(once, again);
+  EXPECT_EQ(encode_row(once), encode_row(again));
+  // lockstep rows carry the static bound, and the run respects it.
+  ASSERT_TRUE(once.static_bound.has_value());
+  EXPECT_LE(once.messages, *once.static_bound);
+}
+
+TEST(ServeCampaign, ShardedMatchesSerialByteForByte) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("sharded");
+  run_campaign_serial(spec, tmp.path("serial.ndjson"));
+
+  const ServeSummary summary =
+      serve_campaign(spec, base_options(tmp.path("state")));
+  EXPECT_EQ(summary.tasks_total, spec.task_count());
+  EXPECT_EQ(summary.tasks_cached + summary.tasks_run, spec.task_count());
+  EXPECT_EQ(slurp(summary.results_file), slurp(tmp.path("serial.ndjson")));
+
+  // A second serve over the finished state directory is a pure cache hit.
+  const ServeSummary rerun =
+      serve_campaign(spec, base_options(tmp.path("state")));
+  EXPECT_EQ(rerun.tasks_cached, spec.task_count());
+  EXPECT_EQ(rerun.tasks_run, 0u);
+  EXPECT_EQ(slurp(rerun.results_file), slurp(tmp.path("serial.ndjson")));
+}
+
+TEST(ServeCampaign, KilledWorkersResumeToIdenticalBytes) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("resume");
+  run_campaign_serial(spec, tmp.path("serial.ndjson"));
+
+  // First attempt: every worker SIGKILLs itself after 2 rows and the
+  // respawn budget is zero, so the campaign must abort resumably.
+  ServeOptions crashing = base_options(tmp.path("state"));
+  crashing.die_after = 2;
+  crashing.respawn_budget = 0;
+  EXPECT_THROW((void)serve_campaign(spec, crashing), std::runtime_error);
+
+  // Resume with a different worker count: partial shard rows are folded in
+  // and only the remainder runs. Bytes must match the serial reference.
+  ServeOptions resume = base_options(tmp.path("state"));
+  resume.workers = 2;
+  const ServeSummary summary = serve_campaign(spec, resume);
+  EXPECT_GT(summary.tasks_cached, 0u) << "crashed rows should be reused";
+  EXPECT_EQ(summary.tasks_cached + summary.tasks_run, spec.task_count());
+  EXPECT_EQ(slurp(summary.results_file), slurp(tmp.path("serial.ndjson")));
+}
+
+TEST(ServeCampaign, InRunRespawnAbsorbsWorkerDeaths) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("respawn");
+  run_campaign_serial(spec, tmp.path("serial.ndjson"));
+
+  ServeOptions options = base_options(tmp.path("state"));
+  options.workers = 2;
+  options.die_after = 3;      // both first-generation workers die mid-lease
+  options.respawn_budget = 4; // and are replaced within the same run
+  const ServeSummary summary = serve_campaign(spec, options);
+  EXPECT_GT(summary.respawns, 0u);
+  EXPECT_EQ(slurp(summary.results_file), slurp(tmp.path("serial.ndjson")));
+}
+
+TEST(ServeCampaign, PoisonedCacheRowsAreRejectedAndRecomputed) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("poison");
+  run_campaign_serial(spec, tmp.path("serial.ndjson"));
+  serve_campaign(spec, base_options(tmp.path("state")));
+
+  // Forge one cached row: bump its message count, keep the stale hash.
+  const std::string cache = cache_path(tmp.path("state"));
+  std::vector<std::string> lines = read_ndjson_lines(cache);
+  ASSERT_EQ(lines.size(), spec.task_count());
+  const auto pos = lines[4].find("\"messages\":");
+  ASSERT_NE(pos, std::string::npos);
+  lines[4].replace(pos, 12, "\"messages\":9");
+  {
+    NdjsonFileWriter writer(cache);
+    for (const std::string& line : lines) writer.write_line(line);
+  }
+
+  const ServeSummary summary =
+      serve_campaign(spec, base_options(tmp.path("state")));
+  EXPECT_GE(summary.rows_rejected, 1u);
+  EXPECT_EQ(summary.tasks_run, 1u) << "only the poisoned task re-runs";
+  EXPECT_EQ(slurp(summary.results_file), slurp(tmp.path("serial.ndjson")));
+}
+
+TEST(ServeCampaign, RefusesSpecMismatchWithExistingState) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("mismatch");
+  serve_campaign(spec, base_options(tmp.path("state")));
+
+  CampaignSpec other = tiny_spec();
+  other.master_seed = 9999;
+  EXPECT_THROW((void)serve_campaign(other, base_options(tmp.path("state"))),
+               std::runtime_error);
+}
+
+TEST(BenchJson, CarriesTheRegressionGateSchema) {
+  const CampaignSpec spec = tiny_spec();
+  TempDir tmp("bench");
+  const ServeSummary summary =
+      serve_campaign(spec, base_options(tmp.path("state")));
+  const std::string doc = bench_service_json(spec, summary);
+  EXPECT_NE(doc.find("\"experiment\": \"service_campaign\""),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"rows_per_sec\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"specs\": 12"), std::string::npos) << doc;
+}
+
+}  // namespace
+}  // namespace ba::service

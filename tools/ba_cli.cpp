@@ -80,7 +80,12 @@ int usage() {
                "  ba_cli run <protocol> <n> <t> <bit...> [--backend SPEC] "
                "[--save-trace FILE]\n"
                "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE] "
-               "[--backend SPEC]\n"
+               "[--out FILE] [--backend SPEC]\n"
+               "  ba_cli serve <campaign.json> --state DIR [--workers N] "
+               "[--respawns N]\n"
+               "         [--serial FILE] [--bench FILE] [--die-after K] "
+               "[--stale-ms M] [--quiet]\n"
+               "  ba_cli serve-worker --state DIR --shard N [--die-after K]\n"
                "  ba_cli bounds [--protocol P] [--n N --t T] [--json]\n"
                "  ba_cli sim <protocol> <n> <t> <bit...> [--model "
                "sync|jitter|gst]\n"
@@ -563,6 +568,7 @@ int cmd_sweep(int argc, char** argv) {
   lowerbound::SweepOptions options;
   std::vector<SystemParams> grid = lowerbound::standard_sweep_grid();
   std::string json_path;
+  std::string out_path;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
@@ -575,6 +581,8 @@ int cmd_sweep(int argc, char** argv) {
       grid = std::move(*parsed);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       auto backend = resolve_backend(argv[++i]);
       if (!backend) return 2;
@@ -584,8 +592,33 @@ int cmd_sweep(int argc, char** argv) {
     }
   }
 
+  // Streaming NDJSON output: rows are emitted the moment their point
+  // completes, reordered to index order, so the file is byte-identical
+  // across --jobs values (the service's OrderedNdjsonWriter reorder
+  // buffer; on_row calls are serialized by the sweep).
+  std::unique_ptr<service::NdjsonFileWriter> out_file;
+  std::unique_ptr<service::OrderedNdjsonWriter> out_ordered;
+  if (!out_path.empty()) {
+    out_file = std::make_unique<service::NdjsonFileWriter>(out_path);
+    out_ordered = std::make_unique<service::OrderedNdjsonWriter>(
+        [&](std::string_view line) { out_file->write_line(line); });
+    options.on_row = [&](std::size_t index, const lowerbound::SweepRow& row) {
+      out_ordered->put(index, lowerbound::encode_sweep_row_ndjson(row));
+    };
+  }
+
   auto result = lowerbound::run_attack_sweep(
       lowerbound::standard_sweep_entries(), grid, options);
+  if (out_ordered && !out_ordered->drained()) {
+    std::fprintf(stderr, "internal error: %s not fully drained\n",
+                 out_path.c_str());
+    return 1;
+  }
+  if (out_file) {
+    std::printf("streamed %llu NDJSON rows to %s\n",
+                static_cast<unsigned long long>(out_file->lines_written()),
+                out_path.c_str());
+  }
   lowerbound::write_markdown(std::cout, result);
   std::printf("\n%zu points, jobs=%u, %.3fs wall (%.1f points/sec)\n",
               result.rows.size(), result.jobs_used,
@@ -606,6 +639,103 @@ int cmd_sweep(int argc, char** argv) {
     std::printf("report written to %s\n", json_path.c_str());
   }
   return result.theorem2_consistent() ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string campaign_file = argv[0];
+  service::ServeOptions options;
+  std::string serial_out;
+  std::string bench_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
+      options.state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.workers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--respawns") == 0 && i + 1 < argc) {
+      options.respawn_budget =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--die-after") == 0 && i + 1 < argc) {
+      options.die_after = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stale-ms") == 0 && i + 1 < argc) {
+      options.heartbeat_stale_ms =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--serial") == 0 && i + 1 < argc) {
+      serial_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc) {
+      bench_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      options.quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream in(campaign_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", campaign_file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const service::CampaignSpec spec =
+        service::CampaignSpec::from_json(buf.str());
+    service::ServeSummary summary;
+    if (!serial_out.empty()) {
+      // Single-shot reference run: no state dir, no workers, no cache.
+      summary = service::run_campaign_serial(spec, serial_out);
+    } else {
+      if (options.state_dir.empty()) {
+        std::fprintf(stderr, "serve: --state DIR is required\n");
+        return 2;
+      }
+      summary = service::serve_campaign(spec, options);
+    }
+    std::printf(
+        "campaign '%s': %llu tasks (%llu cached, %llu run, %llu rejected), "
+        "%u workers, %u respawns, %.3fs -> %s\n",
+        spec.name.c_str(),
+        static_cast<unsigned long long>(summary.tasks_total),
+        static_cast<unsigned long long>(summary.tasks_cached),
+        static_cast<unsigned long long>(summary.tasks_run),
+        static_cast<unsigned long long>(summary.rows_rejected),
+        summary.workers_used, summary.respawns,
+        static_cast<double>(summary.wall_micros) / 1e6,
+        summary.results_file.c_str());
+    if (!bench_out.empty()) {
+      std::ofstream bench(bench_out);
+      bench << service::bench_service_json(spec, summary);
+      if (!bench) {
+        std::fprintf(stderr, "failed to write %s\n", bench_out.c_str());
+        return 1;
+      }
+      std::printf("bench report written to %s\n", bench_out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_serve_worker(int argc, char** argv) {
+  service::WorkerOptions options;
+  bool have_state = false, have_shard = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
+      options.state_dir = argv[++i];
+      have_state = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      options.shard = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      have_shard = true;
+    } else if (std::strcmp(argv[i], "--die-after") == 0 && i + 1 < argc) {
+      options.die_after = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  if (!have_state || !have_shard) return usage();
+  return service::run_shard_worker(options);
 }
 
 std::optional<std::vector<int>> parse_bit_list(const std::string& spec) {
@@ -894,6 +1024,8 @@ int main(int argc, char** argv) {
   if (cmd == "solvability") return cmd_solvability(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+  if (cmd == "serve-worker") return cmd_serve_worker(argc - 2, argv + 2);
   if (cmd == "bounds") return cmd_bounds(argc - 2, argv + 2);
   if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
   if (cmd == "explore") return cmd_explore(argc - 2, argv + 2);

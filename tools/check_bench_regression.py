@@ -1,30 +1,40 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_runtime.json.
+"""Perf-regression gate over the committed BENCH_*.json baselines.
 
-Compares a freshly generated runtime-throughput bench report against the
-committed baseline at the repo root and fails when any (protocol, n) row got
-meaningfully worse:
+Compares a freshly generated bench report against the committed baseline of
+the same name at the repo root and fails when throughput got meaningfully
+worse. Three report schemas are understood, dispatched on the report's
+"experiment" field:
 
-  * msgs_per_sec dropped by more than --max-throughput-drop (default 30%), or
-  * peak_rss_kb grew by more than --max-rss-growth (default 50%).
+  runtime_throughput   (BENCH_runtime.json, bench/bench_runtime.cpp)
+      per-(protocol, n) rows; gates msgs_per_sec drop > --max-throughput-drop
+      (default 30%) and peak_rss_kb growth > --max-rss-growth (default 50%).
+      The workload-shape counters (rounds_per_run, msgs_per_run) must match
+      the baseline exactly.
 
-peak_rss_kb is a process-wide high-water mark (see bench/bench_runtime.cpp),
-so the RSS check is applied per row but is really a coarse whole-binary
-footprint guard. Rows present only in the candidate (new operating points,
-e.g. a freshly added n) pass; rows present only in the baseline fail, since
-silently dropping an operating point is how regressions hide.
+  theorem2_attack_sweep  (BENCH_sweep.json, `ba_cli sweep --json`)
+      whole-run throughput; gates points_per_sec drop and requires
+      theorem2_consistent to stay true. Shape fields: points, jobs.
 
-The workload-shape counters (rounds_per_run, msgs_per_run) must match the
-baseline exactly: if the workload itself drifted, throughput numbers are not
-comparable and the baseline must be consciously regenerated.
+  service_campaign     (BENCH_service.json, `ba_cli serve --bench`,
+                        bench/bench_service.cpp)
+      whole-campaign throughput; gates rows_per_sec drop. Shape fields:
+      specs, workers.
+
+The shape rule is the same everywhere: if the workload itself drifted,
+throughput numbers are not comparable and the baseline must be consciously
+regenerated. Rows/operating points present only in the candidate pass; ones
+present only in the baseline fail, since silently dropping an operating
+point is how regressions hide.
 
 Waiver: pass --waive, or run with the HEAD commit message containing the tag
 [bench-reset] (checked via git when --git-waiver is given). A waived run
 still prints the full comparison but always exits 0 — the intended use is a
-commit that deliberately regenerates the baseline on different hardware.
+commit that deliberately regenerates a baseline on different hardware.
 
 Usage:
   check_bench_regression.py CANDIDATE [--baseline PATH] [--git-waiver]
+The default --baseline is <repo root>/<basename of CANDIDATE>.
 Exit status: 0 = within budget (or waived), 1 = regression, 2 = usage error.
 """
 
@@ -35,17 +45,22 @@ import sys
 from pathlib import Path
 
 WAIVER_TAG = "[bench-reset]"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+KNOWN_EXPERIMENTS = ("runtime_throughput", "theorem2_attack_sweep",
+                     "service_campaign")
 
 
-def load_rows(path: Path) -> dict:
+def load_report(path: Path) -> dict:
     try:
         with path.open() as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"error: cannot read {path}: {exc}")
-    if doc.get("experiment") != "runtime_throughput":
-        sys.exit(f"error: {path} is not a runtime_throughput report")
-    return {(row["protocol"], row["n"]): row for row in doc["rows"]}
+    if doc.get("experiment") not in KNOWN_EXPERIMENTS:
+        sys.exit(f"error: {path} has unknown experiment "
+                 f"{doc.get('experiment')!r} (want one of "
+                 f"{', '.join(KNOWN_EXPERIMENTS)})")
+    return doc
 
 
 def head_commit_waives(repo_root: Path) -> bool:
@@ -58,73 +73,119 @@ def head_commit_waives(repo_root: Path) -> bool:
     return WAIVER_TAG in msg
 
 
+def check_throughput(label, base_tp, cand_tp, budget, failures):
+    """Shared drop rule; prints one comparison line, records a failure."""
+    ratio = cand_tp / base_tp if base_tp > 0 else float("inf")
+    verdict = "ok"
+    if ratio < 1.0 - budget:
+        verdict = "THROUGHPUT REGRESSION"
+        failures.append(
+            f"{label}: {base_tp:.0f} -> {cand_tp:.0f} "
+            f"({(1.0 - ratio) * 100:.1f}% drop > {budget * 100:.0f}% budget)")
+    print(f"  {label:<32} {base_tp:>12.0f} -> {cand_tp:>12.0f} "
+          f"({ratio:6.2f}x)  {verdict}")
+
+
+def check_shape(label, field, base_val, cand_val, failures):
+    if base_val != cand_val:
+        failures.append(
+            f"{label}: workload drift — {field} {base_val} -> {cand_val} "
+            "(regenerate the baseline deliberately)")
+
+
+def gate_runtime(baseline: dict, candidate: dict, args) -> list:
+    base_rows = {(r["protocol"], r["n"]): r for r in baseline["rows"]}
+    cand_rows = {(r["protocol"], r["n"]): r for r in candidate["rows"]}
+    failures = []
+    for key in sorted(base_rows):
+        label = f"{key[0]} n={key[1]} msgs/s"
+        if key not in cand_rows:
+            failures.append(f"{label}: row missing from candidate report")
+            continue
+        base, cand = base_rows[key], cand_rows[key]
+        for shape in ("rounds_per_run", "msgs_per_run"):
+            check_shape(label, shape, base[shape], cand[shape], failures)
+        check_throughput(label, base["msgs_per_sec"], cand["msgs_per_sec"],
+                         args.max_throughput_drop, failures)
+        base_rss, cand_rss = base["peak_rss_kb"], cand["peak_rss_kb"]
+        if base_rss > 0 and cand_rss > base_rss * (1.0 + args.max_rss_growth):
+            failures.append(
+                f"{label}: peak_rss_kb {base_rss:.0f} -> {cand_rss:.0f} "
+                f"(> {args.max_rss_growth * 100:.0f}% growth budget)")
+    for key in sorted(set(cand_rows) - set(base_rows)):
+        print(f"  {key[0]} n={key[1]:<18} new operating point (no baseline)")
+    return failures
+
+
+def gate_sweep(baseline: dict, candidate: dict, args) -> list:
+    failures = []
+    label = "attack sweep points/s"
+    for shape in ("points", "jobs"):
+        check_shape(label, shape, baseline[shape], candidate[shape], failures)
+    check_throughput(label, baseline["points_per_sec"],
+                     candidate["points_per_sec"],
+                     args.max_throughput_drop, failures)
+    if not candidate.get("theorem2_consistent", False):
+        failures.append(f"{label}: theorem2_consistent is false — the sweep "
+                        "itself is broken, not just slow")
+    return failures
+
+
+def gate_service(baseline: dict, candidate: dict, args) -> list:
+    failures = []
+    label = f"campaign '{candidate.get('campaign', '?')}' rows/s"
+    for shape in ("specs", "workers"):
+        check_shape(label, shape, baseline[shape], candidate[shape], failures)
+    check_throughput(label, baseline["rows_per_sec"],
+                     candidate["rows_per_sec"],
+                     args.max_throughput_drop, failures)
+    return failures
+
+
+GATES = {
+    "runtime_throughput": gate_runtime,
+    "theorem2_attack_sweep": gate_sweep,
+    "service_campaign": gate_service,
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", type=Path,
-                        help="freshly generated BENCH_runtime.json")
-    parser.add_argument("--baseline", type=Path,
-                        default=Path(__file__).resolve().parent.parent /
-                        "BENCH_runtime.json",
-                        help="committed baseline (default: repo root copy)")
+                        help="freshly generated BENCH_*.json report")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline (default: the repo-root "
+                        "file with the candidate's basename)")
     parser.add_argument("--max-throughput-drop", type=float, default=0.30,
-                        help="fractional msgs_per_sec drop allowed per row")
+                        help="fractional throughput drop allowed")
     parser.add_argument("--max-rss-growth", type=float, default=0.50,
-                        help="fractional peak_rss_kb growth allowed per row")
+                        help="fractional peak_rss_kb growth allowed "
+                        "(runtime_throughput only)")
     parser.add_argument("--waive", action="store_true",
                         help="report but never fail")
     parser.add_argument("--git-waiver", action="store_true",
                         help=f"also waive when HEAD's message has {WAIVER_TAG}")
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
-    candidate = load_rows(args.candidate)
+    baseline_path = args.baseline or REPO_ROOT / args.candidate.name
+    baseline = load_report(baseline_path)
+    candidate = load_report(args.candidate)
+    if baseline["experiment"] != candidate["experiment"]:
+        sys.exit(f"error: schema mismatch — baseline is "
+                 f"{baseline['experiment']}, candidate is "
+                 f"{candidate['experiment']}")
 
     waived = args.waive
     if not waived and args.git_waiver:
-        waived = head_commit_waives(args.baseline.resolve().parent)
+        waived = head_commit_waives(baseline_path.resolve().parent)
         if waived:
             print(f"note: HEAD commit carries {WAIVER_TAG}; "
                   "reporting only, not gating")
 
-    failures = []
-    for key in sorted(baseline):
-        proto, n = key
-        label = f"{proto} n={n}"
-        if key not in candidate:
-            failures.append(f"{label}: row missing from candidate report")
-            continue
-        base, cand = baseline[key], candidate[key]
-
-        for shape in ("rounds_per_run", "msgs_per_run"):
-            if abs(base[shape] - cand[shape]) > 1e-9:
-                failures.append(
-                    f"{label}: workload drift — {shape} "
-                    f"{base[shape]} -> {cand[shape]} "
-                    "(regenerate the baseline deliberately)")
-
-        base_tp, cand_tp = base["msgs_per_sec"], cand["msgs_per_sec"]
-        ratio = cand_tp / base_tp if base_tp > 0 else float("inf")
-        verdict = "ok"
-        if ratio < 1.0 - args.max_throughput_drop:
-            verdict = "THROUGHPUT REGRESSION"
-            failures.append(
-                f"{label}: msgs_per_sec {base_tp:.0f} -> {cand_tp:.0f} "
-                f"({(1.0 - ratio) * 100:.1f}% drop > "
-                f"{args.max_throughput_drop * 100:.0f}% budget)")
-        print(f"  {label:<24} msgs/s {base_tp:>12.0f} -> {cand_tp:>12.0f} "
-              f"({ratio:6.2f}x)  {verdict}")
-
-        base_rss, cand_rss = base["peak_rss_kb"], cand["peak_rss_kb"]
-        if base_rss > 0 and cand_rss > base_rss * (1.0 + args.max_rss_growth):
-            failures.append(
-                f"{label}: peak_rss_kb {base_rss:.0f} -> {cand_rss:.0f} "
-                f"(> {args.max_rss_growth * 100:.0f}% growth budget)")
-
-    for key in sorted(set(candidate) - set(baseline)):
-        print(f"  {key[0]} n={key[1]:<18} new operating point (no baseline)")
+    failures = GATES[baseline["experiment"]](baseline, candidate, args)
 
     if failures:
-        print(f"\n{len(failures)} regression(s) vs {args.baseline}:")
+        print(f"\n{len(failures)} regression(s) vs {baseline_path}:")
         for f in failures:
             print(f"  FAIL: {f}")
         if waived:

@@ -6,7 +6,10 @@ process against its recorded receive history and requires bit-identical
 behaviour. That only holds if protocol and runtime code never consults a
 source of nondeterminism. This checker greps src/protocols/ and src/runtime/
 for the constructs that have historically broken replay in message-passing
-simulators:
+simulators. src/service/ is scanned too: campaign rows must be pure
+functions of (spec, task) for the sharded-equals-serial merge guarantee, so
+the same hazards apply (wall-clock reads in the coordinator's control plane
+are waived explicitly — they steer scheduling, never row bytes):
 
   * unordered associative containers — iteration order depends on hashing
     and allocation, so any loop over one can reorder outboxes between runs;
@@ -29,7 +32,7 @@ import re
 import sys
 from pathlib import Path
 
-SCANNED_DIRS = ("src/protocols", "src/runtime")
+SCANNED_DIRS = ("src/protocols", "src/runtime", "src/service")
 SOURCE_SUFFIXES = {".h", ".cpp"}
 WAIVER = re.compile(r"//\s*determinism:")
 

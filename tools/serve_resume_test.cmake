@@ -1,0 +1,90 @@
+# The headline acceptance test for the campaign service, against the real
+# CLI with real forked worker processes:
+#
+#   1. single-shot serial reference run
+#   2. sharded run whose workers SIGKILL themselves mid-lease with a zero
+#      respawn budget -> the campaign must abort (nonzero exit) resumably
+#   3. resume with a DIFFERENT worker count -> must complete
+#   4. merged results.ndjson must be byte-identical to the serial reference
+#   5. poison one cache line -> a re-serve must reject it, recompute the
+#      task, and still reproduce the identical bytes
+#
+# Invoked from tools/CMakeLists.txt as:
+#   cmake -DCLI=<ba_cli> -DWORKDIR=<dir> -P serve_resume_test.cmake
+
+set(dir "${WORKDIR}/serve_resume")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+set(campaign "${dir}/campaign.json")
+file(WRITE "${campaign}"
+"{\n"
+"  \"name\": \"resume-smoke\",\n"
+"  \"master_seed\": 77,\n"
+"  \"protocols\": [\"phase-king\", \"floodset\"],\n"
+"  \"grid\": [\"4:1\", \"7:2\"],\n"
+"  \"backends\": [\"lockstep\"],\n"
+"  \"faults\": [\"fault-free\", \"crash:1\"],\n"
+"  \"seeds\": 4\n"
+"}\n")
+
+# 1. Serial single-shot reference.
+set(reference "${dir}/reference.ndjson")
+execute_process(COMMAND ${CLI} serve "${campaign}" --serial "${reference}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial reference run failed: ${rc}")
+endif()
+
+# 2. Sharded run with self-killing workers and no respawn budget: the
+# coordinator must give up with a nonzero exit and a resumable state dir.
+set(state "${dir}/state")
+execute_process(COMMAND ${CLI} serve "${campaign}" --state "${state}"
+                        --workers 2 --die-after 3 --respawns 0 --quiet
+                RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "kill run unexpectedly succeeded (die-after ignored?)")
+endif()
+if(NOT EXISTS "${state}/campaign.json")
+  message(FATAL_ERROR "aborted run left no resumable state dir")
+endif()
+
+# 3. Resume with a different worker count (re-sharding the remainder).
+execute_process(COMMAND ${CLI} serve "${campaign}" --state "${state}"
+                        --workers 3 --quiet
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume failed: ${rc}")
+endif()
+
+# 4. The killed+resumed+re-sharded campaign must be byte-identical to the
+# uninterrupted single-shot run.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${state}/results.ndjson" "${reference}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "resumed results.ndjson differs from the serial reference")
+endif()
+
+# 5. Cache-poisoning defense: append a forged row to the result cache and
+# re-serve. decode_row authentication must reject it and the merged bytes
+# must be unchanged.
+file(APPEND "${state}/cache.ndjson"
+     "{\"spec_hash\":\"0000000000000000\",\"forged\":true,\"row_hash\":\"0000000000000000\"}\n")
+execute_process(COMMAND ${CLI} serve "${campaign}" --state "${state}" --quiet
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "re-serve over poisoned cache failed: ${rc}")
+endif()
+if(NOT out MATCHES "1 rejected")
+  message(FATAL_ERROR "poisoned cache row was not rejected: ${out}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${state}/results.ndjson" "${reference}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "results diverged after cache poisoning")
+endif()
+
+message(STATUS "serve_resume: kill/resume/poison all byte-identical")

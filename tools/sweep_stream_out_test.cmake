@@ -1,0 +1,33 @@
+# `ba_cli sweep --out FILE` streams one NDJSON row per grid point through
+# the ordered writer. The file must be byte-identical across worker counts.
+#
+# Invoked from tools/CMakeLists.txt as:
+#   cmake -DCLI=<ba_cli> -DWORKDIR=<dir> -P sweep_stream_out_test.cmake
+
+set(dir "${WORKDIR}/sweep_stream")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+foreach(jobs 1 4)
+  execute_process(COMMAND ${CLI} sweep --jobs ${jobs} --grid 8:7,12:11
+                          --out "${dir}/rows_j${jobs}.ndjson"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep --out failed at jobs=${jobs}: ${rc}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${dir}/rows_j1.ndjson" "${dir}/rows_j4.ndjson"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "streamed sweep NDJSON differs between jobs=1 and jobs=4")
+endif()
+
+file(STRINGS "${dir}/rows_j1.ndjson" lines)
+list(LENGTH lines count)
+if(count EQUAL 0)
+  message(FATAL_ERROR "sweep --out produced no rows")
+endif()
+
+message(STATUS "sweep_stream: ${count} rows byte-identical across job counts")

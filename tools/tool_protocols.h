@@ -1,9 +1,10 @@
 #pragma once
 
-// Protocol registry shared by the command-line tools (ba_cli, lint_trace):
-// maps the stable names exposed on the CLI surface to protocol factories.
+// Protocol registry shared by the command-line tools (ba_cli, lint_trace).
+// The actual name -> factory table lives in src/protocols/registry.{h,cpp}
+// so the campaign service (src/service/) resolves the same names the same
+// way; this header keeps the historical tools-facing spelling.
 
-#include <memory>
 #include <optional>
 #include <string>
 
@@ -13,24 +14,11 @@ namespace ba::tools {
 
 inline std::optional<ProtocolFactory> make_protocol(const std::string& name,
                                                     std::uint32_t n) {
-  if (name == "silent") return protocols::wc_candidate_silent(1);
-  if (name == "beacon") return protocols::wc_candidate_leader_beacon();
-  if (name == "gossip") return protocols::wc_candidate_gossip_ring(2, 3);
-  if (name == "one-shot-echo") return protocols::wc_candidate_one_shot_echo();
-  if (name == "ds-weak") {
-    auto auth = std::make_shared<crypto::Authenticator>(0xc11, n);
-    return protocols::weak_consensus_auth(auth);
-  }
-  if (name == "phase-king") return protocols::weak_consensus_unauth();
-  if (name == "phase-king-strong") return protocols::phase_king_consensus();
-  if (name == "floodset") return protocols::floodset_consensus();
-  if (name == "eig-strong") return protocols::eig_strong_consensus();
-  return std::nullopt;
+  return protocols::make_protocol_by_name(name, n);
 }
 
 inline const char* protocol_names() {
-  return "silent beacon gossip one-shot-echo ds-weak phase-king "
-         "phase-king-strong floodset eig-strong";
+  return protocols::registered_protocol_names();
 }
 
 }  // namespace ba::tools
