@@ -35,6 +35,8 @@
 #include "crypto/signature.h"
 #include "engine/backend.h"
 #include "engine/registry.h"
+#include "faults/compile.h"
+#include "faults/fault_spec.h"
 #include "lowerbound/attack.h"
 #include "lowerbound/certificate.h"
 #include "lowerbound/certificate_io.h"

@@ -1,0 +1,191 @@
+#include "faults/fault_spec.h"
+
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+namespace ba::faults {
+namespace {
+
+[[noreturn]] void fault_error(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+[[noreturn]] void malformed(const std::string& text) {
+  fault_error("fault plan '" + text + "': malformed argument");
+}
+
+[[noreturn]] void unknown(const std::string& text) {
+  fault_error("unknown fault plan '" + text + "' (known: " +
+              fault_plan_names() + ")");
+}
+
+/// Whether "@R" timing is meaningful for the kind (Byzantine replicas run
+/// from the start; random omissions have per-message timing already).
+bool kind_takes_round(FaultKind kind) {
+  return kind == FaultKind::kCrash || kind == FaultKind::kMute ||
+         kind == FaultKind::kIsolate;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFaultFree:
+      return "fault-free";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kMute:
+      return "mute";
+    case FaultKind::kIsolate:
+      return "isolate";
+    case FaultKind::kRandomOmissions:
+      return "random-omissions";
+    case FaultKind::kSilentByz:
+      return "silent-byz";
+    case FaultKind::kNoiseByz:
+      return "noise-byz";
+  }
+  return "?";
+}
+
+bool kind_takes_count(FaultKind kind) {
+  return kind != FaultKind::kFaultFree && kind != FaultKind::kRandomOmissions;
+}
+
+bool kind_sweepable(FaultKind kind) { return kind_takes_count(kind); }
+
+std::optional<FaultKind> find_fault_kind(std::string_view name) {
+  for (const FaultKind kind :
+       {FaultKind::kFaultFree, FaultKind::kCrash, FaultKind::kMute,
+        FaultKind::kIsolate, FaultKind::kRandomOmissions,
+        FaultKind::kSilentByz, FaultKind::kNoiseByz}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const char* fault_plan_names() {
+  return "fault-free crash:K mute:K isolate:K random-omissions:P "
+         "silent-byz:K noise-byz:K";
+}
+
+std::uint32_t FaultSpec::declared_faults(const SystemParams& params) const {
+  switch (kind) {
+    case FaultKind::kFaultFree:
+      return 0;
+    case FaultKind::kRandomOmissions:
+      return params.t;
+    default:
+      return count;
+  }
+}
+
+std::string FaultSpec::format() const {
+  std::string out = fault_kind_name(kind);
+  if (kind == FaultKind::kRandomOmissions) {
+    out += ':';
+    out += std::to_string(permille);
+    return out;
+  }
+  if (kind == FaultKind::kFaultFree) return out;
+  out += ':';
+  out += std::to_string(count);
+  if (at_round) {
+    out += '@';
+    out += std::to_string(*at_round);
+  }
+  if (targets == TargetSelection::kHead) out += "%head";
+  return out;
+}
+
+FaultSpec FaultSpec::with_count(std::uint32_t k) const {
+  FaultSpec copy = *this;
+  copy.count = k;
+  return copy;
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    const auto kind = find_fault_kind(text);
+    if (!kind) unknown(text);
+    if (kind_takes_count(*kind)) {
+      fault_error("fault plan '" + text + "': missing :K argument");
+    }
+    FaultSpec spec;
+    spec.kind = *kind;
+    return spec;  // fault-free / bare random-omissions (default permille)
+  }
+
+  const auto kind = find_fault_kind(std::string_view(text).substr(0, colon));
+  if (!kind) unknown(text);
+  std::string_view arg = std::string_view(text).substr(colon + 1);
+
+  if (*kind == FaultKind::kFaultFree) {
+    fault_error("fault plan 'fault-free' takes no argument");
+  }
+  if (*kind == FaultKind::kRandomOmissions) {
+    const auto permille = parse_u64(arg);
+    if (!permille) malformed(text);
+    if (*permille > 1000) {
+      fault_error("fault plan '" + text + "': permille > 1000");
+    }
+    FaultSpec spec;
+    spec.kind = *kind;
+    spec.permille = static_cast<std::uint32_t>(*permille);
+    return spec;
+  }
+
+  FaultSpec spec;
+  spec.kind = *kind;
+  // Counted kinds: K, then optional @R, then optional %head — in that order.
+  constexpr std::string_view kHeadSuffix = "%head";
+  if (arg.size() >= kHeadSuffix.size() &&
+      arg.substr(arg.size() - kHeadSuffix.size()) == kHeadSuffix) {
+    spec.targets = TargetSelection::kHead;
+    arg.remove_suffix(kHeadSuffix.size());
+  }
+  const auto at = arg.find('@');
+  if (at != std::string_view::npos) {
+    if (!kind_takes_round(*kind)) {
+      fault_error("fault plan '" + text +
+                  "': '@' timing applies only to crash/mute/isolate");
+    }
+    const auto round = parse_u64(arg.substr(at + 1));
+    if (!round || *round == 0 || *round > std::numeric_limits<Round>::max()) {
+      malformed(text);
+    }
+    spec.at_round = static_cast<Round>(*round);
+    arg = arg.substr(0, at);
+  }
+  const auto k = parse_u64(arg);
+  if (!k || *k > std::numeric_limits<std::uint32_t>::max()) malformed(text);
+  spec.count = static_cast<std::uint32_t>(*k);
+  return spec;
+}
+
+void validate_for(const FaultSpec& spec, const SystemParams& params) {
+  if (!kind_takes_count(spec.kind)) return;
+  if (spec.count > params.t) {
+    fault_error("fault plan '" + spec.format() + "': " +
+                std::to_string(spec.count) + " faults exceed budget t=" +
+                std::to_string(params.t));
+  }
+}
+
+FaultSpec checked_fault_spec(const std::string& text,
+                             const SystemParams& params) {
+  const FaultSpec spec = parse_fault_spec(text);
+  validate_for(spec, params);
+  return spec;
+}
+
+}  // namespace ba::faults

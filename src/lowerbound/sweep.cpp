@@ -4,8 +4,10 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 
 #include "crypto/signature.h"
+#include "faults/compile.h"
 #include "lowerbound/certificate.h"
 #include "lowerbound/certificate_io.h"
 #include "parallel/experiment_pool.h"
@@ -16,22 +18,57 @@
 namespace ba::lowerbound {
 namespace {
 
+/// Charts the message-vs-fault curve of one grid point: the fault-axis
+/// template at count f for f in 0..t, each compiled to an adversary and run
+/// once on `backend` with alternating-bit proposals. Pure, like sweep_point.
+std::vector<FaultCurvePoint> chart_fault_curve(
+    const ProtocolFactory& protocol, const SystemParams& params,
+    const std::optional<statics::StaticBounds>& bounds,
+    const SweepOptions& options) {
+  const engine::ExecutionBackend& backend = options.attack.backend
+                                                ? *options.attack.backend
+                                                : engine::default_backend();
+  std::vector<Value> proposals;
+  proposals.reserve(params.n);
+  for (std::uint32_t p = 0; p < params.n; ++p) {
+    proposals.push_back(Value::bit(static_cast<int>(p % 2)));
+  }
+  std::vector<FaultCurvePoint> curve;
+  curve.reserve(params.t + 1);
+  for (std::uint32_t f = 0; f <= params.t; ++f) {
+    const faults::FaultSpec spec = options.fault_axis->with_count(f);
+    const Adversary adversary =
+        faults::compile_adversary(spec, params, options.fault_seed);
+    const RunResult res = backend.run(params, protocol, proposals, adversary);
+    FaultCurvePoint point;
+    point.f = f;
+    point.messages = res.messages_sent_by_correct;
+    if (bounds) {
+      point.static_bound_f = statics::budget_at(*bounds, params, f).messages;
+    }
+    point.agree = res.unanimous_correct_decision().has_value();
+    curve.push_back(point);
+  }
+  return curve;
+}
+
 /// Evaluates one grid point. A pure function of (entry, params, options):
 /// this is what makes the parallel fan-out trivially deterministic.
 SweepRow sweep_point(const SweepEntry& entry, const SystemParams& params,
-                     const AttackOptions& options) {
+                     const SweepOptions& options) {
   ProtocolFactory protocol = entry.make(params);
-  AttackReport report = attack_weak_consensus(params, protocol, options);
+  AttackReport report = attack_weak_consensus(params, protocol, options.attack);
   SweepRow row;
   row.protocol_name = entry.protocol_name;
   row.params = params;
   row.violation = report.violation_found;
   row.max_messages = report.max_message_complexity;
   row.bound = report.bound;
+  std::optional<statics::StaticBounds> bounds;
   if (const statics::CommSpec* spec =
           protocols::find_comm_spec(entry.protocol_name)) {
-    row.static_bound = statics::budget_at(statics::analyze(*spec), params)
-                           .messages;
+    bounds = statics::analyze(*spec);
+    row.static_bound = statics::budget_at(*bounds, params).messages;
   }
   row.critical_round = report.critical_round;
   if (report.certificate) {
@@ -39,6 +76,9 @@ SweepRow sweep_point(const SweepEntry& entry, const SystemParams& params,
     row.certificate_verified =
         verify_certificate(*report.certificate, protocol).ok;
     row.certificate = encode_certificate(*report.certificate);
+  }
+  if (options.fault_axis) {
+    row.fault_curve = chart_fault_curve(protocol, params, bounds, options);
   }
   return row;
 }
@@ -79,6 +119,16 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
                              const std::vector<SystemParams>& grid,
                              const SweepOptions& options) {
   SweepResult result;
+  if (options.fault_axis) {
+    if (!faults::kind_sweepable(options.fault_axis->kind)) {
+      throw std::runtime_error(
+          std::string{"sweep fault axis '"} +
+          faults::fault_kind_name(options.fault_axis->kind) +
+          "': want a sweepable fault kind (crash mute isolate silent-byz "
+          "noise-byz)");
+    }
+    result.fault_axis = options.fault_axis->with_count(0).format();
+  }
   const std::size_t points = entries.size() * grid.size();
   result.points = points;
   const auto start = std::chrono::steady_clock::now();
@@ -88,7 +138,7 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
     std::size_t index = 0;
     for (const SweepEntry& entry : entries) {
       for (const SystemParams& params : grid) {
-        SweepRow row = sweep_point(entry, params, options.attack);
+        SweepRow row = sweep_point(entry, params, options);
         result.streamed_consistent =
             result.streamed_consistent && row_consistent(row);
         if (options.on_row) options.on_row(index, row);
@@ -107,7 +157,7 @@ SweepResult run_attack_sweep(const std::vector<SweepEntry>& entries,
       pool.submit([&, index] {
         const SweepEntry& entry = entries[index / grid.size()];
         const SystemParams& params = grid[index % grid.size()];
-        SweepRow row = sweep_point(entry, params, options.attack);
+        SweepRow row = sweep_point(entry, params, options);
         const std::lock_guard<std::mutex> lock(row_mu);
         result.streamed_consistent =
             result.streamed_consistent && row_consistent(row);
@@ -161,6 +211,24 @@ void write_markdown(std::ostream& os, const SweepResult& result) {
     }
     os << " |\n";
   }
+  if (result.fault_axis.empty()) return;
+  os << "\nMessage-vs-fault curves (fault axis `" << result.fault_axis
+     << "`):\n\n"
+     << "| protocol | n | t | f | messages | static bound(f) | agree |\n"
+     << "|---|---|---|---|---|---|---|\n";
+  for (const SweepRow& row : result.rows) {
+    for (const FaultCurvePoint& point : row.fault_curve) {
+      os << "| " << row.protocol_name << " | " << row.params.n << " | "
+         << row.params.t << " | " << point.f << " | " << point.messages
+         << " | ";
+      if (point.static_bound_f) {
+        os << *point.static_bound_f;
+      } else {
+        os << "-";
+      }
+      os << " | " << (point.agree ? "yes" : "no") << " |\n";
+    }
+  }
 }
 
 void write_bench_json(std::ostream& os, const SweepResult& result) {
@@ -172,6 +240,15 @@ void write_bench_json(std::ostream& os, const SweepResult& result) {
           : static_cast<double>(result.points) / wall_seconds;
   os << "{\n"
      << "  \"experiment\": \"theorem2_attack_sweep\",\n"
+     << "  \"fault_axis\": ";
+  if (result.fault_axis.empty()) {
+    os << "null";
+  } else {
+    os << "\"";
+    json_escape(os, result.fault_axis);
+    os << "\"";
+  }
+  os << ",\n"
      << "  \"jobs\": " << result.jobs_used << ",\n"
      << "  \"points\": " << result.points << ",\n"
      << "  \"wall_seconds\": " << wall_seconds << ",\n"
@@ -230,6 +307,24 @@ std::string encode_sweep_row_ndjson(const SweepRow& row) {
   out += "\",\"certificate_verified\":";
   out += row.certificate_verified ? "true" : "false";
   out += ",\"certificate_bytes\":" + std::to_string(row.certificate.size());
+  // Appended only when a fault axis was swept: legacy rows stay
+  // byte-identical to the pre-fault-axis encoding.
+  if (!row.fault_curve.empty()) {
+    out += ",\"fault_curve\":[";
+    for (std::size_t i = 0; i < row.fault_curve.size(); ++i) {
+      const FaultCurvePoint& point = row.fault_curve[i];
+      if (i != 0) out += ',';
+      out += "{\"f\":" + std::to_string(point.f);
+      out += ",\"messages\":" + std::to_string(point.messages);
+      out += ",\"static_bound_f\":";
+      out += point.static_bound_f ? std::to_string(*point.static_bound_f)
+                                  : "null";
+      out += ",\"agree\":";
+      out += point.agree ? "true" : "false";
+      out += '}';
+    }
+    out += ']';
+  }
   out += "}";
   return out;
 }

@@ -12,11 +12,14 @@
 // including the encoded violation certificates, are bit-identical to the
 // serial path for every worker count.
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "faults/fault_spec.h"
 #include "lowerbound/attack.h"
 #include "runtime/process.h"
 #include "runtime/serde.h"
@@ -29,6 +32,24 @@ struct SweepEntry {
   /// such as an Authenticator per n). Must be pure: the sweep calls it once
   /// per grid point, possibly concurrently from pool workers.
   std::function<ProtocolFactory(const SystemParams&)> make;
+};
+
+/// One point of a message-vs-fault curve: the protocol run once at actual
+/// fault count f under the sweep's fault-axis adversary. The paper's point
+/// made measurable: the static bound stays Omega(t^2) at every f (it may
+/// not decrease in f), however few processes actually misbehave.
+struct FaultCurvePoint {
+  std::uint32_t f{0};
+  /// Messages sent by correct processes in the run at this f.
+  std::uint64_t messages{0};
+  /// statics::budget_at(bounds, params, f); nullopt when the protocol
+  /// declares no CommSpec.
+  std::optional<std::uint64_t> static_bound_f;
+  /// All correct processes decided and agree.
+  bool agree{false};
+
+  friend bool operator==(const FaultCurvePoint&,
+                         const FaultCurvePoint&) = default;
 };
 
 struct SweepRow {
@@ -50,6 +71,10 @@ struct SweepRow {
   /// violation. Kept in encoded form so "parallel == serial" can be
   /// asserted byte-for-byte and rows can be re-verified offline.
   Bytes certificate;
+  /// Message-vs-fault curve, one point per f in 0..t; empty unless
+  /// SweepOptions::fault_axis is set. Legacy (axis-less) rows encode
+  /// byte-identically to the pre-fault-axis format.
+  std::vector<FaultCurvePoint> fault_curve;
 
   friend bool operator==(const SweepRow&, const SweepRow&) = default;
 };
@@ -75,6 +100,15 @@ struct SweepOptions {
   /// through on_row with O(1) row memory; theorem2_consistent() still works
   /// (consistency is folded per row as the sweep runs).
   bool keep_rows{true};
+  /// Fault-axis template: when set, every grid point additionally charts a
+  /// message-vs-fault curve — the template instantiated at count f for each
+  /// f in 0..t, compiled to an adversary (faults/compile.h) and run once on
+  /// the sweep's backend with alternating-bit proposals. The kind must be
+  /// sweepable (faults::kind_sweepable); the template's own count is
+  /// ignored.
+  std::optional<faults::FaultSpec> fault_axis;
+  /// Seed for randomized fault-axis plans (e.g. crash round derivation).
+  std::uint64_t fault_seed{1};
 };
 
 struct SweepResult {
@@ -89,6 +123,10 @@ struct SweepResult {
   /// Per-row consistency verdict folded while the sweep ran; what
   /// theorem2_consistent() reports when `rows` was not kept.
   bool streamed_consistent{true};
+  /// Canonical format of the fault-axis template the sweep ran with
+  /// (FaultSpec::format of the f=0 instantiation); empty when off. Recorded
+  /// so write_bench_json can stamp the axis into the artifact.
+  std::string fault_axis;
 
   /// True iff every sub-threshold protocol was broken with a verified
   /// certificate and every surviving protocol clears the bound.

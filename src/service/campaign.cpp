@@ -1,12 +1,14 @@
 #include "service/campaign.h"
 
+#include <algorithm>
 #include <charconv>
+#include <limits>
 #include <stdexcept>
 
-#include "adversary/byzantine.h"
-#include "adversary/omission.h"
 #include "crypto/siphash.h"
 #include "engine/registry.h"
+#include "faults/compile.h"
+#include "faults/fault_spec.h"
 #include "parallel/seed.h"
 #include "protocols/comm_specs.h"
 #include "protocols/registry.h"
@@ -23,7 +25,6 @@ constexpr crypto::SipKey kSpecHashKey{0x5e27c0de9a7b0001ULL,
 constexpr crypto::SipKey kRowHashKey{0x5e27c0de9a7b0003ULL,
                                      0xba5eba11ca3d0004ULL};
 constexpr std::uint64_t kProposalContext = 0x9a0b0535ULL;
-constexpr std::uint64_t kFaultContext = 0xfa017ab1ULL;
 
 [[noreturn]] void spec_error(const std::string& what) {
   throw std::runtime_error("campaign: " + what);
@@ -46,31 +47,6 @@ std::optional<std::uint64_t> parse_u64(std::string_view s) {
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
   return v;
-}
-
-/// Splits "name" or "name:arg" fault syntax.
-std::pair<std::string, std::optional<std::uint64_t>> split_fault(
-    const std::string& fault) {
-  const auto colon = fault.find(':');
-  if (colon == std::string::npos) return {fault, std::nullopt};
-  const auto arg = parse_u64(std::string_view(fault).substr(colon + 1));
-  if (!arg) spec_error("fault plan '" + fault + "': malformed argument");
-  return {fault.substr(0, colon), arg};
-}
-
-/// The K highest process ids — the conventional corrupted suffix.
-ProcessSet tail_group(const SystemParams& params, std::uint32_t k) {
-  return ProcessSet::range(params.n - k, params.n);
-}
-
-std::uint32_t checked_budget(const std::string& fault,
-                             const SystemParams& params,
-                             std::uint64_t k_raw) {
-  if (k_raw > params.t) {
-    spec_error("fault plan '" + fault + "': " + std::to_string(k_raw) +
-               " faults exceed budget t=" + std::to_string(params.t));
-  }
-  return static_cast<std::uint32_t>(k_raw);
 }
 
 SystemParams parse_grid_point(const Json& point) {
@@ -131,6 +107,7 @@ CampaignSpec CampaignSpec::from_json(std::string_view text) {
   CampaignSpec spec;
   spec.backends.clear();
   spec.faults.clear();
+  bool saw_faults = false;
   for (const auto& [key, value] : doc.as_object()) {
     if (key == "name") {
       spec.name = value.as_string();
@@ -150,6 +127,18 @@ CampaignSpec CampaignSpec::from_json(std::string_view text) {
       spec.backends = parse_string_array(value, "backends");
     } else if (key == "faults") {
       spec.faults = parse_string_array(value, "faults");
+      saw_faults = true;
+    } else if (key == "fault_axis") {
+      spec.fault_axis = parse_string_array(value, "fault_axis");
+    } else if (key == "fault_counts") {
+      if (!value.is_array()) spec_error("fault_counts: want an array");
+      for (const Json& item : value.as_array()) {
+        if (!item.is_int() || item.as_int() < 0) {
+          spec_error("fault_counts: want non-negative integers");
+        }
+        spec.fault_counts.push_back(
+            static_cast<std::uint32_t>(item.as_int()));
+      }
     } else if (key == "seeds") {
       if (!value.is_int() || value.as_int() <= 0) {
         spec_error("seeds: want a positive integer");
@@ -160,7 +149,12 @@ CampaignSpec CampaignSpec::from_json(std::string_view text) {
     }
   }
   if (spec.backends.empty()) spec.backends.push_back("lockstep");
-  if (spec.faults.empty()) spec.faults.push_back("fault-free");
+  if (saw_faults && !spec.fault_axis.empty()) {
+    spec_error("faults and fault_axis are mutually exclusive");
+  }
+  if (spec.faults.empty() && spec.fault_axis.empty()) {
+    spec.faults.push_back("fault-free");
+  }
   spec.validate();
   return spec;
 }
@@ -190,15 +184,64 @@ std::string CampaignSpec::to_json() const {
     json_escape_to(out, backends[i]);
     out += "\"";
   }
-  out += "],\"faults\":[";
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    out += i ? ",\"" : "\"";
-    json_escape_to(out, faults[i]);
-    out += "\"";
+  out += "]";
+  // Axis campaigns omit the faults field entirely; an empty "faults":[]
+  // would read back as an explicit (conflicting) fault list.
+  if (!faults.empty()) {
+    out += ",\"faults\":[";
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      out += i ? ",\"" : "\"";
+      json_escape_to(out, faults[i]);
+      out += "\"";
+    }
+    out += "]";
   }
-  out += "],\"seeds\":";
+  // Legacy campaigns canonicalize to the exact pre-fault-axis bytes, so
+  // resumable state directories written before the axis existed still match.
+  if (!fault_axis.empty()) {
+    out += ",\"fault_axis\":[";
+    for (std::size_t i = 0; i < fault_axis.size(); ++i) {
+      out += i ? ",\"" : "\"";
+      json_escape_to(out, fault_axis[i]);
+      out += "\"";
+    }
+    out += "]";
+  }
+  if (!fault_counts.empty()) {
+    out += ",\"fault_counts\":[";
+    for (std::size_t i = 0; i < fault_counts.size(); ++i) {
+      if (i) out += ",";
+      append_u64(out, fault_counts[i]);
+    }
+    out += "]";
+  }
+  out += ",\"seeds\":";
   append_u64(out, seeds);
   out += "}";
+  return out;
+}
+
+std::vector<std::string> CampaignSpec::effective_faults() const {
+  if (fault_axis.empty()) return faults;
+  std::vector<std::uint32_t> counts = fault_counts;
+  if (counts.empty()) {
+    // Default sweep: every f the whole grid can afford, 0..min t.
+    std::uint32_t min_t = std::numeric_limits<std::uint32_t>::max();
+    for (const SystemParams& params : grid) min_t = std::min(min_t, params.t);
+    if (grid.empty()) min_t = 0;
+    counts.reserve(min_t + 1);
+    for (std::uint32_t f = 0; f <= min_t; ++f) counts.push_back(f);
+  }
+  std::vector<std::string> out;
+  out.reserve(fault_axis.size() * counts.size());
+  for (const std::string& kind : fault_axis) {
+    for (const std::uint32_t f : counts) {
+      std::string fault = kind;
+      fault += ':';
+      append_u64(fault, f);
+      out.push_back(std::move(fault));
+    }
+  }
   return out;
 }
 
@@ -206,7 +249,13 @@ void CampaignSpec::validate() const {
   if (protocols.empty()) spec_error("protocols: empty");
   if (grid.empty()) spec_error("grid: empty");
   if (backends.empty()) spec_error("backends: empty");
-  if (faults.empty()) spec_error("faults: empty");
+  if (faults.empty() && fault_axis.empty()) spec_error("faults: empty");
+  if (!faults.empty() && !fault_axis.empty()) {
+    spec_error("faults and fault_axis are mutually exclusive");
+  }
+  if (!fault_counts.empty() && fault_axis.empty()) {
+    spec_error("fault_counts: requires fault_axis");
+  }
   if (seeds == 0) spec_error("seeds: must be >= 1");
   for (const SystemParams& params : grid) {
     if (!params.valid()) spec_error("grid: invalid (n, t) point");
@@ -234,15 +283,26 @@ void CampaignSpec::validate() const {
       spec_error("backend '" + backend + "': " + e.what());
     }
   }
-  for (const std::string& fault : faults) {
+  for (const std::string& kind : fault_axis) {
+    const auto resolved = faults::find_fault_kind(kind);
+    if (!resolved || !faults::kind_sweepable(*resolved)) {
+      spec_error("fault_axis kind '" + kind +
+                 "': want a sweepable fault kind (crash mute isolate "
+                 "silent-byz noise-byz)");
+    }
+  }
+  // Unknown or over-budget fault plans throw the pinned faults:: message
+  // unwrapped — the same string `ba_cli run/sim/sweep` print.
+  const std::vector<std::string> fault_plans = effective_faults();
+  for (const std::string& fault : fault_plans) {
     for (const SystemParams& params : grid) {
-      (void)make_fault_adversary(fault, params, 0);  // throws when invalid
+      (void)faults::checked_fault_spec(fault, params);
     }
   }
   // Overflow guard on the cross product (campaigns are large but bounded).
   std::uint64_t count = seeds;
-  for (const std::uint64_t axis :
-       {protocols.size(), grid.size(), backends.size(), faults.size()}) {
+  for (const std::uint64_t axis : {protocols.size(), grid.size(),
+                                   backends.size(), fault_plans.size()}) {
     if (axis != 0 && count > UINT64_MAX / axis) {
       spec_error("task count overflows 64 bits");
     }
@@ -251,8 +311,8 @@ void CampaignSpec::validate() const {
 }
 
 std::uint64_t CampaignSpec::task_count() const {
-  return protocols.size() * grid.size() * backends.size() * faults.size() *
-         seeds;
+  return protocols.size() * grid.size() * backends.size() *
+         effective_faults().size() * seeds;
 }
 
 TaskSpec CampaignSpec::task_at(std::uint64_t index) const {
@@ -262,11 +322,12 @@ TaskSpec CampaignSpec::task_at(std::uint64_t index) const {
   }
   TaskSpec task;
   task.index = index;
+  const std::vector<std::string> fault_plans = effective_faults();
   std::uint64_t rest = index;
   task.seed_index = rest % seeds;
   rest /= seeds;
-  task.fault = faults[rest % faults.size()];
-  rest /= faults.size();
+  task.fault = fault_plans[rest % fault_plans.size()];
+  rest /= fault_plans.size();
   task.backend = backends[rest % backends.size()];
   rest /= backends.size();
   task.params = grid[rest % grid.size()];
@@ -320,6 +381,18 @@ std::string encode_row(const CampaignRow& row) {
     append_u64(out, *row.static_bound);
   } else {
     out += "null";
+  }
+  // Fault-axis campaigns carry the per-f columns; legacy rows omit them and
+  // keep their pre-fault-axis bytes (resumable caches stay valid).
+  if (row.f) {
+    out += ",\"f\":";
+    append_u64(out, *row.f);
+    out += ",\"static_bound_f\":";
+    if (row.static_bound_f) {
+      append_u64(out, *row.static_bound_f);
+    } else {
+      out += "null";
+    }
   }
   out += ",\"decided\":";
   append_u64(out, row.decided);
@@ -379,6 +452,14 @@ std::optional<CampaignRow> decode_row(std::string_view line) {
     if (!field->is_null()) {
       row.static_bound = field->as_uint();
     }
+    if ((field = doc.find("f"))) {
+      row.f = static_cast<std::uint32_t>(field->as_int());
+      const Json* bound_f = doc.find("static_bound_f");
+      if (!bound_f) return std::nullopt;
+      if (!bound_f->is_null()) {
+        row.static_bound_f = bound_f->as_uint();
+      }
+    }
     if (!(field = doc.find("decided"))) return std::nullopt;
     row.decided = static_cast<std::uint32_t>(field->as_int());
     if (!(field = doc.find("agree"))) return std::nullopt;
@@ -406,61 +487,6 @@ std::vector<Value> derive_proposals(std::uint64_t seed, std::uint32_t n) {
   return proposals;
 }
 
-Adversary make_fault_adversary(const std::string& fault,
-                               const SystemParams& params,
-                               std::uint64_t seed) {
-  const auto [kind, arg] = split_fault(fault);
-  if (kind == "fault-free") {
-    if (arg) spec_error("fault plan 'fault-free' takes no argument");
-    return Adversary::none();
-  }
-  if (kind == "random-omissions") {
-    const std::uint64_t permille = arg.value_or(250);
-    if (permille > 1000) {
-      spec_error("fault plan '" + fault + "': permille > 1000");
-    }
-    return random_omissions(tail_group(params, params.t), seed,
-                            static_cast<std::uint32_t>(permille));
-  }
-  if (!arg) spec_error("fault plan '" + fault + "': missing :K argument");
-  const std::uint32_t k = checked_budget(fault, params, *arg);
-  if (kind == "crash") {
-    const crypto::SipKey key = crypto::derive_key(seed, kFaultContext);
-    const crypto::SipHasher base(key);
-    std::vector<std::pair<ProcessId, Round>> crashes;
-    for (std::uint32_t i = 0; i < k; ++i) {
-      crypto::SipHasher h = base;
-      h.absorb_u32(i);
-      crashes.emplace_back(params.n - 1 - i,
-                           static_cast<Round>(1 + h.digest() % 4));
-    }
-    return crash_schedule(std::move(crashes));
-  }
-  if (kind == "mute") return mute_group(tail_group(params, k), 2);
-  if (kind == "isolate") return isolate_group(tail_group(params, k), 2);
-  if (kind == "silent-byz") {
-    Adversary adv;
-    adv.faulty = tail_group(params, k);
-    adv.byzantine = adv.faulty;
-    adv.byzantine_factory = byz_silent();
-    return adv;
-  }
-  if (kind == "noise-byz") {
-    Adversary adv;
-    adv.faulty = tail_group(params, k);
-    adv.byzantine = adv.faulty;
-    adv.byzantine_factory = byz_noise(seed, 12);
-    return adv;
-  }
-  spec_error("unknown fault plan '" + fault + "' (known: " +
-             fault_plan_names() + ")");
-}
-
-const char* fault_plan_names() {
-  return "fault-free crash:K mute:K isolate:K random-omissions:P "
-         "silent-byz:K noise-byz:K";
-}
-
 TaskRunner::TaskRunner(const CampaignSpec& spec) : spec_(spec) {
   for (const std::string& backend : spec.backends) {
     if (backends_.contains(backend)) continue;
@@ -483,8 +509,10 @@ CampaignRow TaskRunner::run(const TaskSpec& task) const {
 
   const std::vector<Value> proposals =
       derive_proposals(task.seed, task.params.n);
+  const faults::FaultSpec fault_spec =
+      faults::checked_fault_spec(task.fault, task.params);
   const Adversary adversary =
-      make_fault_adversary(task.fault, task.params, task.seed);
+      faults::compile_adversary(fault_spec, task.params, task.seed);
 
   RunOptions options;
   options.record_trace = false;  // streaming campaigns never keep traces
@@ -503,21 +531,30 @@ CampaignRow TaskRunner::run(const TaskSpec& task) const {
   row.rounds = res.rounds_executed;
   row.messages = res.messages_sent_by_correct;
 
-  std::string bound_key = task.protocol + "|";
-  append_u64(bound_key, task.params.n);
-  bound_key += "|";
-  append_u64(bound_key, task.params.t);
-  const auto cached = bound_cache_.find(bound_key);
-  if (cached != bound_cache_.end()) {
-    row.static_bound = cached->second;
-  } else {
+  // Cached per (protocol, n, t, f): the worst-case bound (f = t) plus, for
+  // fault-axis campaigns, the bound at the plan's declared fault count.
+  const auto bound_at = [&](std::uint32_t f) -> std::optional<std::uint64_t> {
+    std::string bound_key = task.protocol + "|";
+    append_u64(bound_key, task.params.n);
+    bound_key += "|";
+    append_u64(bound_key, task.params.t);
+    bound_key += "|";
+    append_u64(bound_key, f);
+    const auto cached = bound_cache_.find(bound_key);
+    if (cached != bound_cache_.end()) return cached->second;
     std::optional<std::uint64_t> bound;
     if (const statics::CommSpec* comm =
             protocols::find_comm_spec(task.protocol)) {
-      bound = statics::budget_at(statics::analyze(*comm), task.params).messages;
+      bound =
+          statics::budget_at(statics::analyze(*comm), task.params, f).messages;
     }
     bound_cache_.emplace(std::move(bound_key), bound);
-    row.static_bound = bound;
+    return bound;
+  };
+  row.static_bound = bound_at(task.params.t);
+  if (spec_.has_fault_axis()) {
+    row.f = fault_spec.declared_faults(task.params);
+    row.static_bound_f = bound_at(*row.f);
   }
 
   std::optional<Value> decision;

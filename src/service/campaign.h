@@ -29,7 +29,6 @@
 #include <vector>
 
 #include "engine/backend.h"
-#include "runtime/fault.h"
 #include "runtime/process.h"
 #include "runtime/types.h"
 
@@ -55,7 +54,16 @@ struct CampaignSpec {
   std::vector<std::string> protocols;       // protocols/registry.h names
   std::vector<SystemParams> grid;           // (n, t) points
   std::vector<std::string> backends{std::string{"lockstep"}};
+  /// Explicit fault plans (faults/fault_spec.h grammar, docs/FAULTS.md).
+  /// Mutually exclusive with `fault_axis` — clear this when setting that.
   std::vector<std::string> faults{std::string{"fault-free"}};
+  /// Fault axis: sweepable fault kinds ("isolate", "crash", ...) expanded
+  /// into one plan per kind per count in `fault_counts` — the f axis of the
+  /// campaign. Rows of a fault-axis campaign additionally carry "f" and
+  /// "static_bound_f" (the bound evaluated at the row's actual fault count).
+  std::vector<std::string> fault_axis;
+  /// Counts the fault axis sweeps; empty = 0..min t over the grid.
+  std::vector<std::uint32_t> fault_counts;
   std::uint64_t seeds{1};                   // seed indices 0..seeds-1
 
   friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
@@ -66,10 +74,11 @@ struct CampaignSpec {
   ///    "grid": ["4:1", {"n": 8, "t": 2}, ...],
   ///    "backends": ["lockstep", "sim:sync,1"],
   ///    "faults": ["fault-free", "crash:1"],
+  ///    "fault_axis": ["isolate"], "fault_counts": [0, 1, 2],
   ///    "seeds": 25}
-  /// Missing backends/faults/seeds take the defaults above. Throws
-  /// std::runtime_error naming the offending field; the returned spec has
-  /// passed validate().
+  /// Missing backends/faults/seeds take the defaults above ("faults" and
+  /// "fault_axis" are mutually exclusive). Throws std::runtime_error naming
+  /// the offending field; the returned spec has passed validate().
   static CampaignSpec from_json(std::string_view text);
 
   /// Canonical JSON encoding (sorted, fixed field order). Two specs are the
@@ -81,9 +90,18 @@ struct CampaignSpec {
   /// Structural validation: non-empty axes, valid (n, t) points, resolvable
   /// protocol names, parseable backend specs (the async backend is rejected
   /// — campaigns run synchronous protocols), fault plans that fit every
-  /// grid point's fault budget. Throws std::runtime_error on the first
-  /// problem.
+  /// grid point's fault budget, sweepable fault-axis kinds. Throws
+  /// std::runtime_error on the first problem; unknown fault plans throw the
+  /// pinned faults::parse_fault_spec message unchanged, so every surface
+  /// (run/sim/sweep/serve) reports the same string.
   void validate() const;
+
+  /// The fault strings of the fault-plan axis: `faults` verbatim, or the
+  /// fault_axis x fault_counts expansion ("isolate:0", "isolate:1", ...).
+  [[nodiscard]] std::vector<std::string> effective_faults() const;
+
+  /// True when rows carry the per-f columns (f, static_bound_f).
+  [[nodiscard]] bool has_fault_axis() const { return !fault_axis.empty(); }
 
   [[nodiscard]] std::uint64_t task_count() const;
 
@@ -114,9 +132,15 @@ struct CampaignRow {
   Round rounds{0};
   /// Messages sent by correct processes (the paper's complexity measure).
   std::uint64_t messages{0};
-  /// statics::budget_at over the protocol's CommSpec; nullopt when the
-  /// protocol declares none.
+  /// statics::budget_at over the protocol's CommSpec at the worst case
+  /// f = t; nullopt when the protocol declares none.
   std::optional<std::uint64_t> static_bound;
+  /// Fault-axis campaigns only: the plan's declared actual-fault count and
+  /// the static bound evaluated at that f (nullopt static_bound_f when the
+  /// protocol declares no CommSpec). Legacy campaigns omit both fields and
+  /// their rows stay byte-identical to the pre-fault-axis encoding.
+  std::optional<std::uint32_t> f;
+  std::optional<std::uint64_t> static_bound_f;
   /// Correct processes that decided.
   std::uint32_t decided{0};
   /// True iff every correct process decided and all decisions are equal.
@@ -141,28 +165,6 @@ struct CampaignRow {
 /// task seed via SipHash (independent of everything but (seed, n)).
 [[nodiscard]] std::vector<Value> derive_proposals(std::uint64_t seed,
                                                   std::uint32_t n);
-
-/// Compiles a fault-plan name into an Adversary for one run. Plans:
-///   fault-free            no faults
-///   crash:K               K processes (highest ids) crash-stop at
-///                         seed-derived rounds (send-omit everything after)
-///   mute:K                K highest ids send-omit everything from round 2
-///   isolate:K             K highest ids receive-isolated from round 2
-///                         (Definition 1's isolation schedule)
-///   random-omissions:P    the full fault budget t drops each message with
-///                         probability P/1000, seed-derived
-///   silent-byz:K          K highest ids replaced by silent Byzantine
-///                         replicas
-///   noise-byz:K           K highest ids replaced by deterministic-noise
-///                         Byzantine replicas (seeded)
-/// K must fit the fault budget (K <= t, K < n). Throws std::runtime_error
-/// on unknown names or budget violations.
-[[nodiscard]] Adversary make_fault_adversary(const std::string& fault,
-                                             const SystemParams& params,
-                                             std::uint64_t seed);
-
-/// Space-separated fault-plan names (usage strings / docs).
-[[nodiscard]] const char* fault_plan_names();
 
 /// Executes campaign tasks. Resolves each distinct backend spec once and
 /// caches static bounds per (protocol, n, t); `run` itself is pure and

@@ -28,17 +28,24 @@ StaticBounds analyze(const CommSpec& spec) {
   return bounds;
 }
 
-Budget budget_at(const StaticBounds& bounds, const SystemParams& params) {
+Budget budget_at(const StaticBounds& bounds, const SystemParams& params,
+                 std::uint32_t f) {
   const auto n = static_cast<std::int64_t>(params.n);
   const auto t = static_cast<std::int64_t>(params.t);
+  const auto fv = static_cast<std::int64_t>(f);
   Budget budget;
-  budget.messages = static_cast<std::uint64_t>(bounds.messages.eval(n, t, t));
-  budget.rounds = static_cast<std::uint64_t>(bounds.rounds.eval(n, t, t));
+  budget.messages =
+      static_cast<std::uint64_t>(bounds.messages.eval(n, t, fv));
+  budget.rounds = static_cast<std::uint64_t>(bounds.rounds.eval(n, t, fv));
   if (bounds.payload_bytes) {
     budget.payload_bytes =
-        static_cast<std::uint64_t>(bounds.payload_bytes->eval(n, t, t));
+        static_cast<std::uint64_t>(bounds.payload_bytes->eval(n, t, fv));
   }
   return budget;
+}
+
+Budget budget_at(const StaticBounds& bounds, const SystemParams& params) {
+  return budget_at(bounds, params, params.t);
 }
 
 bool lower_bound_applies(const std::string& problem) {

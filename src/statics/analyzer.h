@@ -50,9 +50,7 @@ struct StaticBounds {
 /// Folds a spec into its closed-form bounds.
 [[nodiscard]] StaticBounds analyze(const CommSpec& spec);
 
-/// Concrete budgets at one (n, t) point, evaluated at f = t (the adversary's
-/// worst case; the omission model cannot make correct processes send more
-/// with fewer actual faults than the structural cap already allows).
+/// Concrete budgets at one (n, t, f) point.
 struct Budget {
   std::uint64_t messages{0};
   std::uint64_t rounds{0};
@@ -60,6 +58,19 @@ struct Budget {
   std::optional<std::uint64_t> payload_bytes;
 };
 
+/// Evaluates the bounds at an explicit actual-fault count f <= t. The
+/// paper's lower bound is a statement about small f (Ω(t²) messages even
+/// when few processes actually misbehave), so f is a first-class axis here:
+/// fault-axis sweeps chart budget_at(bounds, params, f) for f in 0..t
+/// against observed cost. Bounds must be monotone non-decreasing in f
+/// (property-tested in tests/statics/bounds_test.cpp) — an adversary never
+/// gets weaker by corrupting fewer processes than its budget.
+[[nodiscard]] Budget budget_at(const StaticBounds& bounds,
+                               const SystemParams& params, std::uint32_t f);
+
+/// The worst case f = t: what the dynamic linter's budget invariant gates
+/// every run against (the omission model cannot make correct processes send
+/// more with fewer actual faults than the structural cap already allows).
 [[nodiscard]] Budget budget_at(const StaticBounds& bounds,
                                const SystemParams& params);
 

@@ -8,6 +8,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "faults/compile.h"
+#include "faults/fault_spec.h"
 #include "parallel/seed.h"
 #include "service/campaign.h"
 
@@ -147,46 +149,107 @@ TEST(CampaignSpec, AsyncBackendIsRejectedUpFront) {
                std::runtime_error);
 }
 
-TEST(FaultPlans, CompileToTheDocumentedAdversaries) {
+TEST(CampaignSpec, FaultAxisExpandsKindTimesCounts) {
+  CampaignSpec spec;
+  spec.name = "axis";
+  spec.protocols = {"phase-king"};
+  spec.grid = {{7, 2}};
+  spec.faults.clear();
+  spec.fault_axis = {"isolate"};
+  spec.validate();
+  EXPECT_TRUE(spec.has_fault_axis());
+
+  // Default counts: 0..min t over the grid.
+  EXPECT_EQ(spec.effective_faults(),
+            (std::vector<std::string>{"isolate:0", "isolate:1", "isolate:2"}));
+  EXPECT_EQ(spec.task_count(), 3u);
+  EXPECT_EQ(spec.task_at(1).fault, "isolate:1");
+
+  // Explicit counts and a second kind: axis-major, counts fastest.
+  spec.fault_axis = {"crash", "silent-byz"};
+  spec.fault_counts = {0, 2};
+  spec.validate();
+  EXPECT_EQ(spec.effective_faults(),
+            (std::vector<std::string>{"crash:0", "crash:2", "silent-byz:0",
+                                      "silent-byz:2"}));
+}
+
+TEST(CampaignSpec, FaultAxisJsonRoundTripIsIdentity) {
+  CampaignSpec spec;
+  spec.name = "axis";
+  spec.protocols = {"phase-king"};
+  spec.grid = {{7, 2}};
+  spec.faults.clear();
+  spec.fault_axis = {"isolate"};
+  spec.fault_counts = {0, 1};
+  const CampaignSpec reparsed = CampaignSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec, reparsed);
+  EXPECT_EQ(spec.to_json(), reparsed.to_json());
+
+  // Legacy specs (no axis) keep their pre-fault-axis encoding byte-for-byte:
+  // no fault_axis/fault_counts fields appear.
+  const std::string legacy = small_spec().to_json();
+  EXPECT_EQ(legacy.find("fault_axis"), std::string::npos);
+  EXPECT_EQ(legacy.find("fault_counts"), std::string::npos);
+}
+
+TEST(CampaignSpec, FaultAxisRejectionSurface) {
+  const auto rejects = [](const char* json) {
+    EXPECT_THROW((void)CampaignSpec::from_json(json), std::runtime_error)
+        << json;
+  };
+  // faults and fault_axis are mutually exclusive.
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "faults": ["fault-free"], "fault_axis": ["isolate"]})");
+  // fault_counts without an axis.
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "fault_counts": [1]})");
+  // Non-sweepable axis kinds.
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "fault_axis": ["fault-free"]})");
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "fault_axis": ["random-omissions"]})");
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "fault_axis": ["no-such-kind"]})");
+  // Counts beyond the smallest grid point's budget.
+  rejects(
+      R"({"protocols": ["phase-king"], "grid": ["4:1"],
+          "fault_axis": ["crash"], "fault_counts": [2]})");
+}
+
+TEST(CampaignSpec, UnknownFaultPlanErrorIsThePinnedString) {
+  // Satellite contract: serve-side validation reports the exact
+  // faults::parse_fault_spec message, unwrapped, so run/sim/sweep/serve all
+  // print the same bytes for the same bad plan.
+  try {
+    (void)CampaignSpec::from_json(
+        R"({"protocols": ["phase-king"], "grid": ["4:1"],
+            "faults": ["no-such-fault"]})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown fault plan 'no-such-fault' (known: fault-free "
+                 "crash:K mute:K isolate:K random-omissions:P silent-byz:K "
+                 "noise-byz:K)");
+  }
+}
+
+TEST(FaultPlans, CampaignTasksCompileThroughTheFaultsIr) {
+  // The service has no fault vocabulary of its own any more: a task's fault
+  // string round-trips through faults::checked_fault_spec and the compiled
+  // adversary is the documented one.
   const SystemParams params{7, 2};
-
-  EXPECT_TRUE(make_fault_adversary("fault-free", params, 9).faulty.empty());
-
-  const Adversary crash = make_fault_adversary("crash:2", params, 9);
+  const faults::FaultSpec spec = faults::checked_fault_spec("crash:2", params);
+  EXPECT_EQ(spec.format(), "crash:2");
+  const Adversary crash = faults::compile_adversary(spec, params, 9);
   EXPECT_EQ(crash.faulty.size(), 2u);
   EXPECT_TRUE(crash.faulty.contains(5) && crash.faulty.contains(6));
   EXPECT_TRUE(crash.byzantine.empty());
-
-  const Adversary mute = make_fault_adversary("mute:1", params, 9);
-  EXPECT_EQ(mute.faulty.size(), 1u);
-
-  const Adversary iso = make_fault_adversary("isolate:2", params, 9);
-  EXPECT_EQ(iso.faulty.size(), 2u);
-
-  const Adversary omit = make_fault_adversary("random-omissions:250", params, 9);
-  EXPECT_EQ(omit.faulty.size(), params.t);
-
-  const Adversary byz = make_fault_adversary("silent-byz:2", params, 9);
-  EXPECT_EQ(byz.byzantine.size(), 2u);
-  EXPECT_EQ(byz.faulty, byz.byzantine);
-  EXPECT_TRUE(byz.byzantine_factory != nullptr);
-
-  // Budget enforcement.
-  EXPECT_THROW((void)make_fault_adversary("crash:3", params, 9),
-               std::runtime_error);
-  EXPECT_THROW((void)make_fault_adversary("crash", params, 9),
-               std::runtime_error);
-  EXPECT_THROW((void)make_fault_adversary("fault-free:1", params, 9),
-               std::runtime_error);
-}
-
-TEST(FaultPlans, CrashRoundsAreSeedDerived) {
-  const SystemParams params{7, 2};
-  // Same seed -> same adversary shape; the schedule itself is exercised
-  // end-to-end by the runner tests.
-  const Adversary a = make_fault_adversary("crash:2", params, 1);
-  const Adversary b = make_fault_adversary("crash:2", params, 1);
-  EXPECT_EQ(a.faulty, b.faulty);
 }
 
 TEST(Proposals, DeterministicBitVectors) {

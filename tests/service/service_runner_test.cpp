@@ -202,6 +202,97 @@ TEST(ServeCampaign, RefusesSpecMismatchWithExistingState) {
                std::runtime_error);
 }
 
+TEST(SerialRunner, LegacyFaultPlanCampaignReplaysByteIdentically) {
+  // Golden bytes captured from the pre-FaultSpec-IR service binary: one
+  // phase-king campaign over every legacy fault plan, on both synchronous
+  // backends. The refactor onto faults::compile_adversary must reproduce
+  // every row — spec hashes, seeds, message counts, row hashes — exactly,
+  // or cached campaign state directories stop resuming.
+  CampaignSpec spec;
+  spec.name = "fault-golden";
+  spec.master_seed = 7;
+  spec.protocols = {"phase-king"};
+  spec.grid = {{5, 2}};
+  spec.backends = {"lockstep", "sim:sync,1"};
+  spec.faults = {"fault-free",           "crash:2",      "mute:1",
+                 "isolate:2",            "random-omissions:250",
+                 "silent-byz:2",         "noise-byz:1"};
+  spec.seeds = 2;
+  spec.validate();
+
+  const std::vector<std::string> golden = {
+      R"({"spec":"7190720ac89e0b09","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"fault-free","seed_index":0,"seed":6065983080702721244,"rounds":10,"messages":132,"static_bound":132,"decided":5,"agree":true,"row_hash":"0180dc6492e7c4dc"})",
+      R"({"spec":"45cc91edf4770473","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"fault-free","seed_index":1,"seed":9945532481501666971,"rounds":10,"messages":132,"static_bound":132,"decided":5,"agree":true,"row_hash":"315f24d29e30907f"})",
+      R"({"spec":"b816fdeb58a84653","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"crash:2","seed_index":0,"seed":6074864400172676109,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"93289f0f365138cf"})",
+      R"({"spec":"0dac78b7da0eb193","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"crash:2","seed_index":1,"seed":9078006924927279980,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"0b304036a3236876"})",
+      R"({"spec":"23754dbb96488645","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"mute:1","seed_index":0,"seed":13969377184229361409,"rounds":10,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"b22a2956b1ca0867"})",
+      R"({"spec":"9abc5b60668515c8","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"mute:1","seed_index":1,"seed":9540176146989437712,"rounds":10,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"dd78a8a1b57682ef"})",
+      R"({"spec":"7721d68b2e42e343","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"isolate:2","seed_index":0,"seed":14068386197853475770,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"4841b4f1dcffedfa"})",
+      R"({"spec":"c34da373fd76483a","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"isolate:2","seed_index":1,"seed":11425240136563551059,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"5316fcd95f55b9a3"})",
+      R"({"spec":"31ee7a98297c3b6a","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"random-omissions:250","seed_index":0,"seed":1784213896156325329,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"e2762301a68c8308"})",
+      R"({"spec":"91302dae870da7b7","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"random-omissions:250","seed_index":1,"seed":17748403252540764154,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"339a0c09d7301900"})",
+      R"({"spec":"f81df903d0ad8487","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"silent-byz:2","seed_index":0,"seed":3647818610353185330,"rounds":10,"messages":72,"static_bound":132,"decided":3,"agree":true,"row_hash":"62564f417d9caee5"})",
+      R"({"spec":"5854afe4dae2b513","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"silent-byz:2","seed_index":1,"seed":15783818167811660234,"rounds":10,"messages":72,"static_bound":132,"decided":3,"agree":true,"row_hash":"5c96e1707f91eeb3"})",
+      R"({"spec":"024c73ed80aad028","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"noise-byz:1","seed_index":0,"seed":17803605174585838195,"rounds":13,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"1940d9e0aab82818"})",
+      R"({"spec":"f34f4a1844ff1846","protocol":"phase-king","n":5,"t":2,"backend":"lockstep","fault":"noise-byz:1","seed_index":1,"seed":17848445763246593826,"rounds":13,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"1c3a3aea87e3ce0e"})",
+      R"({"spec":"3a3639a91645d176","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"fault-free","seed_index":0,"seed":2276846283043976767,"rounds":10,"messages":132,"static_bound":132,"decided":5,"agree":true,"row_hash":"87161f50869e93bb"})",
+      R"({"spec":"6890ace23bdfb6c9","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"fault-free","seed_index":1,"seed":8094671595857898388,"rounds":10,"messages":132,"static_bound":132,"decided":5,"agree":true,"row_hash":"602b770fdabae1cb"})",
+      R"({"spec":"9c3052dcde933c88","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"crash:2","seed_index":0,"seed":17113842027469662398,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"d7f180f8dbf5a49b"})",
+      R"({"spec":"768d2d54fc3aa479","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"crash:2","seed_index":1,"seed":11902776287438972843,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"3bd6967dded62753"})",
+      R"({"spec":"914445c54ed99848","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"mute:1","seed_index":0,"seed":14281822579543690535,"rounds":10,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"7158f671d564248f"})",
+      R"({"spec":"7f87f0ec7ff2eb05","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"mute:1","seed_index":1,"seed":82777693743094548,"rounds":10,"messages":108,"static_bound":132,"decided":4,"agree":true,"row_hash":"2e0ba5d4ee09a8bc"})",
+      R"({"spec":"650ed285c240ade8","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"isolate:2","seed_index":0,"seed":8305565546851916200,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"fe3e8bbcc1e112e3"})",
+      R"({"spec":"baa2ccdc488e13cf","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"isolate:2","seed_index":1,"seed":2796551285028845394,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"2b176df96c0843ca"})",
+      R"({"spec":"1aea85a4eced6312","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"random-omissions:250","seed_index":0,"seed":2927637213422319949,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"9b1513a7055a14cb"})",
+      R"({"spec":"b7317d7e3b0cd720","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"random-omissions:250","seed_index":1,"seed":12556852709203726095,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"ee0f2ab20b309461"})",
+      R"({"spec":"0d933ceba02e7aa9","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"silent-byz:2","seed_index":0,"seed":3107217219007043351,"rounds":10,"messages":84,"static_bound":132,"decided":3,"agree":true,"row_hash":"66344ade91769acf"})",
+      R"({"spec":"70622079da0250b4","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"silent-byz:2","seed_index":1,"seed":18109931833524675666,"rounds":10,"messages":72,"static_bound":132,"decided":3,"agree":true,"row_hash":"b9f48d84fd264003"})",
+      R"({"spec":"44681f5221c04ef2","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"noise-byz:1","seed_index":0,"seed":17822062327486737205,"rounds":13,"messages":92,"static_bound":132,"decided":4,"agree":true,"row_hash":"cc0ac2d0e12aea24"})",
+      R"({"spec":"f8698032971558e9","protocol":"phase-king","n":5,"t":2,"backend":"sim:sync,1","fault":"noise-byz:1","seed_index":1,"seed":7235492028975708369,"rounds":13,"messages":92,"static_bound":132,"decided":4,"agree":true,"row_hash":"ce595c6cf23c301b"})",
+  };
+  ASSERT_EQ(spec.task_count(), golden.size());
+
+  TempDir tmp("golden");
+  run_campaign_serial(spec, tmp.path("replay.ndjson"));
+  const std::vector<std::string> lines =
+      read_ndjson_lines(tmp.path("replay.ndjson"));
+  ASSERT_EQ(lines.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(lines[i], golden[i]) << "row " << i;
+  }
+}
+
+TEST(SerialRunner, FaultAxisRowsCarryFAndTheBoundAtF) {
+  CampaignSpec spec;
+  spec.name = "axis-run";
+  spec.master_seed = 3;
+  spec.protocols = {"phase-king"};
+  spec.grid = {{5, 2}};
+  spec.faults.clear();
+  spec.fault_axis = {"crash"};
+  spec.validate();
+  ASSERT_EQ(spec.task_count(), 3u);  // f = 0, 1, 2
+
+  TempDir tmp("axis");
+  run_campaign_serial(spec, tmp.path("axis.ndjson"));
+  const std::vector<std::string> lines =
+      read_ndjson_lines(tmp.path("axis.ndjson"));
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::uint64_t i = 0; i < lines.size(); ++i) {
+    // The extended rows still authenticate and round-trip canonically.
+    const auto row = decode_row(lines[i]);
+    ASSERT_TRUE(row.has_value()) << lines[i];
+    ASSERT_TRUE(row->f.has_value());
+    EXPECT_EQ(*row->f, i);  // crash:0, crash:1, crash:2 in task order
+    ASSERT_TRUE(row->static_bound_f.has_value());
+    // Observed cost respects the bound at the row's actual fault count.
+    EXPECT_LE(row->messages, *row->static_bound_f);
+    // No registered CommSpec weakens with f, so the per-f bound equals the
+    // worst-case column.
+    EXPECT_EQ(row->static_bound_f, row->static_bound);
+  }
+}
+
 TEST(BenchJson, CarriesTheRegressionGateSchema) {
   const CampaignSpec spec = tiny_spec();
   TempDir tmp("bench");

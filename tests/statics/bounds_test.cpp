@@ -136,6 +136,45 @@ TEST(Budgets, ConcreteEvaluationAtWorstCaseF) {
           .payload_bytes.has_value());
 }
 
+TEST(Budgets, ExplicitFEqualsTheWorstCaseAtFEqualsT) {
+  // The f-axis golden criterion: for EVERY registered CommSpec, the 3-arg
+  // budget_at at f = t is the value the 2-arg worst-case overload always
+  // produced — threading f through statics changed no existing budget.
+  const std::vector<SystemParams> grid = {{4, 1},  {7, 2},   {12, 11},
+                                          {16, 5}, {32, 31}, {64, 21}};
+  for (const CommSpec& spec : all_comm_specs()) {
+    const StaticBounds bounds = analyze(spec);
+    for (const SystemParams& params : grid) {
+      const Budget worst = budget_at(bounds, params);
+      const Budget at_t = budget_at(bounds, params, params.t);
+      EXPECT_EQ(at_t.messages, worst.messages) << spec.protocol;
+      EXPECT_EQ(at_t.rounds, worst.rounds) << spec.protocol;
+      EXPECT_EQ(at_t.payload_bytes, worst.payload_bytes) << spec.protocol;
+    }
+  }
+}
+
+TEST(Budgets, BoundsAreMonotoneNonDecreasingInF) {
+  // An adversary never gets weaker by corrupting fewer processes than its
+  // budget: every declared bound must be monotone non-decreasing in f. The
+  // property holds trivially today (no registered spec uses Poly::f()), but
+  // it gates any future f-dependent CommSpec.
+  const std::vector<SystemParams> grid = {{4, 1}, {7, 2}, {12, 11}, {32, 10}};
+  for (const CommSpec& spec : all_comm_specs()) {
+    const StaticBounds bounds = analyze(spec);
+    for (const SystemParams& params : grid) {
+      Budget prev = budget_at(bounds, params, 0);
+      for (std::uint32_t f = 1; f <= params.t; ++f) {
+        const Budget cur = budget_at(bounds, params, f);
+        EXPECT_GE(cur.messages, prev.messages)
+            << spec.protocol << " f=" << f;
+        EXPECT_GE(cur.rounds, prev.rounds) << spec.protocol << " f=" << f;
+        prev = cur;
+      }
+    }
+  }
+}
+
 TEST(CrossCheck, RealSpecTableIsConsistentWithThePaper) {
   std::vector<StaticBounds> bounds;
   for (const CommSpec& spec : all_comm_specs()) bounds.push_back(analyze(spec));

@@ -78,9 +78,11 @@ int usage() {
                "  ba_cli verify <FILE> <protocol> [n] [t]\n"
                "  ba_cli solvability <property> <n> <t>\n"
                "  ba_cli run <protocol> <n> <t> <bit...> [--backend SPEC] "
-               "[--save-trace FILE]\n"
+               "[--fault SPEC]\n"
+               "         [--fault-seed S] [--save-trace FILE]\n"
                "  ba_cli sweep [--jobs N] [--grid n:t,...] [--json FILE] "
                "[--out FILE] [--backend SPEC]\n"
+               "         [--fault-axis [KIND]] [--fault-seed S]\n"
                "  ba_cli serve <campaign.json> --state DIR [--workers N] "
                "[--respawns N]\n"
                "         [--serial FILE] [--bench FILE] [--die-after K] "
@@ -90,9 +92,11 @@ int usage() {
                "  ba_cli sim <protocol> <n> <t> <bit...> [--model "
                "sync|jitter|gst]\n"
                "         [--seed S] [--gst R] [--lag K] [--round-ticks T] "
-               "[--backend SPEC] [--save-trace FILE]\n"
+               "[--backend SPEC]\n"
+               "         [--fault SPEC] [--fault-seed S] [--save-trace FILE]\n"
                "  ba_cli explore --protocol P --n N --t T "
                "[--proposals b,b,...] [--faulty p,p,...]\n"
+               "         [--fault SPEC]\n"
                "         [--exhaustive] [--depth D] [--samples S] [--seed S] "
                "[--start-index I]\n"
                "         [--coin-seed C] [--strategy X] [--strategy-seed S] "
@@ -101,12 +105,13 @@ int usage() {
                "  ba_cli explore --replay FILE [--save-trace FILE]\n"
                "backend SPEC: lockstep | sim[:model[,seed]] | "
                "async[:strategy[,seed]]\n"
+               "fault SPEC (docs/FAULTS.md): %s\n"
                "protocols: %s\n"
                "async protocols: %s\n"
                "async strategies: %s\n"
                "properties: weak strong sender ic any-proposed constant\n",
-               tools::protocol_names(), async::async_protocol_list(),
-               async::scheduler_strategy_list());
+               faults::fault_plan_names(), tools::protocol_names(),
+               async::async_protocol_list(), async::scheduler_strategy_list());
   return 2;
 }
 
@@ -306,12 +311,18 @@ int cmd_run(int argc, char** argv) {
   const auto t = static_cast<std::uint32_t>(std::atoi(argv[2]));
   std::string save_trace;
   std::string backend_spec = "lockstep";
+  std::string fault_plan = "fault-free";
+  std::uint64_t fault_seed = 1;
   std::vector<Value> proposals;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
       save_trace = argv[++i];
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       backend_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      fault_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       proposals.push_back(Value::bit(std::atoi(argv[i])));
     }
@@ -324,19 +335,32 @@ int cmd_run(int argc, char** argv) {
   if (!protocol) return usage();
   auto backend = resolve_backend(backend_spec);
   if (!backend) return 2;
+  const SystemParams params{n, t};
+  faults::FaultSpec fault_spec;
+  Adversary adversary = Adversary::none();
+  try {
+    fault_spec = faults::checked_fault_spec(fault_plan, params);
+    adversary = faults::compile_adversary(fault_spec, params, fault_seed);
+  } catch (const std::exception& e) {
+    // The pinned fault-grammar errors, verbatim: every surface (run, sim,
+    // sweep, serve) reports the same string for the same bad plan.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   RunOptions opts;
   opts.lint_trace = true;
   // Gate the run with the statically derived message budget when the
-  // protocol declares a CommSpec (the linter flags budget violations).
+  // protocol declares a CommSpec (the linter flags budget violations),
+  // evaluated at the fault plan's declared actual-fault count.
   if (const statics::CommSpec* spec = protocols::find_comm_spec(name)) {
     opts.message_budget =
-        statics::budget_at(statics::analyze(*spec), SystemParams{n, t})
+        statics::budget_at(statics::analyze(*spec), params,
+                           fault_spec.declared_faults(params))
             .messages;
   }
   RunResult res;
   try {
-    res = backend->second->run(SystemParams{n, t}, *protocol, proposals,
-                               Adversary::none(), opts);
+    res = backend->second->run(params, *protocol, proposals, adversary, opts);
   } catch (const std::exception& e) {
     // E.g. the async backend refuses synchronous protocols by contract.
     std::fprintf(stderr, "run: %s\n", e.what());
@@ -381,6 +405,8 @@ int cmd_sim(int argc, char** argv) {
 
   std::string backend_spec = "sim";
   std::string save_trace;
+  std::string fault_plan = "fault-free";
+  std::uint64_t fault_seed = 1;
   std::optional<std::string> model;
   std::optional<std::uint64_t> seed;
   std::optional<std::uint32_t> gst;
@@ -400,6 +426,10 @@ int cmd_sim(int argc, char** argv) {
       round_ticks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       backend_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      fault_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--save-trace") == 0 && i + 1 < argc) {
       save_trace = argv[++i];
     } else {
@@ -437,17 +467,28 @@ int cmd_sim(int argc, char** argv) {
     return 2;
   }
 
+  const SystemParams params{n, t};
+  faults::FaultSpec fault_spec;
+  Adversary adversary = Adversary::none();
+  try {
+    fault_spec = faults::checked_fault_spec(fault_plan, params);
+    adversary = faults::compile_adversary(fault_spec, params, fault_seed);
+  } catch (const std::exception& e) {
+    // Pinned fault-grammar errors, verbatim (same string on every surface).
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   RunOptions opts;
   opts.lint_trace = true;
   if (const statics::CommSpec* spec = protocols::find_comm_spec(name)) {
     opts.message_budget =
-        statics::budget_at(statics::analyze(*spec), SystemParams{n, t})
+        statics::budget_at(statics::analyze(*spec), params,
+                           fault_spec.declared_faults(params))
             .messages;
   }
   RunResult res;
   try {
-    res = backend->run(SystemParams{n, t}, *protocol, proposals,
-                       Adversary::none(), opts);
+    res = backend->run(params, *protocol, proposals, adversary, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sim: %s\n", e.what());
     return 1;
@@ -587,6 +628,25 @@ int cmd_sweep(int argc, char** argv) {
       auto backend = resolve_backend(argv[++i]);
       if (!backend) return 2;
       options.attack.backend = backend->second;
+    } else if (std::strcmp(argv[i], "--fault-axis") == 0) {
+      // Optional value: a bare kind name ("isolate") or a full template
+      // spec ("crash:0@3%head", count ignored); defaults to isolate.
+      std::string axis = "isolate";
+      if (i + 1 < argc && argv[i + 1][0] != '-') axis = argv[++i];
+      faults::FaultSpec axis_spec;
+      if (const auto kind = faults::find_fault_kind(axis)) {
+        axis_spec.kind = *kind;
+      } else {
+        try {
+          axis_spec = faults::parse_fault_spec(axis);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s\n", e.what());
+          return 2;
+        }
+      }
+      options.fault_axis = axis_spec;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      options.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       return usage();
     }
@@ -607,8 +667,15 @@ int cmd_sweep(int argc, char** argv) {
     };
   }
 
-  auto result = lowerbound::run_attack_sweep(
-      lowerbound::standard_sweep_entries(), grid, options);
+  lowerbound::SweepResult result;
+  try {
+    result = lowerbound::run_attack_sweep(lowerbound::standard_sweep_entries(),
+                                          grid, options);
+  } catch (const std::exception& e) {
+    // E.g. a non-sweepable --fault-axis kind.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   if (out_ordered && !out_ordered->drained()) {
     std::fprintf(stderr, "internal error: %s not fully drained\n",
                  out_path.c_str());
@@ -857,7 +924,7 @@ int cmd_explore_replay(const std::string& path,
 int cmd_explore(int argc, char** argv) {
   async::ExploreTask task;
   async::ExploreOptions options;
-  std::string save_cert, save_trace, replay_path;
+  std::string save_cert, save_trace, replay_path, fault_plan;
   std::optional<std::uint32_t> n, t;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--protocol") == 0 && i + 1 < argc) {
@@ -881,6 +948,8 @@ int cmd_explore(int argc, char** argv) {
         return 2;
       }
       task.faulty = std::move(*ids);
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else if (std::strcmp(argv[i], "--exhaustive") == 0) {
       options.exhaustive = true;
     } else if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
@@ -917,6 +986,28 @@ int cmd_explore(int argc, char** argv) {
     return 2;
   }
   task.params = SystemParams{*n, *t};
+  if (!fault_plan.empty()) {
+    // The async lowering of a fault plan: crash/mute become crash-from-start
+    // (the set --faulty takes verbatim). Byzantine lowerings need replica
+    // substitution, which the explorer's crash-only surface cannot host.
+    async::AsyncAdversary adversary;
+    try {
+      adversary = faults::compile_async(
+          faults::checked_fault_spec(fault_plan, task.params), task.params,
+          options.seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    if (!adversary.byzantine.empty()) {
+      std::fprintf(stderr,
+                   "explore: fault plan '%s': explore drives crash-from-start "
+                   "faults only\n",
+                   fault_plan.c_str());
+      return 2;
+    }
+    task.faulty = adversary.faulty;
+  }
   if (task.proposals.empty()) {
     // Default instance: alternating proposals, the adversarially interesting
     // split (unanimous inputs decide regardless of schedule by validity).

@@ -122,6 +122,11 @@ def gate_sweep(baseline: dict, candidate: dict, args) -> list:
     label = "attack sweep points/s"
     for shape in ("points", "jobs"):
         check_shape(label, shape, baseline[shape], candidate[shape], failures)
+    # A fault-axis sweep runs t+1 executions per point — a different
+    # workload, gated only against a baseline swept on the same axis.
+    # Reports predating the field read as axis-less (None == null).
+    check_shape(label, "fault_axis", baseline.get("fault_axis"),
+                candidate.get("fault_axis"), failures)
     check_throughput(label, baseline["points_per_sec"],
                      candidate["points_per_sec"],
                      args.max_throughput_drop, failures)

@@ -32,7 +32,7 @@ import re
 import sys
 from pathlib import Path
 
-SCANNED_DIRS = ("src/protocols", "src/runtime", "src/service")
+SCANNED_DIRS = ("src/protocols", "src/runtime", "src/service", "src/faults")
 SOURCE_SUFFIXES = {".h", ".cpp"}
 WAIVER = re.compile(r"//\s*determinism:")
 
